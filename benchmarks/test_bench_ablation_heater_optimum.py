@@ -1,0 +1,57 @@
+"""Ablation — automated search of the optimal heater-to-VCSEL power ratio.
+
+The paper finds the optimum by sweeping ``Pheater`` (Figure 9-b) and quotes
+``Pheater = 0.3 x PVCSEL`` as the best setting for the case study.  This
+benchmark runs the scipy-based bounded minimisation of the intra-ONI gradient
+and checks that the optimiser lands on an interior ratio consistent with the
+sweep, and that the optimised design beats the unheated one.
+"""
+
+import pytest
+
+from repro.methodology import find_optimal_heater_ratio, format_table
+from repro.oni import OniPowerConfig
+
+
+def test_ablation_heater_ratio_optimizer(benchmark, reference_flow, uniform_activity_25w):
+    result = benchmark.pedantic(
+        find_optimal_heater_ratio,
+        args=(reference_flow, uniform_activity_25w),
+        kwargs={
+            "vcsel_power_mw": 6.0,
+            "ratio_bounds": (0.0, 1.0),
+            "tolerance": 0.04,
+            "max_evaluations": 14,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {"ratio": ratio, "gradient_c": gradient}
+        for ratio, gradient in sorted(result.evaluations)
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            title="Heater-ratio optimisation trace (PVCSEL = 6 mW)",
+            float_format=".3f",
+        )
+    )
+    print(
+        f"optimal ratio = {result.optimal_ratio:.2f} "
+        f"(paper: 0.3), gradient = {result.optimal_gradient_c:.2f} degC"
+    )
+
+    # Interior optimum, in the same region as the paper's 0.3.
+    assert 0.1 <= result.optimal_ratio <= 0.7
+    assert result.evaluation_count >= 4
+
+    # The optimised design clearly beats the unheated one.
+    no_heater = reference_flow.run_thermal(
+        uniform_activity_25w,
+        power=OniPowerConfig(vcsel_power_w=6.0e-3, heater_power_w=0.0),
+        zoom_oni="auto",
+    )
+    assert result.optimal_gradient_c < no_heater.gradient_c
+    assert no_heater.gradient_c - result.optimal_gradient_c > 1.0

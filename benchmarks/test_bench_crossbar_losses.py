@@ -1,0 +1,64 @@
+"""Section III.A claim — ORNoC insertion losses versus baseline crossbars.
+
+The paper motivates ORNoC by its reduced worst-case and average insertion
+losses compared with the Matrix, lambda-router and Snake wavelength-routed
+crossbars (ref [20] quotes ~42.5 % worst-case and ~38 % average reduction at
+the 4x4 scale).  This benchmark regenerates the comparison with the library's
+structural loss models at 4x4 and 8x8.
+"""
+
+import pytest
+
+from repro.methodology import format_table
+from repro.onoc import compare_topologies, ornoc_reduction_factors
+
+
+def build_comparison(radices=(4, 8)):
+    rows = []
+    for radix in radices:
+        for loss in compare_topologies(radix):
+            rows.append(
+                {
+                    "radix": f"{radix}x{radix}",
+                    "topology": loss.topology,
+                    "worst_case_db": loss.worst_case_db,
+                    "average_db": loss.average_db,
+                }
+            )
+    return rows
+
+
+def test_crossbar_insertion_loss_comparison(benchmark):
+    rows = benchmark.pedantic(build_comparison, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            rows,
+            title="ORNoC vs baseline crossbars: insertion losses [dB]",
+            float_format=".2f",
+        )
+    )
+
+    for radix in (4, 8):
+        subset = {
+            row["topology"]: row for row in rows if row["radix"] == f"{radix}x{radix}"
+        }
+        ornoc = subset["ornoc"]
+        for name in ("matrix", "lambda_router", "snake"):
+            assert ornoc["worst_case_db"] < subset[name]["worst_case_db"]
+            # The average-loss advantage is the paper's 4x4 claim; at larger
+            # radices the single-ring ORNoC path length catches up with the
+            # multistage topologies, so it is only asserted at 4x4.
+            if radix == 4:
+                assert ornoc["average_db"] < subset[name]["average_db"]
+
+    # Reduction factors at 4x4 are of the order the paper quotes (tens of %).
+    reductions = ornoc_reduction_factors(4)
+    mean_worst_case = sum(r["worst_case"] for r in reductions.values()) / len(reductions)
+    mean_average = sum(r["average"] for r in reductions.values()) / len(reductions)
+    print(
+        f"\nORNoC mean reduction at 4x4: worst-case {100 * mean_worst_case:.1f} %, "
+        f"average {100 * mean_average:.1f} % (paper: 42.5 % / 38 %)"
+    )
+    assert 0.2 <= mean_worst_case <= 0.8
+    assert 0.2 <= mean_average <= 0.8

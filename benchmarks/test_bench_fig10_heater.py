@@ -1,0 +1,78 @@
+"""Figure 10 — average and gradient temperature with and without the MR heater.
+
+The paper compares, for ``PVCSEL`` from 1 to 6 mW, the intra-ONI gradient and
+the average laser temperature of the design with ``Pheater = 0.3 x PVCSEL``
+against the design without heaters: the heater cuts the gradient by several
+degrees (5.8 -> 1.3 degC at 6 mW) at the cost of a sub-degree increase of the
+average laser temperature.  Section V.B also quotes the ~1.7 degC/mW growth of
+the no-heater gradient with PVCSEL.
+"""
+
+import pytest
+
+from repro.methodology import (
+    compare_heater_options,
+    format_table,
+    gradient_slope_c_per_mw,
+    rows_from_dataclasses,
+)
+
+VCSEL_POWERS_MW = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+HEATER_RATIO = 0.3
+
+
+def test_fig10_heater_comparison(benchmark, reference_flow, uniform_activity_25w):
+    points = benchmark.pedantic(
+        compare_heater_options,
+        args=(reference_flow, uniform_activity_25w, VCSEL_POWERS_MW),
+        kwargs={"heater_ratio": HEATER_RATIO},
+        rounds=1,
+        iterations=1,
+    )
+    rows = rows_from_dataclasses(points)
+    print()
+    print(
+        format_table(
+            rows,
+            columns=[
+                "vcsel_power_mw",
+                "without_heater_gradient_c",
+                "with_heater_gradient_c",
+                "without_heater_average_c",
+                "with_heater_average_c",
+            ],
+            title="Figure 10: gradient and average temperature w/ and w/o MR heater",
+            float_format=".2f",
+        )
+    )
+
+    by_power = {p.vcsel_power_mw: p for p in points}
+
+    # The no-heater gradient grows roughly linearly with PVCSEL; the paper
+    # quotes ~1.7 degC/mW, we accept the same order of magnitude.
+    slope = gradient_slope_c_per_mw(points)
+    assert 0.3 <= slope <= 3.0
+
+    # The heater reduces the gradient at every operating point, and the
+    # reduction is largest at the highest PVCSEL (paper: -4.5 degC at 6 mW).
+    reductions = {
+        power: point.without_heater_gradient_c - point.with_heater_gradient_c
+        for power, point in by_power.items()
+    }
+    assert all(reduction > 0.0 for reduction in reductions.values())
+    assert reductions[6.0] == max(reductions.values())
+    assert reductions[6.0] > 1.0
+
+    # With the heater, the gradient stays within (or close to) the paper's
+    # 1 degC calibration-friendly budget up to the nominal 3.6 mW range.
+    assert by_power[3.0].with_heater_gradient_c < 2.0
+
+    # The price of the heater is a small increase of the average laser
+    # temperature (paper: +0.8 degC at 6 mW) — well below the gradient gain.
+    for power, point in by_power.items():
+        average_increase = point.with_heater_average_c - point.without_heater_average_c
+        assert -0.2 <= average_increase <= 3.0
+        assert average_increase < reductions[power] + 1.0
+
+    # Without any heater the 6 mW design violates the 1 degC constraint.
+    assert by_power[6.0].without_heater_gradient_c > 1.0

@@ -1,0 +1,52 @@
+"""Figure 5-b — microring transmission versus wavelength misalignment.
+
+Regenerates the drop / through transmission curves as a function of
+``lambda_MR - lambda_signal`` and checks the anchors stated in Section IV.C:
+maximum transfer at alignment, 50 % dropped at 0.77 nm, and most of the power
+continuing to the through port beyond ~1.5 nm.
+"""
+
+import pytest
+
+from repro.devices import MicroringModel, MicroringParameters
+from repro.methodology import format_table
+
+
+def sweep_transmission(detunings_nm):
+    ring = MicroringModel(MicroringParameters(drop_loss_db=0.0, through_loss_db=0.0))
+    rows = []
+    for detuning in detunings_nm:
+        rows.append(
+            {
+                "detuning_nm": detuning,
+                "drop_percent": 100.0 * ring.drop_fraction(detuning),
+                "through_percent": 100.0 * ring.through_fraction(detuning),
+            }
+        )
+    return rows
+
+
+def test_fig5_mr_transmission_curve(benchmark):
+    detunings = [round(-3.0 + 0.25 * i, 3) for i in range(25)]
+    rows = benchmark.pedantic(sweep_transmission, args=(detunings,), rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 5-b: MR transmission vs detuning", float_format=".2f"))
+
+    by_detuning = {row["detuning_nm"]: row for row in rows}
+    # Maximum transmission to the drop port at perfect alignment.
+    assert by_detuning[0.0]["drop_percent"] == pytest.approx(100.0, abs=1e-6)
+    assert by_detuning[0.0]["through_percent"] == pytest.approx(0.0, abs=1e-6)
+    # 50 % dropped at ~0.77 nm misalignment (paper anchor: 7.7 degC).
+    ring = MicroringModel(MicroringParameters(drop_loss_db=0.0))
+    assert ring.drop_fraction(0.775) == pytest.approx(0.5, rel=1e-6)
+    # Beyond ~1.5 nm most of the power continues to the through port.
+    assert by_detuning[-3.0]["through_percent"] > 75.0
+    assert by_detuning[3.0 - 0.25]["through_percent"] > 70.0
+    # The curve is symmetric in the detuning sign.
+    assert by_detuning[-1.0 if -1.0 in by_detuning else -1.0]["drop_percent"] == pytest.approx(
+        by_detuning[1.0]["drop_percent"], rel=1e-9
+    )
+    # Monotone decrease of the dropped fraction away from resonance.
+    positive = [row for row in rows if row["detuning_nm"] >= 0.0]
+    drops = [row["drop_percent"] for row in positive]
+    assert drops == sorted(drops, reverse=True)

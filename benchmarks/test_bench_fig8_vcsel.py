@@ -1,0 +1,91 @@
+"""Figure 8-b / 8-c — VCSEL efficiency and emitted optical power.
+
+Regenerates the two device characteristics the methodology consumes:
+
+* Figure 8-b: wall-plug efficiency versus bias current for base temperatures
+  from 10 to 70 degC (the paper quotes a drop from ~15 % at 40 degC to ~4 %
+  at 60 degC at the nominal bias);
+* Figure 8-c: emitted optical power versus dissipated power ``PVCSEL`` and
+  temperature (thermal roll-over).
+"""
+
+import pytest
+
+from repro.devices import VcselModel
+from repro.methodology import format_table
+
+TEMPERATURES_C = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0]
+CURRENTS_MA = [1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]
+DISSIPATED_MW = [1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0]
+
+
+def sweep_efficiency():
+    vcsel = VcselModel()
+    rows = []
+    for temperature in TEMPERATURES_C:
+        row = {"temperature_c": temperature}
+        for current_ma in CURRENTS_MA:
+            row[f"eta_at_{current_ma:g}mA"] = vcsel.wall_plug_efficiency(
+                current_ma * 1e-3, temperature
+            )
+        rows.append(row)
+    return rows
+
+
+def sweep_output_power():
+    vcsel = VcselModel()
+    rows = []
+    for temperature in (30.0, 40.0, 50.0, 60.0):
+        row = {"temperature_c": temperature}
+        for dissipated_mw in DISSIPATED_MW:
+            try:
+                optical_mw = 1e3 * vcsel.optical_power_from_dissipated(
+                    dissipated_mw * 1e-3, temperature
+                )
+            except Exception:
+                optical_mw = float("nan")
+            row[f"op_at_{dissipated_mw:g}mW"] = optical_mw
+        rows.append(row)
+    return rows
+
+
+def test_fig8b_vcsel_efficiency_vs_current(benchmark):
+    rows = benchmark.pedantic(sweep_efficiency, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 8-b: wall-plug efficiency vs IVCSEL", float_format=".3f"))
+
+    vcsel = VcselModel()
+    # Paper anchors (Section III.C): ~15 % at 40 degC, ~4 % at 60 degC.
+    assert vcsel.wall_plug_efficiency(6e-3, 40.0) == pytest.approx(0.15, abs=0.03)
+    assert vcsel.wall_plug_efficiency(6e-3, 60.0) == pytest.approx(0.04, abs=0.02)
+    # Efficiency decreases monotonically with temperature at fixed bias.
+    by_temperature = {row["temperature_c"]: row["eta_at_6mA"] for row in rows}
+    ordered = [by_temperature[t] for t in TEMPERATURES_C]
+    assert all(a >= b - 1e-9 for a, b in zip(ordered, ordered[1:]))
+    # Each curve rises above threshold and rolls off at high bias (a maximum
+    # exists away from the extremes), as in the paper's figure.
+    for row in rows[:5]:
+        efficiencies = [row[f"eta_at_{c:g}mA"] for c in CURRENTS_MA]
+        peak = efficiencies.index(max(efficiencies))
+        assert 0 < peak < len(efficiencies) - 1
+
+
+def test_fig8c_vcsel_output_power_vs_dissipated(benchmark):
+    rows = benchmark.pedantic(sweep_output_power, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 8-c: OPVCSEL vs PVCSEL", float_format=".3f"))
+
+    by_temperature = {row["temperature_c"]: row for row in rows}
+    # Hotter devices emit less light for the same dissipated power.
+    for dissipated_mw in (4.0, 8.0, 16.0):
+        key = f"op_at_{dissipated_mw:g}mW"
+        assert by_temperature[30.0][key] > by_temperature[60.0][key]
+    # At high drive the output power grows sub-linearly with the dissipated
+    # power (thermal roll-over): doubling PVCSEL less than doubles OPVCSEL.
+    cold = by_temperature[40.0]
+    assert cold["op_at_16mW"] < 2.0 * cold["op_at_8mW"]
+    # All emitted powers stay in the sub-milliwatt..few-milliwatt range of the
+    # paper's figure.
+    for row in rows:
+        for dissipated_mw in DISSIPATED_MW:
+            assert 0.0 <= row[f"op_at_{dissipated_mw:g}mW"] < 5.0

@@ -1,0 +1,110 @@
+"""Figure 9 — influence of PVCSEL, Pchip and Pheater on the ONI temperatures.
+
+* Figure 9-a: ONI average temperature versus ``PVCSEL`` for chip activities of
+  12.5, 18.75, 25 and 31.25 W.  The paper reports roughly +3.3 degC per +6 W
+  of chip power and a much stronger sensitivity (+11 degC per +6 mW) to the
+  laser power.
+* Figure 9-b: intra-ONI gradient temperature versus ``Pheater`` for
+  ``PVCSEL`` of 1, 2, 4 and 6 mW; the smallest gradient is obtained around
+  ``Pheater = 0.3 x PVCSEL``.
+"""
+
+import pytest
+
+from repro.methodology import (
+    format_table,
+    rows_from_dataclasses,
+    sweep_average_temperature,
+    sweep_heater_power,
+)
+
+CHIP_POWERS_W = [12.5, 18.75, 25.0, 31.25]
+VCSEL_POWERS_MW = [0.0, 2.0, 4.0, 6.0]
+HEATER_POWERS_MW = [0.0, 0.6, 1.2, 1.8, 2.4]
+HEATER_VCSEL_POWERS_MW = [1.0, 2.0, 4.0, 6.0]
+
+
+def test_fig9a_average_temperature_vs_powers(benchmark, reference_flow):
+    points = benchmark.pedantic(
+        sweep_average_temperature,
+        args=(reference_flow, CHIP_POWERS_W, VCSEL_POWERS_MW),
+        kwargs={"fast": True},
+        rounds=1,
+        iterations=1,
+    )
+    rows = rows_from_dataclasses(points)
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["chip_power_w", "vcsel_power_mw", "average_oni_temperature_c"],
+            title="Figure 9-a: ONI average temperature vs PVCSEL and Pchip",
+            float_format=".2f",
+        )
+    )
+
+    by_key = {
+        (p.chip_power_w, p.vcsel_power_mw): p.average_oni_temperature_c for p in points
+    }
+    # Temperatures lie in the paper's operating window (~40..70 degC).
+    assert all(40.0 <= value <= 75.0 for value in by_key.values())
+    # Monotone in both chip power and laser power.
+    for vcsel_mw in VCSEL_POWERS_MW:
+        series = [by_key[(chip, vcsel_mw)] for chip in CHIP_POWERS_W]
+        assert series == sorted(series)
+    for chip in CHIP_POWERS_W:
+        series = [by_key[(chip, vcsel)] for vcsel in VCSEL_POWERS_MW]
+        assert series == sorted(series)
+    # Sensitivity to chip power: a +6.25 W step raises the ONI average by a
+    # few degC (paper: ~3.3 degC per 6 W).
+    chip_step = by_key[(18.75, 0.0)] - by_key[(12.5, 0.0)]
+    assert 1.0 <= chip_step <= 8.0
+    # Sensitivity to the laser power: +6 mW of PVCSEL heats the ONI by several
+    # degC — markedly more per milliwatt than the chip activity per watt
+    # (the paper's headline observation motivating careful IVCSEL selection).
+    vcsel_step = by_key[(25.0, 6.0)] - by_key[(25.0, 0.0)]
+    assert 3.0 <= vcsel_step <= 20.0
+    per_mw = vcsel_step / 6.0
+    per_w_chip = chip_step / 6.25
+    assert per_mw > per_w_chip
+
+
+def test_fig9b_gradient_vs_heater_power(benchmark, reference_flow, uniform_activity_25w):
+    points = benchmark.pedantic(
+        sweep_heater_power,
+        args=(reference_flow, uniform_activity_25w, HEATER_VCSEL_POWERS_MW, HEATER_POWERS_MW),
+        rounds=1,
+        iterations=1,
+    )
+    rows = rows_from_dataclasses(points)
+    print()
+    print(
+        format_table(
+            rows,
+            columns=[
+                "vcsel_power_mw",
+                "heater_power_mw",
+                "gradient_c",
+                "average_oni_temperature_c",
+            ],
+            title="Figure 9-b: intra-ONI gradient vs Pheater",
+            float_format=".2f",
+        )
+    )
+
+    gradients = {(p.vcsel_power_mw, p.heater_power_mw): p.gradient_c for p in points}
+    for vcsel_mw in HEATER_VCSEL_POWERS_MW:
+        series = {h: gradients[(vcsel_mw, h)] for h in HEATER_POWERS_MW}
+        no_heater = series[0.0]
+        best_heater = min(h for h in HEATER_POWERS_MW if series[h] == min(series.values()))
+        # Some heater power always helps compared with no heater at all.
+        assert min(series.values()) < no_heater
+        # The optimum is an interior point for the larger PVCSEL values: the
+        # strongest heater setting overshoots (microrings hotter than lasers).
+        if vcsel_mw >= 4.0:
+            assert 0.0 < best_heater < HEATER_POWERS_MW[-1]
+            ratio = best_heater / vcsel_mw
+            assert 0.1 <= ratio <= 0.7
+    # The no-heater gradient grows with PVCSEL (paper: ~1.7 degC/mW).
+    no_heater_series = [gradients[(v, 0.0)] for v in HEATER_VCSEL_POWERS_MW]
+    assert no_heater_series == sorted(no_heater_series)

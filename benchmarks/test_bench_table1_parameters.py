@@ -1,0 +1,55 @@
+"""Table 1 — technological parameters.
+
+Regenerates the paper's Table 1 from the library's default configuration and
+checks every value against the published one.
+"""
+
+import pytest
+
+from repro.config import TechnologyParameters
+from repro.devices import MicroringModel, PhotodetectorModel, WaveguideModel
+from repro.methodology import format_table
+
+
+def build_table1_rows():
+    technology = TechnologyParameters()
+    detector = PhotodetectorModel()
+    return [
+        {"parameter": "Wavelength range", "value": f"{technology.wavelength_nm:.0f} nm"},
+        {"parameter": "BW 3-dB", "value": f"{technology.mr_bandwidth_3db_nm:.2f} nm"},
+        {
+            "parameter": "Photodetector sensitivity",
+            "value": f"{technology.photodetector_sensitivity_dbm:.0f} dBm "
+            f"({technology.photodetector_sensitivity_mw:.2f} mW)",
+        },
+        {
+            "parameter": "Thermal sensitivity",
+            "value": f"{technology.thermal_sensitivity_nm_per_c:.1f} nm/degC",
+        },
+        {
+            "parameter": "Propagation loss",
+            "value": f"{technology.propagation_loss_db_per_cm:.1f} dB/cm",
+        },
+    ]
+
+
+def test_table1_technology_parameters(benchmark):
+    rows = benchmark.pedantic(build_table1_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Table 1: technological parameters"))
+
+    technology = TechnologyParameters()
+    assert technology.wavelength_nm == 1550.0
+    assert technology.mr_bandwidth_3db_nm == 1.55
+    assert technology.photodetector_sensitivity_dbm == -20.0
+    assert technology.photodetector_sensitivity_mw == pytest.approx(0.01)
+    assert technology.thermal_sensitivity_nm_per_c == 0.1
+    assert technology.propagation_loss_db_per_cm == 0.5
+
+    # Derived anchors quoted in the text around Table 1.
+    ring = MicroringModel()
+    assert ring.half_drop_detuning_nm() == pytest.approx(0.775, abs=0.01)
+    assert ring.half_drop_temperature_difference_c() == pytest.approx(7.75, abs=0.1)
+    waveguide = WaveguideModel()
+    assert waveguide.propagation_loss_db(10.0e-3) == pytest.approx(0.5)
+    assert PhotodetectorModel().sensitivity_w == pytest.approx(1.0e-5)

@@ -1,0 +1,129 @@
+"""Thermal-aware analysis of a custom (non-SCC) architecture.
+
+The methodology is not tied to the Intel SCC case study: this example builds
+a small 4-tile accelerator die with its own package stack, a custom VCSEL
+with a larger self-heating resistance, places 8 ONIs on a short ring, and
+runs the same thermal + SNR flow.  It demonstrates every extension point of
+the library: materials, layer stacks, floorplans, device parameters and
+activity patterns.
+
+Run with:  python examples/custom_architecture.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    LaserDriveConfig,
+    OniPowerConfig,
+    SimulationSettings,
+    ThermalAwareDesignFlow,
+    VcselModel,
+    VcselParameters,
+    format_table,
+)
+from repro.activity import hotspot_activity
+from repro.casestudy import SccArchitecture, build_oni_ring_scenario
+from repro.config import TechnologyParameters
+from repro.geometry import Layer, LayerStack, Rect, grid_floorplan
+from repro.materials import (
+    BEOL,
+    COPPER,
+    EPOXY,
+    OPTICAL_LAYER,
+    SILICON,
+    THERMAL_INTERFACE,
+    Material,
+)
+
+
+def build_custom_architecture() -> SccArchitecture:
+    """A 12 x 12 mm accelerator die in a simpler (cheaper) package."""
+    die = Rect.from_size_mm(0.0, 0.0, 12.0, 12.0)
+    package = die.expanded(2.0e-3)
+    stack = LayerStack(package, name="accelerator_package")
+
+    # A custom moulding compound for the package periphery.
+    molding = Material(name="molding_compound", thermal_conductivity_w_mk=1.5)
+
+    def add(name, thickness_um, material, die_only=True):
+        stack.add_layer(
+            Layer(
+                name=name,
+                thickness=thickness_um * 1e-6,
+                material=material,
+                footprint=die if die_only else None,
+                padding_material=molding if die_only else None,
+            )
+        )
+
+    add("substrate", 800.0, EPOXY, die_only=False)
+    add("die_silicon", 300.0, SILICON)
+    add("beol", 12.0, BEOL)
+    add("bonding", 15.0, OPTICAL_LAYER)
+    add("optical_layer", 4.0, OPTICAL_LAYER)
+    add("cap_silicon", 80.0, SILICON)
+    add("tim", 50.0, THERMAL_INTERFACE)
+    add("copper_lid", 1500.0, COPPER, die_only=False)
+
+    floorplan = grid_floorplan(die, columns=2, rows=2, kind="tile")
+    settings = SimulationSettings(
+        oni_cell_size_um=250.0,
+        die_cell_size_um=1200.0,
+        zoom_cell_size_um=15.0,
+        ambient_temperature_c=40.0,
+        heat_sink_coefficient_w_m2k=1500.0,
+    )
+    return SccArchitecture(
+        parameters=None,  # not an SCC package; the stack/floorplan say it all
+        settings=settings,
+        stack=stack,
+        floorplan=floorplan,
+        electrical_layer="beol",
+        optical_layer="optical_layer",
+    )
+
+
+def main() -> None:
+    architecture = build_custom_architecture()
+    scenario = build_oni_ring_scenario(architecture, ring_length_mm=14.0, oni_count=8)
+
+    # A hotter-running VCSEL variant (stronger self-heating) and a denser WDM grid.
+    custom_vcsel = VcselModel(
+        VcselParameters(thermal_resistance_k_per_w=1500.0, slope_efficiency_w_per_a=0.4)
+    )
+    technology = TechnologyParameters(channel_spacing_nm=1.6)
+
+    flow = ThermalAwareDesignFlow(
+        architecture, scenario, technology=technology, vcsel=custom_vcsel
+    )
+    activity = hotspot_activity(
+        architecture.floorplan, total_power_w=18.0, hotspot_fraction=0.6, hotspot_tiles=1
+    )
+    power = OniPowerConfig(vcsel_power_w=2.5e-3).with_heater_ratio(0.3)
+    result = flow.evaluate_design_point(
+        activity, power, drive=LaserDriveConfig.from_dissipated_mw(2.5)
+    )
+
+    thermal = result.thermal
+    print("=== Custom accelerator architecture ===")
+    print(f"die:                      12 x 12 mm, 4 tiles, hotspot activity 18 W")
+    print(f"ONI average temperature:  {thermal.average_oni_temperature_c:.2f} degC")
+    print(f"inter-ONI spread:         {thermal.oni_temperature_spread_c:.2f} degC")
+    print(f"intra-ONI gradient:       {thermal.gradient_c:.2f} degC")
+    print(f"worst-case SNR:           {result.worst_case_snr_db:.1f} dB")
+
+    rows = [
+        {
+            "oni": name,
+            "average_c": summary.average_c,
+            "laser_c": summary.laser_c,
+            "microring_c": summary.microring_c,
+        }
+        for name, summary in sorted(thermal.oni_summaries.items())
+    ]
+    print()
+    print(format_table(rows, title="Per-ONI temperatures", float_format=".2f"))
+
+
+if __name__ == "__main__":
+    main()

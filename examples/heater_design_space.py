@@ -1,0 +1,100 @@
+"""Design-space exploration of the microring heater power (paper Figs. 9-b / 10).
+
+For a given laser dissipated power (PVCSEL), sweeps the per-ring heater power,
+extracts the intra-ONI gradient temperature from the zoom solver, and then
+lets the scipy-based optimiser find the heater-to-VCSEL ratio that minimises
+the gradient — the paper reports an optimum near Pheater = 0.3 x PVCSEL.
+
+Run with:  python examples/heater_design_space.py [PVCSEL_mW]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    OniPowerConfig,
+    SimulationSettings,
+    ThermalAwareDesignFlow,
+    build_oni_ring_scenario,
+    build_scc_architecture,
+    format_table,
+    uniform_activity,
+)
+from repro.methodology import (
+    compare_heater_options,
+    find_optimal_heater_ratio,
+    rows_from_dataclasses,
+    sweep_heater_power,
+)
+
+
+def main(vcsel_power_mw: float = 4.0) -> None:
+    settings = SimulationSettings(
+        oni_cell_size_um=300.0, die_cell_size_um=2000.0, zoom_cell_size_um=15.0
+    )
+    architecture = build_scc_architecture(settings=settings)
+    scenario = build_oni_ring_scenario(architecture, ring_length_mm=32.4, oni_count=16)
+    flow = ThermalAwareDesignFlow(architecture, scenario)
+    activity = uniform_activity(architecture.floorplan, 25.0)
+
+    # 1. Sweep the heater power (Figure 9-b style).
+    heater_values = [round(0.2 * i * vcsel_power_mw, 3) for i in range(5)]
+    sweep = sweep_heater_power(flow, activity, [vcsel_power_mw], heater_values)
+    print(
+        format_table(
+            rows_from_dataclasses(sweep),
+            columns=["heater_power_mw", "gradient_c", "average_oni_temperature_c"],
+            title=f"Gradient vs Pheater at PVCSEL = {vcsel_power_mw:g} mW",
+            float_format=".2f",
+        )
+    )
+
+    # 2. With / without heater comparison (Figure 10 style).
+    comparison = compare_heater_options(
+        flow, activity, [vcsel_power_mw / 2.0, vcsel_power_mw], heater_ratio=0.3
+    )
+    print()
+    print(
+        format_table(
+            rows_from_dataclasses(comparison),
+            columns=[
+                "vcsel_power_mw",
+                "without_heater_gradient_c",
+                "with_heater_gradient_c",
+                "without_heater_average_c",
+                "with_heater_average_c",
+            ],
+            title="With / without MR heater (ratio 0.3)",
+            float_format=".2f",
+        )
+    )
+
+    # 3. Let the optimiser find the best ratio.
+    print("\nSearching the optimal heater ratio (bounded scalar minimisation)...")
+    optimum = find_optimal_heater_ratio(
+        flow, activity, vcsel_power_mw, tolerance=0.05, max_evaluations=12
+    )
+    print(
+        f"optimal Pheater = {optimum.optimal_heater_power_mw:.2f} mW "
+        f"({optimum.optimal_ratio:.2f} x PVCSEL, paper: 0.30), "
+        f"gradient = {optimum.optimal_gradient_c:.2f} degC after "
+        f"{optimum.evaluation_count} thermal simulations"
+    )
+
+    # 4. Check the resulting operating point against the 1 degC budget.
+    power = OniPowerConfig(vcsel_power_w=vcsel_power_mw * 1e-3).with_heater_ratio(
+        optimum.optimal_ratio
+    )
+    evaluation = flow.run_thermal(activity, power=power, zoom_oni="auto")
+    budget = flow.technology.max_oni_gradient_c
+    status = "meets" if evaluation.meets_gradient_constraint(budget) else "violates"
+    print(
+        f"the optimised design {status} the {budget:.1f} degC intra-ONI gradient budget "
+        f"(gradient = {evaluation.gradient_c:.2f} degC)"
+    )
+
+
+if __name__ == "__main__":
+    requested = float(sys.argv[1]) if len(sys.argv) > 1 else 4.0
+    main(requested)

@@ -1,0 +1,62 @@
+"""Quickstart: evaluate one thermally-aware ONoC design point.
+
+Builds the Intel-SCC-like case study, places 12 ONIs on an 18 mm ORNoC ring,
+runs the steady-state thermal simulation plus the device-scale zoom around
+the hottest interface, and evaluates the worst-case SNR of the interconnect
+at the paper's operating point (PVCSEL = 3.6 mW, Pheater = 0.3 x PVCSEL).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    LaserDriveConfig,
+    OniPowerConfig,
+    SimulationSettings,
+    ThermalAwareDesignFlow,
+    build_oni_ring_scenario,
+    build_scc_architecture,
+    format_table,
+    uniform_activity,
+)
+
+
+def main() -> None:
+    # Moderate mesh resolutions keep this example under a minute; tighten
+    # them (e.g. oni_cell_size_um=100, zoom_cell_size_um=5) for paper-grade
+    # resolution.
+    settings = SimulationSettings(
+        oni_cell_size_um=300.0, die_cell_size_um=2000.0, zoom_cell_size_um=15.0
+    )
+    architecture = build_scc_architecture(settings=settings)
+    scenario = build_oni_ring_scenario(architecture, ring_length_mm=18.0, oni_count=12)
+    flow = ThermalAwareDesignFlow(architecture, scenario)
+
+    activity = uniform_activity(architecture.floorplan, total_power_w=25.0)
+    power = OniPowerConfig(vcsel_power_w=3.6e-3).with_heater_ratio(0.3)
+    drive = LaserDriveConfig.from_dissipated_mw(3.6)
+
+    result = flow.evaluate_design_point(activity, power, drive=drive)
+
+    thermal = result.thermal
+    print("=== Thermal summary ===")
+    print(f"chip activity:            {activity.total_power_w:.1f} W")
+    print(f"ONI average temperature:  {thermal.average_oni_temperature_c:.2f} degC")
+    print(f"hottest ONI:              {thermal.max_oni_temperature_c:.2f} degC")
+    print(f"inter-ONI spread:         {thermal.oni_temperature_spread_c:.2f} degC")
+    print(
+        f"intra-ONI gradient ({thermal.zoomed_oni}): {thermal.gradient_c:.2f} degC "
+        f"(constraint: {flow.technology.max_oni_gradient_c:.1f} degC, "
+        f"met: {thermal.meets_gradient_constraint(flow.technology.max_oni_gradient_c)})"
+    )
+
+    print("\n=== Worst-case SNR per communication ===")
+    rows = result.snr.as_rows()
+    print(format_table(rows, float_format=".4f"))
+    print(f"\nworst-case SNR: {result.worst_case_snr_db:.1f} dB")
+    print(f"all links above photodetector sensitivity: {result.snr.all_detected}")
+
+
+if __name__ == "__main__":
+    main()

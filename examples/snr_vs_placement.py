@@ -1,0 +1,77 @@
+"""SNR of the three ONI placements under different chip activities (Fig. 12).
+
+Builds the paper's three placement scenarios (18 / 32.4 / 46.8 mm rings),
+runs the thermal analysis under uniform, diagonal and random activities, and
+prints the received signal power, the crosstalk power and the worst-case SNR
+for each configuration — the data behind the paper's Figure 12.
+
+Run with:  python examples/snr_vs_placement.py [chip_power_W]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    SimulationSettings,
+    build_scc_architecture,
+    build_standard_scenarios,
+    format_table,
+    standard_activities,
+)
+from repro.methodology import rows_from_dataclasses, snr_across_scenarios
+from repro.oni import OniPowerConfig
+from repro.snr import LaserDriveConfig
+
+
+def main(chip_power_w: float = 25.0) -> None:
+    settings = SimulationSettings(
+        oni_cell_size_um=300.0, die_cell_size_um=2000.0, zoom_cell_size_um=15.0
+    )
+    architecture = build_scc_architecture(settings=settings)
+    scenarios = build_standard_scenarios(architecture, oni_count=16)
+    activities = standard_activities(architecture.floorplan, chip_power_w)
+
+    # Paper operating point: PVCSEL = 3.6 mW, Pheater = 1.08 mW (= 0.3 ratio).
+    power = OniPowerConfig(vcsel_power_w=3.6e-3, heater_power_w=1.08e-3)
+    drive = LaserDriveConfig.from_dissipated_mw(3.6)
+
+    points = snr_across_scenarios(
+        architecture, scenarios, activities=activities, power=power, drive=drive
+    )
+    rows = rows_from_dataclasses(points)
+    print(
+        format_table(
+            rows,
+            columns=[
+                "scenario",
+                "ring_length_mm",
+                "activity",
+                "min_signal_power_mw",
+                "max_crosstalk_power_mw",
+                "worst_case_snr_db",
+                "oni_temperature_min_c",
+                "oni_temperature_max_c",
+            ],
+            title=f"Figure 12 reproduction (chip activity {chip_power_w:g} W)",
+            float_format=".4f",
+        )
+    )
+
+    print("\nObservations (compare with the paper's Figure 12):")
+    by_activity = {}
+    for point in points:
+        by_activity.setdefault(point.activity, []).append(point)
+    for activity, activity_points in by_activity.items():
+        ordered = sorted(activity_points, key=lambda p: p.ring_length_mm)
+        series = ", ".join(
+            f"{p.ring_length_mm:g} mm -> {p.worst_case_snr_db:.1f} dB" for p in ordered
+        )
+        print(f"  {activity:9s}: {series}")
+    detected = all(point.all_detected for point in points)
+    print(f"  every link above the -20 dBm photodetector sensitivity: {detected}")
+
+
+if __name__ == "__main__":
+    requested = float(sys.argv[1]) if len(sys.argv) > 1 else 25.0
+    main(requested)

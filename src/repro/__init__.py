@@ -1,0 +1,116 @@
+"""repro: thermal-aware design of VCSEL-based on-chip optical interconnect.
+
+Reproduction of H. Li et al., "Thermal Aware Design Method for VCSEL-based
+On-Chip Optical Interconnect", DATE 2015.
+
+The package is organised as the paper's methodology (Figure 3):
+
+* :mod:`repro.materials`, :mod:`repro.geometry`, :mod:`repro.thermal` -- the
+  system specification and the steady-state finite-volume thermal simulator
+  (IcTherm substitute);
+* :mod:`repro.devices`, :mod:`repro.oni` -- the VCSEL / microring /
+  photodetector models and the chessboard Optical Network Interface;
+* :mod:`repro.onoc`, :mod:`repro.snr` -- the ORNoC ring interconnect and the
+  worst-case SNR analysis;
+* :mod:`repro.activity`, :mod:`repro.casestudy` -- chip activities and the
+  Intel-SCC-like case study;
+* :mod:`repro.methodology` -- the thermal-aware design flow, its design-space
+  exploration sweeps and the heater / laser-power optimisations.
+"""
+
+from .activity import (
+    ActivityPattern,
+    diagonal_activity,
+    random_activity,
+    standard_activities,
+    uniform_activity,
+)
+from .casestudy import (
+    OniRingScenario,
+    SccArchitecture,
+    SccPackageParameters,
+    build_oni_ring_scenario,
+    build_scc_architecture,
+    build_standard_scenarios,
+)
+from .config import SimulationSettings, TechnologyParameters
+from .devices import (
+    MicroringModel,
+    MicroringParameters,
+    PhotodetectorModel,
+    VcselModel,
+    VcselParameters,
+    WaveguideModel,
+)
+from .errors import ReproError
+from .methodology import (
+    ThermalAwareDesignFlow,
+    compare_heater_options,
+    find_minimum_vcsel_power,
+    find_optimal_heater_ratio,
+    format_table,
+    snr_across_scenarios,
+    sweep_average_temperature,
+    sweep_heater_power,
+)
+from .oni import OniPowerConfig, OpticalNetworkInterface, generate_chessboard_layout
+from .onoc import Communication, OrnocNetwork, RingTopology, opposite_traffic
+from .snr import LaserDriveConfig, OniThermalState, SnrAnalyzer
+from .thermal import (
+    BoundaryConditions,
+    HeatSource,
+    MeshBuilder,
+    SteadyStateSolver,
+    ThermalMap,
+    ZoomSolver,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "TechnologyParameters",
+    "SimulationSettings",
+    "ReproError",
+    "MeshBuilder",
+    "SteadyStateSolver",
+    "BoundaryConditions",
+    "HeatSource",
+    "ThermalMap",
+    "ZoomSolver",
+    "VcselModel",
+    "VcselParameters",
+    "MicroringModel",
+    "MicroringParameters",
+    "PhotodetectorModel",
+    "WaveguideModel",
+    "OniPowerConfig",
+    "OpticalNetworkInterface",
+    "generate_chessboard_layout",
+    "Communication",
+    "OrnocNetwork",
+    "RingTopology",
+    "opposite_traffic",
+    "SnrAnalyzer",
+    "OniThermalState",
+    "LaserDriveConfig",
+    "ActivityPattern",
+    "uniform_activity",
+    "diagonal_activity",
+    "random_activity",
+    "standard_activities",
+    "SccArchitecture",
+    "SccPackageParameters",
+    "build_scc_architecture",
+    "build_oni_ring_scenario",
+    "build_standard_scenarios",
+    "OniRingScenario",
+    "ThermalAwareDesignFlow",
+    "sweep_average_temperature",
+    "sweep_heater_power",
+    "compare_heater_options",
+    "snr_across_scenarios",
+    "find_optimal_heater_ratio",
+    "find_minimum_vcsel_power",
+    "format_table",
+]

@@ -1,0 +1,31 @@
+"""Chip activity patterns and synthetic traces."""
+
+from .patterns import (
+    ActivityPattern,
+    checkerboard_activity,
+    diagonal_activity,
+    from_mapping,
+    gradient_activity,
+    hotspot_activity,
+    infrastructure_activity,
+    random_activity,
+    standard_activities,
+    uniform_activity,
+)
+from .traces import ActivityTrace, SyntheticTraceGenerator, TracePhase
+
+__all__ = [
+    "ActivityPattern",
+    "uniform_activity",
+    "diagonal_activity",
+    "random_activity",
+    "hotspot_activity",
+    "infrastructure_activity",
+    "checkerboard_activity",
+    "gradient_activity",
+    "from_mapping",
+    "standard_activities",
+    "ActivityTrace",
+    "TracePhase",
+    "SyntheticTraceGenerator",
+]

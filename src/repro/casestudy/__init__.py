@@ -1,0 +1,21 @@
+"""Intel SCC-like case study: package stack, floorplan and ONI placement scenarios."""
+
+from .scc import (
+    SccArchitecture,
+    SccPackageParameters,
+    build_scc_architecture,
+    build_scc_floorplan,
+    build_scc_stack,
+)
+from .scenarios import OniRingScenario, build_oni_ring_scenario, build_standard_scenarios
+
+__all__ = [
+    "SccArchitecture",
+    "SccPackageParameters",
+    "build_scc_architecture",
+    "build_scc_floorplan",
+    "build_scc_stack",
+    "OniRingScenario",
+    "build_oni_ring_scenario",
+    "build_standard_scenarios",
+]

@@ -1,0 +1,114 @@
+"""Physical constants and paper-level default values.
+
+Values quoted from the paper (Li et al., DATE 2015) are annotated with the
+figure/table/section they come from so the provenance is auditable.
+"""
+
+from __future__ import annotations
+
+# Fundamental constants -----------------------------------------------------
+
+PLANCK_CONSTANT_J_S = 6.62607015e-34
+SPEED_OF_LIGHT_M_S = 2.99792458e8
+ELEMENTARY_CHARGE_C = 1.602176634e-19
+BOLTZMANN_CONSTANT_J_K = 1.380649e-23
+
+# Paper technology parameters (Table 1) --------------------------------------
+
+#: Operating wavelength range of the interconnect [nm] (Table 1).
+DEFAULT_WAVELENGTH_NM = 1550.0
+
+#: Microring 3 dB bandwidth [nm] (Table 1).
+DEFAULT_MR_BANDWIDTH_3DB_NM = 1.55
+
+#: Photodetector sensitivity [dBm] (Table 1): -20 dBm == 0.01 mW.
+DEFAULT_PHOTODETECTOR_SENSITIVITY_DBM = -20.0
+
+#: Thermo-optic drift of silicon microrings [nm/degC] (Table 1, Section III.B).
+DEFAULT_THERMAL_SENSITIVITY_NM_PER_C = 0.1
+
+#: Waveguide propagation loss [dB/cm] (Table 1, ref [3]).
+DEFAULT_PROPAGATION_LOSS_DB_PER_CM = 0.5
+
+# Other paper anchors ---------------------------------------------------------
+
+#: VCSEL signal 3 dB bandwidth [nm] (Section III.C).
+DEFAULT_VCSEL_LINEWIDTH_NM = 0.1
+
+#: VCSEL direct modulation bandwidth [GHz] (Section V.A).
+DEFAULT_VCSEL_MODULATION_BANDWIDTH_GHZ = 12.0
+
+#: Taper coupling efficiency from VCSEL into the waveguide (Section III.C).
+DEFAULT_TAPER_COUPLING_EFFICIENCY = 0.70
+
+#: Maximum tolerated intra-ONI gradient temperature [degC] (Section IV.C).
+DEFAULT_MAX_ONI_GRADIENT_C = 1.0
+
+#: Heater power fraction found optimal in the paper (Section V.B / VI).
+PAPER_OPTIMAL_HEATER_RATIO = 0.3
+
+#: MR calibration cost reported in the paper: blue-shift voltage tuning
+#: [uW per nm of shift] (Section III.B, ref [17]).
+VOLTAGE_TUNING_COST_UW_PER_NM = 130.0
+
+#: MR calibration cost reported in the paper: red-shift heat tuning
+#: [uW per nm of shift] (Section III.B, ref [17]).
+HEAT_TUNING_COST_UW_PER_NM = 190.0
+
+#: Detuning at which 50% of the optical power is dropped by a misaligned MR
+#: [nm]; the paper equates it to a 7.7 degC inter-ONI temperature difference.
+HALF_DROP_DETUNING_NM = 0.77
+
+# Case study (Intel SCC, Section V.A) ----------------------------------------
+
+#: SCC die width [mm] (6-tile direction).
+SCC_DIE_WIDTH_MM = 26.5
+
+#: SCC die height [mm] (4-tile direction).
+SCC_DIE_HEIGHT_MM = 21.4
+
+#: SCC tile grid (columns, rows).
+SCC_TILE_GRID = (6, 4)
+
+#: SCC maximum power dissipation [W].
+SCC_MAX_POWER_W = 125.0
+
+#: Number of waveguides per ONI in the case study.
+DEFAULT_WAVEGUIDES_PER_ONI = 4
+
+#: Number of VCSELs (lasers) per waveguide per ONI in the case study.
+DEFAULT_LASERS_PER_WAVEGUIDE = 4
+
+#: VCSEL footprint [um x um] (Section III.A / V.A).
+VCSEL_FOOTPRINT_UM = (15.0, 30.0)
+
+#: Microring diameter [um] (Figure 1).
+MR_DIAMETER_UM = 10.0
+
+#: Photodetector footprint [um x um] (Figure 1).
+PHOTODETECTOR_FOOTPRINT_UM = (1.5, 15.0)
+
+#: TSV diameter [um] (Figure 7).
+TSV_DIAMETER_UM = 5.0
+
+#: Ring lengths of the three ONI placement scenarios [mm] (Figure 11).
+SCENARIO_RING_LENGTHS_MM = (18.0, 32.4, 46.8)
+
+
+def photon_energy_j(wavelength_nm: float = DEFAULT_WAVELENGTH_NM) -> float:
+    """Energy of a photon at ``wavelength_nm`` in joules."""
+    if wavelength_nm <= 0.0:
+        raise ValueError(f"wavelength must be positive, got {wavelength_nm!r}")
+    wavelength_m = wavelength_nm * 1.0e-9
+    return PLANCK_CONSTANT_J_S * SPEED_OF_LIGHT_M_S / wavelength_m
+
+
+def quantum_slope_efficiency_w_per_a(
+    wavelength_nm: float = DEFAULT_WAVELENGTH_NM,
+) -> float:
+    """Theoretical maximum slope efficiency (W/A) at ``wavelength_nm``.
+
+    This is the photon energy divided by the elementary charge; a real laser's
+    differential slope efficiency cannot exceed it.
+    """
+    return photon_energy_j(wavelength_nm) / ELEMENTARY_CHARGE_C

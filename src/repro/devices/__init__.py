@@ -1,0 +1,30 @@
+"""Photonic and electronic device models (VCSEL, MR, PD, heater, TSV, driver)."""
+
+from .driver import DriverModel, DriverParameters
+from .heater import HeaterModel, HeaterParameters
+from .library import DEFAULT_DEVICE_LIBRARY, DeviceLibrary
+from .microring import MicroringModel, MicroringParameters
+from .photodetector import PhotodetectorModel, PhotodetectorParameters
+from .tsv import TsvModel, TsvParameters
+from .vcsel import VcselModel, VcselOperatingPoint, VcselParameters
+from .waveguide import WaveguideModel, WaveguideParameters
+
+__all__ = [
+    "DriverModel",
+    "DriverParameters",
+    "HeaterModel",
+    "HeaterParameters",
+    "DeviceLibrary",
+    "DEFAULT_DEVICE_LIBRARY",
+    "MicroringModel",
+    "MicroringParameters",
+    "PhotodetectorModel",
+    "PhotodetectorParameters",
+    "TsvModel",
+    "TsvParameters",
+    "VcselModel",
+    "VcselOperatingPoint",
+    "VcselParameters",
+    "WaveguideModel",
+    "WaveguideParameters",
+]

@@ -1,0 +1,69 @@
+"""CMOS driver model.
+
+Each VCSEL sits above a CMOS driver that converts the binary data into a
+modulation current (Figure 2-a).  The driver dissipates ``Pdriver`` in the
+electrical layer; the paper's worst-case assumption is ``Pdriver = PVCSEL``
+(Section V.B), i.e. the driver wastes as much power as the laser dissipates.
+The model exposes both that worst case and a simple supply-voltage model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import DeviceError
+
+
+@dataclass(frozen=True)
+class DriverParameters:
+    """Parameters of the CMOS VCSEL driver."""
+
+    #: Supply voltage of the driver stage [V].
+    supply_voltage_v: float = 2.4
+    #: Static (bias) power of the driver [W].
+    static_power_w: float = 0.2e-3
+    #: Activity factor of the transmitted data (0.5 for random data).
+    activity_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.supply_voltage_v <= 0.0:
+            raise DeviceError("supply voltage must be positive")
+        if self.static_power_w < 0.0:
+            raise DeviceError("static power must be >= 0")
+        if not 0.0 <= self.activity_factor <= 1.0:
+            raise DeviceError("activity factor must be within [0, 1]")
+
+
+class DriverModel:
+    """Power model of the CMOS driver feeding a VCSEL."""
+
+    def __init__(self, parameters: Optional[DriverParameters] = None) -> None:
+        self._p = parameters or DriverParameters()
+
+    @property
+    def parameters(self) -> DriverParameters:
+        """Underlying parameter set."""
+        return self._p
+
+    def dissipated_power_w(self, vcsel_current_a: float, vcsel_voltage_v: float) -> float:
+        """Driver power for a given VCSEL bias point [W].
+
+        The driver drops the difference between its supply and the VCSEL
+        terminal voltage across its output stage, scaled by the data activity
+        factor, plus a static bias term.
+        """
+        if vcsel_current_a < 0.0:
+            raise DeviceError("VCSEL current must be >= 0")
+        if vcsel_voltage_v < 0.0:
+            raise DeviceError("VCSEL voltage must be >= 0")
+        headroom = max(self._p.supply_voltage_v - vcsel_voltage_v, 0.0)
+        dynamic = self._p.activity_factor * vcsel_current_a * headroom
+        return dynamic + self._p.static_power_w
+
+    @staticmethod
+    def worst_case_power_w(vcsel_dissipated_power_w: float) -> float:
+        """Paper's worst-case assumption: ``Pdriver = PVCSEL``."""
+        if vcsel_dissipated_power_w < 0.0:
+            raise DeviceError("VCSEL dissipated power must be >= 0")
+        return vcsel_dissipated_power_w

@@ -1,0 +1,95 @@
+"""Microring heater model.
+
+Each microring carries a resistive heater on top (Section III.B).  The paper
+uses the heater for two purposes:
+
+* at *design time*, a constant heater power ``Pheater`` compensates the heat
+  the neighbouring VCSELs inject into the interface, flattening the intra-ONI
+  temperature gradient (the subject of Figures 9-b and 10);
+* at *run time*, heaters (and voltage tuning) re-align individual rings; the
+  paper quotes 190 uW/nm for heat tuning and 130 uW/nm for voltage tuning.
+
+The heater is mostly consumed as a heat source by the thermal solver; this
+model adds the run-time tuning cost relations so the calibration overhead of
+a design can be estimated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import constants
+from ..errors import DeviceError
+
+
+@dataclass(frozen=True)
+class HeaterParameters:
+    """Parameters of the microring heater."""
+
+    #: Red-shift tuning cost [uW per nm of shift] (paper, ref [17]).
+    heat_tuning_cost_uw_per_nm: float = constants.HEAT_TUNING_COST_UW_PER_NM
+    #: Blue-shift (voltage) tuning cost [uW per nm of shift] (paper, ref [17]).
+    voltage_tuning_cost_uw_per_nm: float = constants.VOLTAGE_TUNING_COST_UW_PER_NM
+    #: Maximum heater power [W].
+    max_power_w: float = 10.0e-3
+    #: Heater electrical resistance [ohm].
+    resistance_ohm: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.heat_tuning_cost_uw_per_nm <= 0.0:
+            raise DeviceError("heat tuning cost must be positive")
+        if self.voltage_tuning_cost_uw_per_nm <= 0.0:
+            raise DeviceError("voltage tuning cost must be positive")
+        if self.max_power_w <= 0.0:
+            raise DeviceError("maximum heater power must be positive")
+        if self.resistance_ohm <= 0.0:
+            raise DeviceError("heater resistance must be positive")
+
+
+class HeaterModel:
+    """Run-time tuning cost model of a microring heater."""
+
+    def __init__(self, parameters: Optional[HeaterParameters] = None) -> None:
+        self._p = parameters or HeaterParameters()
+
+    @property
+    def parameters(self) -> HeaterParameters:
+        """Underlying parameter set."""
+        return self._p
+
+    def power_for_red_shift_w(self, shift_nm: float) -> float:
+        """Heater power needed to red-shift the resonance by ``shift_nm`` [W]."""
+        if shift_nm < 0.0:
+            raise DeviceError("red shift must be >= 0 (use voltage tuning for blue shifts)")
+        power = self._p.heat_tuning_cost_uw_per_nm * shift_nm * 1.0e-6
+        if power > self._p.max_power_w:
+            raise DeviceError(
+                f"required heater power {power * 1e3:.2f} mW exceeds the maximum of "
+                f"{self._p.max_power_w * 1e3:.2f} mW"
+            )
+        return power
+
+    def power_for_blue_shift_w(self, shift_nm: float) -> float:
+        """Voltage-tuning power needed to blue-shift by ``shift_nm`` [W]."""
+        if shift_nm < 0.0:
+            raise DeviceError("blue shift must be >= 0")
+        return self._p.voltage_tuning_cost_uw_per_nm * shift_nm * 1.0e-6
+
+    def calibration_power_w(self, misalignment_nm: float) -> float:
+        """Cheapest run-time power to compensate a signed misalignment [W].
+
+        Positive misalignment (resonance above the signal wavelength) is fixed
+        with voltage tuning (blue shift); negative with the heater (red shift).
+        """
+        if misalignment_nm >= 0.0:
+            return self.power_for_blue_shift_w(misalignment_nm)
+        return self.power_for_red_shift_w(-misalignment_nm)
+
+    def drive_voltage_v(self, power_w: float) -> float:
+        """Voltage needed across the heater resistance for a given power [V]."""
+        if power_w < 0.0:
+            raise DeviceError("heater power must be >= 0")
+        if power_w > self._p.max_power_w:
+            raise DeviceError("heater power exceeds the device maximum")
+        return (power_w * self._p.resistance_ohm) ** 0.5

@@ -1,0 +1,110 @@
+"""Device library.
+
+The design methodology (Figure 3) fetches the VCSEL electrical
+characteristics "from a library"; this module provides that registry for all
+device kinds, pre-populated with the paper's CMOS-compatible VCSEL and the
+Table-1 photonic devices, and extensible with user-defined variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, List, TypeVar
+
+from ..errors import DeviceError
+from .driver import DriverModel, DriverParameters
+from .heater import HeaterModel, HeaterParameters
+from .microring import MicroringModel, MicroringParameters
+from .photodetector import PhotodetectorModel, PhotodetectorParameters
+from .tsv import TsvModel, TsvParameters
+from .vcsel import VcselModel, VcselParameters
+
+ModelT = TypeVar("ModelT")
+
+
+class _Registry(Generic[ModelT]):
+    """Small name → model registry with helpful error messages."""
+
+    def __init__(self, kind: str) -> None:
+        self._kind = kind
+        self._models: Dict[str, ModelT] = {}
+
+    def register(self, name: str, model: ModelT, overwrite: bool = False) -> None:
+        if not name:
+            raise DeviceError(f"{self._kind} name must be non-empty")
+        if name in self._models and not overwrite:
+            raise DeviceError(
+                f"{self._kind} {name!r} already registered; pass overwrite=True"
+            )
+        self._models[name] = model
+
+    def get(self, name: str) -> ModelT:
+        try:
+            return self._models[name]
+        except KeyError:
+            known = ", ".join(sorted(self._models)) or "<none>"
+            raise DeviceError(
+                f"unknown {self._kind} {name!r}; known: {known}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+
+@dataclass
+class DeviceLibrary:
+    """Named registries for every device family used by an ONI."""
+
+    vcsels: _Registry[VcselModel] = field(
+        default_factory=lambda: _Registry("VCSEL model")
+    )
+    microrings: _Registry[MicroringModel] = field(
+        default_factory=lambda: _Registry("microring model")
+    )
+    photodetectors: _Registry[PhotodetectorModel] = field(
+        default_factory=lambda: _Registry("photodetector model")
+    )
+    heaters: _Registry[HeaterModel] = field(
+        default_factory=lambda: _Registry("heater model")
+    )
+    tsvs: _Registry[TsvModel] = field(default_factory=lambda: _Registry("TSV model"))
+    drivers: _Registry[DriverModel] = field(
+        default_factory=lambda: _Registry("driver model")
+    )
+
+    @classmethod
+    def with_defaults(cls) -> "DeviceLibrary":
+        """Library pre-populated with the paper's default devices."""
+        library = cls()
+        library.vcsels.register(
+            "cmos_compatible_vcsel", VcselModel(VcselParameters())
+        )
+        library.microrings.register(
+            "passive_mr_1p55nm", MicroringModel(MicroringParameters())
+        )
+        library.photodetectors.register(
+            "broadband_pd_minus20dbm", PhotodetectorModel(PhotodetectorParameters())
+        )
+        library.heaters.register("mr_heater", HeaterModel(HeaterParameters()))
+        library.tsvs.register("tsv_5um", TsvModel(TsvParameters()))
+        library.drivers.register("cmos_driver", DriverModel(DriverParameters()))
+        return library
+
+    def default_vcsel(self) -> VcselModel:
+        """The paper's CMOS-compatible VCSEL."""
+        return self.vcsels.get("cmos_compatible_vcsel")
+
+    def default_microring(self) -> MicroringModel:
+        """The paper's passive 1.55 nm-bandwidth microring."""
+        return self.microrings.get("passive_mr_1p55nm")
+
+    def default_photodetector(self) -> PhotodetectorModel:
+        """The paper's -20 dBm photodetector."""
+        return self.photodetectors.get("broadband_pd_minus20dbm")
+
+
+#: Shared default library instance.
+DEFAULT_DEVICE_LIBRARY = DeviceLibrary.with_defaults()

@@ -1,0 +1,176 @@
+"""Passive microring resonator (MR) model.
+
+The microring drops the part of the incoming optical power whose wavelength
+falls inside its resonance; the drop lineshape is modelled as a Lorentzian
+with the paper's 1.55 nm 3 dB bandwidth, which reproduces the paper's anchor
+of 50 % dropped power at a 0.77 nm misalignment (equivalently a 7.7 degC
+temperature difference at 0.1 nm/degC).  The resonant wavelength drifts with
+temperature; an optional integrated heater shifts it further to the red.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import constants
+from ..errors import DeviceError
+from ..units import db_loss_to_transmission
+
+
+@dataclass(frozen=True)
+class MicroringParameters:
+    """Parameters of a passive microring resonator."""
+
+    #: Resonant wavelength at the reference temperature [nm].
+    resonance_wavelength_nm: float = constants.DEFAULT_WAVELENGTH_NM
+    #: 3 dB bandwidth (FWHM) of the drop response [nm].
+    bandwidth_3db_nm: float = constants.DEFAULT_MR_BANDWIDTH_3DB_NM
+    #: Thermo-optic drift of the resonance [nm/degC].
+    thermal_drift_nm_per_c: float = constants.DEFAULT_THERMAL_SENSITIVITY_NM_PER_C
+    #: Reference temperature of the resonance value [degC].
+    reference_temperature_c: float = 20.0
+    #: Insertion loss of an on-resonance drop operation [dB].
+    drop_loss_db: float = 0.5
+    #: Insertion loss seen by a far-detuned signal passing the ring [dB].
+    through_loss_db: float = 0.01
+    #: Ring diameter [um].
+    diameter_um: float = constants.MR_DIAMETER_UM
+    #: Free spectral range [nm]; detunings are folded into +-FSR/2.
+    free_spectral_range_nm: float = 20.0
+    #: Order of the drop lineshape: 1 is the plain Lorentzian used by the
+    #: paper (50 % drop at 0.77 nm, i.e. half the 3 dB bandwidth), 2 a steeper
+    #: higher-order filter response with the same 3 dB bandwidth.
+    rolloff_order: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rolloff_order < 1:
+            raise DeviceError("rolloff order must be >= 1")
+        if self.resonance_wavelength_nm <= 0.0:
+            raise DeviceError("resonance wavelength must be positive")
+        if self.bandwidth_3db_nm <= 0.0:
+            raise DeviceError("bandwidth must be positive")
+        if self.thermal_drift_nm_per_c < 0.0:
+            raise DeviceError("thermal drift must be >= 0")
+        if self.drop_loss_db < 0.0 or self.through_loss_db < 0.0:
+            raise DeviceError("losses must be >= 0 dB")
+        if self.diameter_um <= 0.0:
+            raise DeviceError("diameter must be positive")
+        if self.free_spectral_range_nm <= 0.0:
+            raise DeviceError("free spectral range must be positive")
+
+
+class MicroringModel:
+    """Lorentzian drop/through model with thermo-optic drift."""
+
+    def __init__(self, parameters: Optional[MicroringParameters] = None) -> None:
+        self._p = parameters or MicroringParameters()
+
+    @property
+    def parameters(self) -> MicroringParameters:
+        """Underlying parameter set."""
+        return self._p
+
+    # Resonance -----------------------------------------------------------------
+
+    def resonance_wavelength_nm(
+        self, temperature_c: float, heater_shift_nm: float = 0.0
+    ) -> float:
+        """Resonant wavelength at a given ring temperature [nm].
+
+        ``heater_shift_nm`` adds an extra red-shift produced by a dedicated
+        heater driven for calibration purposes.
+        """
+        delta = temperature_c - self._p.reference_temperature_c
+        return (
+            self._p.resonance_wavelength_nm
+            + self._p.thermal_drift_nm_per_c * delta
+            + heater_shift_nm
+        )
+
+    def detuning_nm(
+        self,
+        signal_wavelength_nm: float,
+        temperature_c: float,
+        heater_shift_nm: float = 0.0,
+    ) -> float:
+        """Signed detuning ``lambda_MR - lambda_signal`` folded into one FSR [nm]."""
+        detuning = (
+            self.resonance_wavelength_nm(temperature_c, heater_shift_nm)
+            - signal_wavelength_nm
+        )
+        fsr = self._p.free_spectral_range_nm
+        folded = (detuning + fsr / 2.0) % fsr - fsr / 2.0
+        return folded
+
+    # Transmission --------------------------------------------------------------
+
+    def lineshape(self, detuning_nm: float) -> float:
+        """Normalised drop lineshape (1 at resonance, 0.5 at FWHM/2).
+
+        A generalised Lorentzian ``1 / (1 + (detuning / half_width)^(2 n))``
+        where ``n`` is the configured roll-off order.
+        """
+        half_width = self._p.bandwidth_3db_nm / 2.0
+        ratio = abs(detuning_nm) / half_width
+        return 1.0 / (1.0 + ratio ** (2 * self._p.rolloff_order))
+
+    def drop_fraction(self, detuning_nm: float) -> float:
+        """Fraction of the incoming power dropped for a given detuning."""
+        peak = db_loss_to_transmission(self._p.drop_loss_db)
+        return peak * self.lineshape(detuning_nm)
+
+    def through_fraction(self, detuning_nm: float) -> float:
+        """Fraction of the incoming power continuing along the waveguide."""
+        passing = db_loss_to_transmission(self._p.through_loss_db)
+        return passing * (1.0 - self.lineshape(detuning_nm))
+
+    def drop_fraction_for_temperatures(
+        self,
+        signal_wavelength_nm: float,
+        ring_temperature_c: float,
+        heater_shift_nm: float = 0.0,
+    ) -> float:
+        """Dropped fraction of a signal given the actual ring temperature."""
+        detuning = self.detuning_nm(
+            signal_wavelength_nm, ring_temperature_c, heater_shift_nm
+        )
+        return self.drop_fraction(detuning)
+
+    def through_fraction_for_temperatures(
+        self,
+        signal_wavelength_nm: float,
+        ring_temperature_c: float,
+        heater_shift_nm: float = 0.0,
+    ) -> float:
+        """Through fraction of a signal given the actual ring temperature."""
+        detuning = self.detuning_nm(
+            signal_wavelength_nm, ring_temperature_c, heater_shift_nm
+        )
+        return self.through_fraction(detuning)
+
+    # Paper anchors ---------------------------------------------------------------
+
+    def half_drop_detuning_nm(self) -> float:
+        """Detuning at which half the power is dropped (paper: 0.77 nm).
+
+        With a Lorentzian lineshape this is exactly half the 3 dB bandwidth
+        (ignoring the small on-resonance drop loss).
+        """
+        return self._p.bandwidth_3db_nm / 2.0
+
+    def half_drop_temperature_difference_c(self) -> float:
+        """Temperature difference that drops half the power (paper: 7.7 degC)."""
+        if self._p.thermal_drift_nm_per_c == 0.0:
+            raise DeviceError("thermal drift is zero; no finite temperature difference")
+        return self.half_drop_detuning_nm() / self._p.thermal_drift_nm_per_c
+
+    def transmission_penalty_db(self, temperature_error_c: float) -> float:
+        """Loss of dropped power (dB) caused by a ring temperature error."""
+        detuning = self._p.thermal_drift_nm_per_c * temperature_error_c
+        aligned = self.drop_fraction(0.0)
+        misaligned = self.drop_fraction(detuning)
+        if aligned <= 0.0 or misaligned <= 0.0:
+            raise DeviceError("drop fraction is zero; the penalty is infinite")
+        return 10.0 * (math.log10(aligned) - math.log10(misaligned))

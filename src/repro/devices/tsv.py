@@ -1,0 +1,79 @@
+"""Through-silicon via (TSV) model.
+
+TSVs connect the CMOS drivers (electrical layer) to the VCSELs and the
+receivers to the photodetectors (optical layer).  For the thermal model they
+matter as vertical copper shunts (captured through the ``tsv_array`` mixed
+material); electrically they add a small series resistance to the driver
+path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import constants
+from ..errors import DeviceError
+
+
+@dataclass(frozen=True)
+class TsvParameters:
+    """Geometric and electrical parameters of a through-silicon via."""
+
+    #: Via diameter [um] (Figure 7: 5 um).
+    diameter_um: float = constants.TSV_DIAMETER_UM
+    #: Via height [um] (distance between the electrical and optical layers).
+    height_um: float = 50.0
+    #: Copper resistivity [ohm m].
+    resistivity_ohm_m: float = 1.72e-8
+    #: Copper thermal conductivity [W/(m K)].
+    thermal_conductivity_w_mk: float = 395.0
+
+    def __post_init__(self) -> None:
+        if self.diameter_um <= 0.0 or self.height_um <= 0.0:
+            raise DeviceError("TSV dimensions must be positive")
+        if self.resistivity_ohm_m <= 0.0:
+            raise DeviceError("resistivity must be positive")
+        if self.thermal_conductivity_w_mk <= 0.0:
+            raise DeviceError("thermal conductivity must be positive")
+
+
+class TsvModel:
+    """Electrical resistance and thermal conductance of a single TSV."""
+
+    def __init__(self, parameters: Optional[TsvParameters] = None) -> None:
+        self._p = parameters or TsvParameters()
+
+    @property
+    def parameters(self) -> TsvParameters:
+        """Underlying parameter set."""
+        return self._p
+
+    @property
+    def cross_section_m2(self) -> float:
+        """Cross-sectional area of the via [m^2]."""
+        radius_m = self._p.diameter_um * 1.0e-6 / 2.0
+        return math.pi * radius_m**2
+
+    def electrical_resistance_ohm(self) -> float:
+        """DC electrical resistance of the via [ohm]."""
+        height_m = self._p.height_um * 1.0e-6
+        return self._p.resistivity_ohm_m * height_m / self.cross_section_m2
+
+    def thermal_conductance_w_per_k(self) -> float:
+        """Thermal conductance of the via [W/K]."""
+        height_m = self._p.height_um * 1.0e-6
+        return self._p.thermal_conductivity_w_mk * self.cross_section_m2 / height_m
+
+    def voltage_drop_v(self, current_a: float) -> float:
+        """Voltage drop across the via at a given current [V]."""
+        if current_a < 0.0:
+            raise DeviceError("current must be >= 0")
+        return current_a * self.electrical_resistance_ohm()
+
+    def joule_power_w(self, current_a: float) -> float:
+        """Joule heating dissipated in the via at a given current [W]."""
+        if current_a < 0.0:
+            raise DeviceError("current must be >= 0")
+        return current_a**2 * self.electrical_resistance_ohm()

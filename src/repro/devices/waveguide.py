@@ -1,0 +1,75 @@
+"""Silicon waveguide loss model.
+
+The paper's SNR analysis only needs the propagation loss (0.5 dB/cm, Table 1);
+the model also exposes bend and crossing losses so the baseline crossbars
+(Matrix, lambda-router, Snake), which do contain waveguide crossings, can be
+compared against ORNoC on the same footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import constants
+from ..errors import DeviceError
+from ..units import db_loss_to_transmission
+
+
+@dataclass(frozen=True)
+class WaveguideParameters:
+    """Loss parameters of the silicon waveguides."""
+
+    #: Propagation loss [dB/cm] (Table 1, ref [3]).
+    propagation_loss_db_per_cm: float = constants.DEFAULT_PROPAGATION_LOSS_DB_PER_CM
+    #: Loss of a waveguide crossing [dB].
+    crossing_loss_db: float = 0.15
+    #: Loss of a 90-degree bend [dB].
+    bend_loss_db: float = 0.005
+    #: Coupling loss between the laser taper and the waveguide [dB].
+    coupler_loss_db: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "propagation_loss_db_per_cm",
+            "crossing_loss_db",
+            "bend_loss_db",
+            "coupler_loss_db",
+        ):
+            if getattr(self, name) < 0.0:
+                raise DeviceError(f"{name} must be >= 0")
+
+
+class WaveguideModel:
+    """Propagation / crossing / bend losses of a silicon waveguide."""
+
+    def __init__(self, parameters: Optional[WaveguideParameters] = None) -> None:
+        self._p = parameters or WaveguideParameters()
+
+    @property
+    def parameters(self) -> WaveguideParameters:
+        """Underlying parameter set."""
+        return self._p
+
+    def propagation_loss_db(self, length_m: float) -> float:
+        """Propagation loss over ``length_m`` of waveguide [dB]."""
+        if length_m < 0.0:
+            raise DeviceError("length must be >= 0")
+        length_cm = length_m * 100.0
+        return self._p.propagation_loss_db_per_cm * length_cm
+
+    def path_loss_db(
+        self, length_m: float, crossings: int = 0, bends: int = 0
+    ) -> float:
+        """Total loss along a path with the given crossings and bends [dB]."""
+        if crossings < 0 or bends < 0:
+            raise DeviceError("crossings and bends must be >= 0")
+        return (
+            self.propagation_loss_db(length_m)
+            + crossings * self._p.crossing_loss_db
+            + bends * self._p.bend_loss_db
+        )
+
+    def transmission(self, length_m: float, crossings: int = 0, bends: int = 0) -> float:
+        """Linear power transmission along a path (1 = lossless)."""
+        return db_loss_to_transmission(self.path_loss_db(length_m, crossings, bends))

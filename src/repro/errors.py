@@ -1,0 +1,47 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class GeometryError(ReproError):
+    """Raised for inconsistent geometric specifications (negative sizes,
+    blocks outside their parent layer, overlapping exclusive regions...)."""
+
+
+class MaterialError(ReproError):
+    """Raised when a material is unknown or has non-physical properties."""
+
+
+class MeshError(ReproError):
+    """Raised when a thermal mesh cannot be constructed or is degenerate."""
+
+
+class SolverError(ReproError):
+    """Raised when the thermal solver fails to converge or the system is
+    singular (e.g. no boundary condition ties the temperature field down)."""
+
+
+class DeviceError(ReproError):
+    """Raised for non-physical device parameters or operating points."""
+
+
+class NetworkError(ReproError):
+    """Raised for inconsistent ONoC specifications (duplicate channels,
+    unroutable communications, wavelength conflicts)."""
+
+
+class AnalysisError(ReproError):
+    """Raised when an SNR / methodology analysis is asked for an undefined
+    quantity (e.g. SNR of a communication that was never routed)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid user-facing configuration values."""

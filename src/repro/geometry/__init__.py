@@ -1,0 +1,34 @@
+"""Geometric primitives: rectangles, boxes, layer stacks, floorplans, placement."""
+
+from .box import Box, Rect
+from .floorplan import Floorplan, FloorplanInstance, grid_floorplan
+from .placement import (
+    RingPosition,
+    grid_positions,
+    nearest_position_index,
+    point_on_rectangle_perimeter,
+    rectangle_for_perimeter,
+    rectangle_perimeter_length,
+    ring_distance,
+    ring_positions,
+)
+from .stack import Layer, LayerStack, MaterialBlock
+
+__all__ = [
+    "Box",
+    "Rect",
+    "Floorplan",
+    "FloorplanInstance",
+    "grid_floorplan",
+    "Layer",
+    "LayerStack",
+    "MaterialBlock",
+    "RingPosition",
+    "rectangle_for_perimeter",
+    "rectangle_perimeter_length",
+    "point_on_rectangle_perimeter",
+    "ring_positions",
+    "ring_distance",
+    "grid_positions",
+    "nearest_position_index",
+]

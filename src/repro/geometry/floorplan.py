@@ -1,0 +1,128 @@
+"""2D floorplans: named rectangular instances on a die.
+
+The electrical layer of the case study is described as a floorplan of tiles
+(cores, caches, routers); the activity generators assign powers to floorplan
+instances and the thermal model turns them into heat sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import GeometryError
+from .box import Rect
+
+
+@dataclass(frozen=True)
+class FloorplanInstance:
+    """A named rectangle with an optional kind tag ("core", "router"...)."""
+
+    name: str
+    rect: Rect
+    kind: str = "block"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GeometryError("floorplan instance name must be non-empty")
+
+
+class Floorplan:
+    """Collection of named, non-duplicated rectangular instances."""
+
+    def __init__(self, outline: Rect, name: str = "floorplan") -> None:
+        if outline.area <= 0.0:
+            raise GeometryError("floorplan outline must have a positive area")
+        self.name = name
+        self.outline = outline
+        self._instances: Dict[str, FloorplanInstance] = {}
+
+    def add(self, instance: FloorplanInstance) -> FloorplanInstance:
+        """Add an instance; it must fit inside the outline and be uniquely named."""
+        if instance.name in self._instances:
+            raise GeometryError(f"duplicate floorplan instance {instance.name!r}")
+        if not self.outline.contains_rect(instance.rect):
+            raise GeometryError(
+                f"instance {instance.name!r} does not fit inside the floorplan outline"
+            )
+        self._instances[instance.name] = instance
+        return instance
+
+    def add_rect(self, name: str, rect: Rect, kind: str = "block") -> FloorplanInstance:
+        """Convenience wrapper building and adding a :class:`FloorplanInstance`."""
+        return self.add(FloorplanInstance(name=name, rect=rect, kind=kind))
+
+    # Queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[FloorplanInstance]:
+        return iter(self._instances.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instances
+
+    def get(self, name: str) -> FloorplanInstance:
+        """Return the instance called ``name``."""
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise GeometryError(f"unknown floorplan instance {name!r}") from None
+
+    def instances_of_kind(self, kind: str) -> List[FloorplanInstance]:
+        """All instances whose ``kind`` matches."""
+        return [inst for inst in self._instances.values() if inst.kind == kind]
+
+    def names(self) -> List[str]:
+        """Instance names in insertion order."""
+        return list(self._instances)
+
+    def total_area(self) -> float:
+        """Sum of the instance areas [m^2]."""
+        return sum(inst.rect.area for inst in self._instances.values())
+
+    def utilization(self) -> float:
+        """Fraction of the outline covered by instances (overlaps counted twice)."""
+        return self.total_area() / self.outline.area
+
+    def instances_intersecting(self, rect: Rect) -> List[FloorplanInstance]:
+        """Instances overlapping ``rect`` with non-zero area."""
+        return [
+            inst for inst in self._instances.values() if inst.rect.intersects(rect)
+        ]
+
+
+def grid_floorplan(
+    outline: Rect,
+    columns: int,
+    rows: int,
+    name_format: str = "tile_{column}_{row}",
+    kind: str = "tile",
+    margin: float = 0.0,
+) -> Floorplan:
+    """Create a floorplan with a regular ``columns x rows`` grid of instances.
+
+    ``margin`` shrinks each instance by the given amount on every side, which
+    is useful to model routing channels between tiles.
+    """
+    if columns <= 0 or rows <= 0:
+        raise GeometryError("grid dimensions must be positive")
+    floorplan = Floorplan(outline, name=f"grid_{columns}x{rows}")
+    cell_width = outline.width / columns
+    cell_height = outline.height / rows
+    if margin < 0.0 or 2.0 * margin >= min(cell_width, cell_height):
+        if margin != 0.0:
+            raise GeometryError("margin too large for the grid cell size")
+    for row in range(rows):
+        for column in range(columns):
+            rect = Rect.from_size(
+                outline.x_min + column * cell_width + margin,
+                outline.y_min + row * cell_height + margin,
+                cell_width - 2.0 * margin,
+                cell_height - 2.0 * margin,
+            )
+            floorplan.add_rect(
+                name_format.format(column=column, row=row), rect, kind=kind
+            )
+    return floorplan

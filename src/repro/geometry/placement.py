@@ -1,0 +1,141 @@
+"""Placement helpers: grids and ring perimeters.
+
+The case study places ONIs along a rectangular ring (the ORNoC waveguide
+follows the ring); these helpers compute evenly spaced positions along a
+rectangle perimeter and the curvilinear distances between them, which the
+SNR model needs to evaluate propagation losses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import GeometryError
+from .box import Rect
+
+
+@dataclass(frozen=True)
+class RingPosition:
+    """A point on a ring: cartesian coordinates plus curvilinear abscissa."""
+
+    x: float
+    y: float
+    arc_length: float
+
+
+def rectangle_for_perimeter(
+    center_x: float, center_y: float, perimeter: float, aspect_ratio: float = 1.5
+) -> Rect:
+    """Build a rectangle with the requested perimeter and aspect ratio.
+
+    ``aspect_ratio`` is width / height.  Used to turn the paper's ring lengths
+    (18 / 32.4 / 46.8 mm) into concrete waveguide loops on the die.
+    """
+    if perimeter <= 0.0:
+        raise GeometryError("perimeter must be positive")
+    if aspect_ratio <= 0.0:
+        raise GeometryError("aspect ratio must be positive")
+    # perimeter = 2 * (w + h), w = ratio * h
+    height = perimeter / (2.0 * (1.0 + aspect_ratio))
+    width = aspect_ratio * height
+    return Rect.from_center(center_x, center_y, width, height)
+
+
+def rectangle_perimeter_length(rect: Rect) -> float:
+    """Perimeter length of a rectangle [m]."""
+    return 2.0 * (rect.width + rect.height)
+
+
+def point_on_rectangle_perimeter(rect: Rect, arc_length: float) -> Tuple[float, float]:
+    """Point located ``arc_length`` along the rectangle perimeter.
+
+    The perimeter is walked counter-clockwise starting from the lower-left
+    corner: bottom edge, right edge, top edge, left edge.
+    """
+    total = rectangle_perimeter_length(rect)
+    if total <= 0.0:
+        raise GeometryError("rectangle has a zero perimeter")
+    s = arc_length % total
+    if s <= rect.width:
+        return rect.x_min + s, rect.y_min
+    s -= rect.width
+    if s <= rect.height:
+        return rect.x_max, rect.y_min + s
+    s -= rect.height
+    if s <= rect.width:
+        return rect.x_max - s, rect.y_max
+    s -= rect.width
+    return rect.x_min, rect.y_max - s
+
+
+def ring_positions(rect: Rect, count: int, offset: float = 0.0) -> List[RingPosition]:
+    """Evenly spaced positions along a rectangular ring.
+
+    ``offset`` shifts the first position along the perimeter, which lets the
+    case study start the ring at a tile centre rather than at a corner.
+    """
+    if count <= 0:
+        raise GeometryError("count must be positive")
+    total = rectangle_perimeter_length(rect)
+    spacing = total / count
+    positions: List[RingPosition] = []
+    for index in range(count):
+        arc = (offset + index * spacing) % total
+        x, y = point_on_rectangle_perimeter(rect, arc)
+        positions.append(RingPosition(x=x, y=y, arc_length=arc))
+    return positions
+
+
+def ring_distance(
+    total_length: float, from_arc: float, to_arc: float, direction: str = "forward"
+) -> float:
+    """Curvilinear distance from ``from_arc`` to ``to_arc`` along the ring.
+
+    ``direction`` is ``"forward"`` (increasing abscissa, i.e. the propagation
+    direction of a clockwise waveguide) or ``"backward"``.
+    """
+    if total_length <= 0.0:
+        raise GeometryError("total ring length must be positive")
+    if direction not in ("forward", "backward"):
+        raise GeometryError(f"direction must be 'forward' or 'backward', got {direction!r}")
+    forward = (to_arc - from_arc) % total_length
+    if direction == "forward":
+        return forward
+    return (total_length - forward) % total_length
+
+
+def grid_positions(
+    rect: Rect, columns: int, rows: int
+) -> List[Tuple[float, float]]:
+    """Centres of a ``columns x rows`` grid of cells covering ``rect``."""
+    if columns <= 0 or rows <= 0:
+        raise GeometryError("grid dimensions must be positive")
+    positions: List[Tuple[float, float]] = []
+    cell_width = rect.width / columns
+    cell_height = rect.height / rows
+    for row in range(rows):
+        for column in range(columns):
+            positions.append(
+                (
+                    rect.x_min + (column + 0.5) * cell_width,
+                    rect.y_min + (row + 0.5) * cell_height,
+                )
+            )
+    return positions
+
+
+def nearest_position_index(
+    positions: Sequence[Tuple[float, float]], x: float, y: float
+) -> int:
+    """Index of the position closest to (x, y) in Euclidean distance."""
+    if not positions:
+        raise GeometryError("positions must not be empty")
+    best_index = 0
+    best_distance = float("inf")
+    for index, (px, py) in enumerate(positions):
+        distance = (px - x) ** 2 + (py - y) ** 2
+        if distance < best_distance:
+            best_distance = distance
+            best_index = index
+    return best_index

@@ -1,0 +1,191 @@
+"""Vertical layer stacks describing the package cross-section.
+
+A :class:`LayerStack` lists layers from bottom to top, each with a thickness,
+a default material, and optional embedded blocks (regions with a different
+material, such as TSVs in a bonding layer or III-V mesas in the optical
+layer).  The stack is consumed by the thermal mesh builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import GeometryError
+from ..materials import Material
+from .box import Box, Rect
+
+
+@dataclass(frozen=True)
+class MaterialBlock:
+    """A rectangular region of a layer filled with a specific material."""
+
+    name: str
+    footprint: Rect
+    material: Material
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GeometryError("block name must be non-empty")
+
+
+@dataclass
+class Layer:
+    """One horizontal layer of the stack.
+
+    Attributes
+    ----------
+    name:
+        Unique name within the stack ("copper_lid", "optical_layer"...).
+    thickness:
+        Layer thickness [m]; must be positive.
+    material:
+        Default material filling the layer.
+    footprint:
+        Lateral extent; ``None`` means the layer spans the full stack
+        footprint (the usual case).  Narrower layers (e.g. the die inside a
+        larger package) are padded with the ``padding_material``.
+    padding_material:
+        Material filling the part of the stack footprint not covered by a
+        narrow layer (defaults to air in the mesh builder when ``None``).
+    blocks:
+        Embedded material regions overriding the default material.
+    mesh_hint_um:
+        Optional target cell size for the lateral mesh inside this layer's
+        footprint.
+    """
+
+    name: str
+    thickness: float
+    material: Material
+    footprint: Optional[Rect] = None
+    padding_material: Optional[Material] = None
+    blocks: List[MaterialBlock] = field(default_factory=list)
+    mesh_hint_um: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GeometryError("layer name must be non-empty")
+        if self.thickness <= 0.0:
+            raise GeometryError(
+                f"layer {self.name!r}: thickness must be positive, got {self.thickness!r}"
+            )
+        if self.mesh_hint_um is not None and self.mesh_hint_um <= 0.0:
+            raise GeometryError(f"layer {self.name!r}: mesh hint must be positive")
+
+    def add_block(self, block: MaterialBlock) -> None:
+        """Embed a material block in the layer.
+
+        The block must fit inside the layer footprint when one is defined.
+        """
+        if self.footprint is not None and not self.footprint.contains_rect(
+            block.footprint
+        ):
+            raise GeometryError(
+                f"block {block.name!r} does not fit inside layer {self.name!r}"
+            )
+        self.blocks.append(block)
+
+    def material_at(self, x: float, y: float, stack_footprint: Rect) -> Material:
+        """Material found at lateral position (x, y) inside this layer."""
+        for block in reversed(self.blocks):
+            if block.footprint.contains_point(x, y):
+                return block.material
+        if self.footprint is not None and not self.footprint.contains_point(x, y):
+            if self.padding_material is not None:
+                return self.padding_material
+            raise GeometryError(
+                f"point ({x}, {y}) is outside layer {self.name!r} and no padding "
+                "material was provided"
+            )
+        return self.material
+
+
+class LayerStack:
+    """Ordered collection of layers (bottom to top)."""
+
+    def __init__(self, footprint: Rect, name: str = "stack") -> None:
+        if footprint.area <= 0.0:
+            raise GeometryError("stack footprint must have a positive area")
+        self.name = name
+        self.footprint = footprint
+        self._layers: List[Layer] = []
+        self._z_bottom: Dict[str, float] = {}
+
+    # Construction -------------------------------------------------------
+
+    def add_layer(self, layer: Layer) -> Layer:
+        """Append ``layer`` on top of the current stack and return it."""
+        if any(existing.name == layer.name for existing in self._layers):
+            raise GeometryError(f"duplicate layer name {layer.name!r}")
+        if layer.footprint is not None and not self.footprint.contains_rect(
+            layer.footprint
+        ):
+            raise GeometryError(
+                f"layer {layer.name!r} footprint exceeds the stack footprint"
+            )
+        self._z_bottom[layer.name] = self.total_thickness
+        self._layers.append(layer)
+        return layer
+
+    # Queries -------------------------------------------------------------
+
+    @property
+    def layers(self) -> Tuple[Layer, ...]:
+        """Layers from bottom to top."""
+        return tuple(self._layers)
+
+    @property
+    def total_thickness(self) -> float:
+        """Total stack thickness [m]."""
+        return sum(layer.thickness for layer in self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self._layers)
+
+    def layer(self, name: str) -> Layer:
+        """Return the layer called ``name``."""
+        for layer in self._layers:
+            if layer.name == name:
+                return layer
+        known = ", ".join(layer.name for layer in self._layers)
+        raise GeometryError(f"unknown layer {name!r}; known layers: {known}")
+
+    def z_bounds(self, name: str) -> Tuple[float, float]:
+        """Bottom and top z coordinates of the layer called ``name`` [m]."""
+        layer = self.layer(name)
+        z_bottom = self._z_bottom[name]
+        return z_bottom, z_bottom + layer.thickness
+
+    def layer_box(self, name: str) -> Box:
+        """Bounding box of the layer called ``name``."""
+        z_bottom, z_top = self.z_bounds(name)
+        footprint = self.layer(name).footprint or self.footprint
+        return Box.from_rect(footprint, z_bottom, z_top)
+
+    def layer_at(self, z: float) -> Layer:
+        """Layer containing height ``z`` (bottom-inclusive)."""
+        if not self._layers:
+            raise GeometryError("stack has no layers")
+        if z < 0.0 or z > self.total_thickness:
+            raise GeometryError(
+                f"z = {z} outside the stack (total thickness {self.total_thickness})"
+            )
+        cumulative = 0.0
+        for layer in self._layers:
+            cumulative += layer.thickness
+            if z < cumulative or layer is self._layers[-1]:
+                return layer
+        return self._layers[-1]
+
+    def material_at(self, x: float, y: float, z: float) -> Material:
+        """Material at a 3D point of the stack."""
+        layer = self.layer_at(z)
+        return layer.material_at(x, y, self.footprint)
+
+    def bounding_box(self) -> Box:
+        """Bounding box of the whole stack."""
+        return Box.from_rect(self.footprint, 0.0, self.total_thickness)

@@ -1,0 +1,194 @@
+"""Default material library.
+
+Thermal conductivities are standard textbook / vendor values at ~350 K.  The
+BEOL, bonding and TSV-array composites are derived with simple mixing rules;
+they are the same modelling choices made by compact thermal simulators such
+as HotSpot or IcTherm when a full layout is not available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from ..errors import MaterialError
+from .material import Material, mixed_material
+
+# Elementary materials --------------------------------------------------------
+
+SILICON = Material(
+    name="silicon",
+    thermal_conductivity_w_mk=120.0,
+    density_kg_m3=2330.0,
+    specific_heat_j_kgk=710.0,
+)
+
+SILICON_DIOXIDE = Material(
+    name="silicon_dioxide",
+    thermal_conductivity_w_mk=1.4,
+    density_kg_m3=2200.0,
+    specific_heat_j_kgk=730.0,
+)
+
+COPPER = Material(
+    name="copper",
+    thermal_conductivity_w_mk=395.0,
+    density_kg_m3=8960.0,
+    specific_heat_j_kgk=385.0,
+)
+
+ALUMINUM = Material(
+    name="aluminum",
+    thermal_conductivity_w_mk=237.0,
+    density_kg_m3=2700.0,
+    specific_heat_j_kgk=900.0,
+)
+
+INDIUM_PHOSPHIDE = Material(
+    name="indium_phosphide",
+    thermal_conductivity_w_mk=68.0,
+    density_kg_m3=4810.0,
+    specific_heat_j_kgk=310.0,
+)
+
+INGAASP = Material(
+    name="ingaasp",
+    thermal_conductivity_w_mk=5.0,
+    density_kg_m3=5300.0,
+    specific_heat_j_kgk=320.0,
+)
+
+EPOXY = Material(
+    name="epoxy",
+    thermal_conductivity_w_mk=0.9,
+    density_kg_m3=1200.0,
+    specific_heat_j_kgk=1100.0,
+)
+
+THERMAL_INTERFACE = Material(
+    name="thermal_interface",
+    thermal_conductivity_w_mk=5.0,
+    density_kg_m3=2600.0,
+    specific_heat_j_kgk=800.0,
+)
+
+FR4 = Material(
+    name="fr4",
+    thermal_conductivity_w_mk=0.35,
+    density_kg_m3=1850.0,
+    specific_heat_j_kgk=1100.0,
+)
+
+STEEL = Material(
+    name="steel",
+    thermal_conductivity_w_mk=45.0,
+    density_kg_m3=7850.0,
+    specific_heat_j_kgk=490.0,
+)
+
+AIR = Material(
+    name="air",
+    thermal_conductivity_w_mk=0.026,
+    density_kg_m3=1.2,
+    specific_heat_j_kgk=1005.0,
+)
+
+SOLDER = Material(
+    name="solder",
+    thermal_conductivity_w_mk=50.0,
+    density_kg_m3=8400.0,
+    specific_heat_j_kgk=220.0,
+)
+
+# Composites ------------------------------------------------------------------
+
+#: Back-end-of-line stack: copper lines embedded in low-k dielectric.
+BEOL = mixed_material("beol", COPPER, SILICON_DIOXIDE, first_fraction=0.15)
+
+#: Micro-bump / underfill bonding layer between stacked dies.
+BONDING_LAYER = mixed_material("bonding_layer", SOLDER, EPOXY, first_fraction=0.2)
+
+#: C4 bump array between die and substrate.
+C4_LAYER = mixed_material("c4_layer", SOLDER, EPOXY, first_fraction=0.3)
+
+#: Silicon region densely populated by copper TSVs.
+TSV_ARRAY = mixed_material("tsv_array", COPPER, SILICON, first_fraction=0.1)
+
+#: Optical layer: silicon devices in a SiO2 cladding.
+OPTICAL_LAYER = mixed_material(
+    "optical_layer", SILICON, SILICON_DIOXIDE, first_fraction=0.3
+)
+
+
+_DEFAULT_MATERIALS: Dict[str, Material] = {
+    material.name: material
+    for material in (
+        SILICON,
+        SILICON_DIOXIDE,
+        COPPER,
+        ALUMINUM,
+        INDIUM_PHOSPHIDE,
+        INGAASP,
+        EPOXY,
+        THERMAL_INTERFACE,
+        FR4,
+        STEEL,
+        AIR,
+        SOLDER,
+        BEOL,
+        BONDING_LAYER,
+        C4_LAYER,
+        TSV_ARRAY,
+        OPTICAL_LAYER,
+    )
+}
+
+
+class MaterialLibrary:
+    """Registry of named materials.
+
+    A library starts from the built-in defaults and can be extended with
+    user-defined materials (e.g. a different TIM or underfill).
+    """
+
+    def __init__(self, materials: Iterable[Material] | None = None) -> None:
+        self._materials: Dict[str, Material] = dict(_DEFAULT_MATERIALS)
+        if materials is not None:
+            for material in materials:
+                self.register(material, overwrite=True)
+
+    def register(self, material: Material, overwrite: bool = False) -> None:
+        """Add ``material`` to the library.
+
+        Raises :class:`MaterialError` if a material with the same name exists
+        and ``overwrite`` is false.
+        """
+        if material.name in self._materials and not overwrite:
+            raise MaterialError(
+                f"material {material.name!r} already registered; "
+                "pass overwrite=True to replace it"
+            )
+        self._materials[material.name] = material
+
+    def get(self, name: str) -> Material:
+        """Return the material registered under ``name``."""
+        try:
+            return self._materials[name]
+        except KeyError:
+            known = ", ".join(sorted(self._materials))
+            raise MaterialError(
+                f"unknown material {name!r}; known materials: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._materials
+
+    def __len__(self) -> int:
+        return len(self._materials)
+
+    def names(self) -> list[str]:
+        """Sorted list of registered material names."""
+        return sorted(self._materials)
+
+
+#: Shared default library instance.
+DEFAULT_LIBRARY = MaterialLibrary()

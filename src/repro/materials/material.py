@@ -1,0 +1,131 @@
+"""Material record used by the thermal solver.
+
+Only the properties needed for steady-state conduction (thermal conductivity)
+and for future transient extensions (density, specific heat) are modelled.
+Anisotropic materials (e.g. the BEOL metal stack, TSV arrays) are supported
+through separate lateral / vertical conductivities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MaterialError
+
+
+@dataclass(frozen=True)
+class Material:
+    """Homogeneous (possibly transversely isotropic) material.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier of the material.
+    thermal_conductivity_w_mk:
+        Conductivity used for both directions when the material is isotropic,
+        and for the lateral (x, y) direction otherwise.
+    density_kg_m3:
+        Mass density (used by transient extensions).
+    specific_heat_j_kgk:
+        Specific heat capacity (used by transient extensions).
+    vertical_conductivity_w_mk:
+        Conductivity along z.  ``None`` means isotropic.
+    """
+
+    name: str
+    thermal_conductivity_w_mk: float
+    density_kg_m3: float = 2330.0
+    specific_heat_j_kgk: float = 700.0
+    vertical_conductivity_w_mk: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MaterialError("material name must be a non-empty string")
+        if self.thermal_conductivity_w_mk <= 0.0:
+            raise MaterialError(
+                f"material {self.name!r}: thermal conductivity must be positive, "
+                f"got {self.thermal_conductivity_w_mk!r}"
+            )
+        if self.density_kg_m3 <= 0.0:
+            raise MaterialError(f"material {self.name!r}: density must be positive")
+        if self.specific_heat_j_kgk <= 0.0:
+            raise MaterialError(
+                f"material {self.name!r}: specific heat must be positive"
+            )
+        if (
+            self.vertical_conductivity_w_mk is not None
+            and self.vertical_conductivity_w_mk <= 0.0
+        ):
+            raise MaterialError(
+                f"material {self.name!r}: vertical conductivity must be positive"
+            )
+
+    @property
+    def lateral_conductivity(self) -> float:
+        """Conductivity in the x / y directions [W/(m K)]."""
+        return self.thermal_conductivity_w_mk
+
+    @property
+    def vertical_conductivity(self) -> float:
+        """Conductivity in the z direction [W/(m K)]."""
+        if self.vertical_conductivity_w_mk is None:
+            return self.thermal_conductivity_w_mk
+        return self.vertical_conductivity_w_mk
+
+    @property
+    def is_isotropic(self) -> bool:
+        """Whether lateral and vertical conductivities are identical."""
+        return (
+            self.vertical_conductivity_w_mk is None
+            or self.vertical_conductivity_w_mk == self.thermal_conductivity_w_mk
+        )
+
+    def conductivity_along(self, axis: int) -> float:
+        """Conductivity along mesh axis 0 (x), 1 (y) or 2 (z)."""
+        if axis in (0, 1):
+            return self.lateral_conductivity
+        if axis == 2:
+            return self.vertical_conductivity
+        raise MaterialError(f"axis must be 0, 1 or 2, got {axis!r}")
+
+    def volumetric_heat_capacity_j_m3k(self) -> float:
+        """Volumetric heat capacity rho * c_p [J/(m^3 K)]."""
+        return self.density_kg_m3 * self.specific_heat_j_kgk
+
+
+def mixed_material(
+    name: str, first: Material, second: Material, first_fraction: float
+) -> Material:
+    """Create an effective material from a volumetric mix of two materials.
+
+    The lateral conductivity uses a parallel (arithmetic) mix and the vertical
+    conductivity a series (harmonic) mix, which is the usual first-order model
+    for layered composites such as a BEOL stack (metal lines in dielectric) or
+    a TSV-populated bonding layer.
+    """
+    if not 0.0 <= first_fraction <= 1.0:
+        raise MaterialError(
+            f"first_fraction must be within [0, 1], got {first_fraction!r}"
+        )
+    second_fraction = 1.0 - first_fraction
+    lateral = (
+        first_fraction * first.lateral_conductivity
+        + second_fraction * second.lateral_conductivity
+    )
+    vertical_inverse = (
+        first_fraction / first.vertical_conductivity
+        + second_fraction / second.vertical_conductivity
+    )
+    vertical = 1.0 / vertical_inverse
+    density = first_fraction * first.density_kg_m3 + second_fraction * second.density_kg_m3
+    specific_heat = (
+        first_fraction * first.specific_heat_j_kgk
+        + second_fraction * second.specific_heat_j_kgk
+    )
+    return Material(
+        name=name,
+        thermal_conductivity_w_mk=lateral,
+        density_kg_m3=density,
+        specific_heat_j_kgk=specific_heat,
+        vertical_conductivity_w_mk=vertical,
+    )

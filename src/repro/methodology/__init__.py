@@ -1,0 +1,55 @@
+"""Thermal-aware design methodology: flow, exploration sweeps, optimisation."""
+
+from .exploration import (
+    HeaterComparisonPoint,
+    HeaterSweepPoint,
+    ScenarioSnrPoint,
+    TemperatureSweepPoint,
+    compare_heater_options,
+    gradient_slope_c_per_mw,
+    snr_across_scenarios,
+    sweep_average_temperature,
+    sweep_heater_power,
+)
+from .flow import (
+    DesignPointResult,
+    OniThermalSummary,
+    ThermalAwareDesignFlow,
+    ThermalEvaluation,
+)
+from .power import NetworkPowerModel, NetworkPowerReport
+from .optimization import (
+    HeaterOptimizationResult,
+    PowerMinimizationResult,
+    calibrate_heat_sink,
+    find_minimum_vcsel_power,
+    find_optimal_heater_ratio,
+)
+from .reporting import format_table, pivot, rows_from_dataclasses, write_csv
+
+__all__ = [
+    "ThermalAwareDesignFlow",
+    "ThermalEvaluation",
+    "OniThermalSummary",
+    "DesignPointResult",
+    "TemperatureSweepPoint",
+    "HeaterSweepPoint",
+    "HeaterComparisonPoint",
+    "ScenarioSnrPoint",
+    "sweep_average_temperature",
+    "sweep_heater_power",
+    "compare_heater_options",
+    "gradient_slope_c_per_mw",
+    "snr_across_scenarios",
+    "NetworkPowerModel",
+    "NetworkPowerReport",
+    "HeaterOptimizationResult",
+    "PowerMinimizationResult",
+    "find_optimal_heater_ratio",
+    "find_minimum_vcsel_power",
+    "calibrate_heat_sink",
+    "format_table",
+    "pivot",
+    "rows_from_dataclasses",
+    "write_csv",
+]

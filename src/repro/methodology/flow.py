@@ -1,0 +1,352 @@
+"""End-to-end thermal-aware design flow (the paper's core contribution, Fig. 3).
+
+The flow wires together every substrate of the library:
+
+1. *System specification*: a case-study architecture (package stack +
+   floorplan), an ONI placement scenario, a chip activity and the ONI
+   operating point (``PVCSEL``, ``Pheater``, ``Pdriver``).
+2. *Thermal analysis*: a coarse full-package steady-state solve gives the
+   average temperature of every ONI; a zoom (submodel) solve around selected
+   ONIs recovers the intra-ONI gradient between VCSELs and microrings.
+3. *SNR analysis*: the per-ONI temperatures feed the wavelength-misalignment
+   model, which yields per-communication signal, crosstalk and SNR figures.
+
+Every step is exposed separately so the exploration helpers
+(:mod:`repro.methodology.exploration`) can sweep design parameters without
+re-doing unnecessary work (the mesh is cached across sweeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..activity import ActivityPattern
+from ..casestudy import OniRingScenario, SccArchitecture
+from ..config import SimulationSettings, TechnologyParameters
+from ..devices import VcselModel
+from ..errors import AnalysisError, ConfigurationError
+from ..oni import OniPowerConfig, OpticalNetworkInterface
+from ..onoc import Communication, OrnocNetwork, shift_traffic
+from ..snr import LaserDriveConfig, OniThermalState, SnrAnalyzer, SnrReport
+from ..thermal import (
+    HeatSource,
+    Mesh3D,
+    SteadyStateSolver,
+    ThermalMap,
+    ZoomSolver,
+)
+
+
+@dataclass
+class OniThermalSummary:
+    """Thermal figures of one ONI extracted from the simulation."""
+
+    name: str
+    average_c: float
+    laser_c: float
+    microring_c: float
+    gradient_c: Optional[float] = None
+
+    def to_state(self) -> OniThermalState:
+        """Convert to the state object consumed by the SNR analyzer."""
+        return OniThermalState(
+            name=self.name,
+            average_temperature_c=self.average_c,
+            laser_temperature_c=self.laser_c,
+            microring_temperature_c=self.microring_c,
+        )
+
+
+@dataclass
+class ThermalEvaluation:
+    """Result of the thermal step of the flow for one design point."""
+
+    activity: ActivityPattern
+    power: OniPowerConfig
+    thermal_map: ThermalMap
+    oni_summaries: Dict[str, OniThermalSummary]
+    #: ONI whose gradient was resolved with the zoom solver.
+    zoomed_oni: Optional[str] = None
+    zoom_map: Optional[ThermalMap] = None
+
+    @property
+    def average_oni_temperature_c(self) -> float:
+        """Mean of the per-ONI average temperatures."""
+        summaries = list(self.oni_summaries.values())
+        return sum(s.average_c for s in summaries) / len(summaries)
+
+    @property
+    def max_oni_temperature_c(self) -> float:
+        """Hottest per-ONI average temperature."""
+        return max(s.average_c for s in self.oni_summaries.values())
+
+    @property
+    def oni_temperature_spread_c(self) -> float:
+        """Spread of the per-ONI average temperatures (drives crosstalk)."""
+        values = [s.average_c for s in self.oni_summaries.values()]
+        return max(values) - min(values)
+
+    @property
+    def gradient_c(self) -> float:
+        """Intra-ONI gradient of the zoomed ONI (the paper's design constraint)."""
+        if self.zoomed_oni is None:
+            raise AnalysisError("no ONI was zoomed; re-run with zoom enabled")
+        gradient = self.oni_summaries[self.zoomed_oni].gradient_c
+        if gradient is None:
+            raise AnalysisError("the zoomed ONI has no gradient value")
+        return gradient
+
+    def states(self) -> List[OniThermalState]:
+        """Per-ONI states for the SNR analysis."""
+        return [summary.to_state() for summary in self.oni_summaries.values()]
+
+    def meets_gradient_constraint(self, max_gradient_c: float) -> bool:
+        """Whether the zoomed ONI satisfies the intra-ONI gradient constraint."""
+        return self.gradient_c <= max_gradient_c
+
+
+@dataclass
+class DesignPointResult:
+    """Combined thermal + SNR result of one design point."""
+
+    thermal: ThermalEvaluation
+    snr: SnrReport
+    drive: LaserDriveConfig
+
+    @property
+    def worst_case_snr_db(self) -> float:
+        """Worst-case SNR over all communications [dB]."""
+        return self.snr.worst_case_snr_db
+
+    @property
+    def gradient_c(self) -> float:
+        """Intra-ONI gradient of the zoomed ONI [degC]."""
+        return self.thermal.gradient_c
+
+    @property
+    def average_oni_temperature_c(self) -> float:
+        """Mean per-ONI average temperature [degC]."""
+        return self.thermal.average_oni_temperature_c
+
+
+class ThermalAwareDesignFlow:
+    """The paper's design methodology, as an executable object."""
+
+    def __init__(
+        self,
+        architecture: SccArchitecture,
+        scenario: OniRingScenario,
+        technology: Optional[TechnologyParameters] = None,
+        vcsel: Optional[VcselModel] = None,
+        settings: Optional[SimulationSettings] = None,
+    ) -> None:
+        self.architecture = architecture
+        self.scenario = scenario
+        self.technology = technology or TechnologyParameters()
+        self.vcsel = vcsel or VcselModel()
+        self.settings = settings or architecture.settings
+        self._mesh_cache: Optional[Mesh3D] = None
+        self._solver_cache: Optional[SteadyStateSolver] = None
+        self._zoom_solver: Optional[ZoomSolver] = None
+
+    # Mesh / solver infrastructure ----------------------------------------------------
+
+    def _mesh(self) -> Mesh3D:
+        if self._mesh_cache is None:
+            self._mesh_cache = self.architecture.build_mesh(
+                oni_footprints=self.scenario.oni_footprints,
+                base_cell_size_um=self.settings.die_cell_size_um,
+                oni_cell_size_um=self.settings.oni_cell_size_um,
+            )
+        return self._mesh_cache
+
+    def _zoom(self) -> ZoomSolver:
+        if self._zoom_solver is None:
+            try:
+                vertical_range = self.architecture.zoom_vertical_range()
+            except Exception:
+                vertical_range = None
+            self._zoom_solver = ZoomSolver(
+                self.architecture.stack,
+                self.architecture.boundary_conditions(),
+                cell_size_um=self.settings.zoom_cell_size_um,
+                margin_um=300.0,
+                vertical_range=vertical_range,
+            )
+        return self._zoom_solver
+
+    def _solver(self) -> SteadyStateSolver:
+        if self._solver_cache is None:
+            self._solver_cache = SteadyStateSolver(
+                self._mesh(),
+                self.architecture.boundary_conditions(),
+                direct_cell_limit=self.settings.direct_solver_cell_limit,
+                rtol=self.settings.solver_rtol,
+            )
+        return self._solver_cache
+
+    def invalidate_caches(self) -> None:
+        """Drop the cached mesh and solvers (after changing resolutions or the scenario)."""
+        self._mesh_cache = None
+        self._solver_cache = None
+        self._zoom_solver = None
+
+    # Heat sources -----------------------------------------------------------------------
+
+    def heat_sources(
+        self, activity: ActivityPattern, power: Optional[OniPowerConfig] = None
+    ) -> List[HeatSource]:
+        """All heat sources of a design point (chip activity + every ONI)."""
+        electrical_z = self.architecture.electrical_z_range()
+        optical_z = self.architecture.optical_z_range()
+        sources = activity.heat_sources(
+            self.architecture.floorplan, electrical_z[0], electrical_z[1]
+        )
+        for oni in self.scenario.onis:
+            configured = oni if power is None else oni.with_power(power)
+            sources.extend(
+                configured.heat_sources(optical_z, driver_z_range=electrical_z)
+            )
+        return sources
+
+    # Thermal step -------------------------------------------------------------------------
+
+    def default_zoom_oni(self) -> str:
+        """ONI used for gradient extraction: the one closest to the die centre."""
+        die_x, die_y = self.architecture.die_rect.center
+        best_name = None
+        best_distance = float("inf")
+        for oni in self.scenario.onis:
+            x, y = oni.center
+            distance = (x - die_x) ** 2 + (y - die_y) ** 2
+            if distance < best_distance:
+                best_distance = distance
+                best_name = oni.name
+        if best_name is None:
+            raise ConfigurationError("the scenario has no ONIs")
+        return best_name
+
+    def run_thermal(
+        self,
+        activity: ActivityPattern,
+        power: Optional[OniPowerConfig] = None,
+        zoom_oni: Optional[str] = "auto",
+    ) -> ThermalEvaluation:
+        """Thermal analysis of one design point.
+
+        ``zoom_oni`` selects the ONI refined with the submodel solver
+        (``"auto"`` picks the most central one, ``None`` skips the zoom).
+        """
+        sources = self.heat_sources(activity, power)
+        thermal_map = self._solver().solve(sources)
+
+        optical_z = self.architecture.optical_z_range()
+        summaries: Dict[str, OniThermalSummary] = {}
+        for oni in self.scenario.onis:
+            configured = oni if power is None else oni.with_power(power)
+            summaries[oni.name] = OniThermalSummary(
+                name=oni.name,
+                average_c=configured.average_temperature_c(thermal_map, optical_z),
+                laser_c=configured.laser_temperature_c(thermal_map, optical_z),
+                microring_c=configured.microring_temperature_c(thermal_map, optical_z),
+            )
+
+        zoom_map: Optional[ThermalMap] = None
+        zoom_name: Optional[str] = None
+        if zoom_oni is not None:
+            zoom_name = self.default_zoom_oni() if zoom_oni == "auto" else zoom_oni
+            target = self.scenario.oni_by_name(zoom_name)
+            configured = target if power is None else target.with_power(power)
+            zoom_result = self._zoom().solve(
+                thermal_map, configured.footprint, sources
+            )
+            zoom_map = zoom_result.thermal_map
+            summaries[zoom_name] = OniThermalSummary(
+                name=zoom_name,
+                average_c=configured.average_temperature_c(zoom_map, optical_z),
+                laser_c=configured.laser_temperature_c(zoom_map, optical_z),
+                microring_c=configured.microring_temperature_c(zoom_map, optical_z),
+                gradient_c=configured.gradient_temperature_c(zoom_map, optical_z),
+            )
+
+        effective_power = power or self.scenario.onis[0].power
+        return ThermalEvaluation(
+            activity=activity,
+            power=effective_power,
+            thermal_map=thermal_map,
+            oni_summaries=summaries,
+            zoomed_oni=zoom_name,
+            zoom_map=zoom_map,
+        )
+
+    # Network / SNR step -----------------------------------------------------------------------
+
+    def build_network(
+        self,
+        communications: Optional[Sequence[Communication]] = None,
+        waveguide_count: Optional[int] = None,
+        channels_per_waveguide: Optional[int] = None,
+    ) -> OrnocNetwork:
+        """Routed ORNoC network for the scenario's ring.
+
+        The default traffic is the maximal-reuse *shift* pattern: each ONI
+        sends to the ONI a third of the ring ahead, so every wavelength
+        channel is reused by a chain of communications around the ring.  This
+        is the configuration in which the thermally-induced crosstalk of the
+        paper's Section IV.C is visible; pass an explicit communication list
+        for other traffic.
+        """
+        if communications is not None:
+            traffic = list(communications)
+        else:
+            hops = max(1, len(self.scenario.ring) // 3)
+            traffic = shift_traffic(self.scenario.ring, hops)
+        layout = self.scenario.onis[0].layout.parameters
+        network = OrnocNetwork(
+            ring=self.scenario.ring,
+            communications=traffic,
+            technology=self.technology,
+            waveguide_count=waveguide_count or layout.waveguide_count,
+            channels_per_waveguide=channels_per_waveguide or layout.lasers_per_waveguide,
+        )
+        network.assign_channels()
+        return network
+
+    def run_snr(
+        self,
+        evaluation: ThermalEvaluation,
+        drive: LaserDriveConfig,
+        communications: Optional[Sequence[Communication]] = None,
+        network: Optional[OrnocNetwork] = None,
+    ) -> SnrReport:
+        """SNR analysis of a thermally evaluated design point."""
+        routed = network or self.build_network(communications)
+        analyzer = SnrAnalyzer(
+            routed,
+            technology=self.technology,
+            vcsel=self.vcsel,
+        )
+        return analyzer.analyze(evaluation.states(), drive)
+
+    # Combined ---------------------------------------------------------------------------------------
+
+    def evaluate_design_point(
+        self,
+        activity: ActivityPattern,
+        power: OniPowerConfig,
+        drive: Optional[LaserDriveConfig] = None,
+        communications: Optional[Sequence[Communication]] = None,
+        zoom_oni: Optional[str] = "auto",
+    ) -> DesignPointResult:
+        """Thermal + SNR evaluation of one design point.
+
+        ``drive`` defaults to driving every VCSEL at the design point's
+        ``PVCSEL`` dissipated power (the paper's convention).
+        """
+        effective_drive = drive or LaserDriveConfig(
+            dissipated_power_w=power.vcsel_power_w
+        )
+        thermal = self.run_thermal(activity, power=power, zoom_oni=zoom_oni)
+        snr = self.run_snr(thermal, effective_drive, communications)
+        return DesignPointResult(thermal=thermal, snr=snr, drive=effective_drive)

@@ -1,0 +1,158 @@
+"""ONoC power-efficiency accounting.
+
+The methodology's output is "ONoC power efficiency and reliability"
+(Figure 3).  The SNR analysis covers reliability; this module adds the power
+side: for a routed network at a given operating point it accounts for
+
+* the electrical power drawn by every VCSEL (from the laser model at the
+  actual laser temperature),
+* the CMOS driver power (paper worst case ``Pdriver = PVCSEL`` by default),
+* the design-time MR heater power,
+* the run-time calibration power needed to re-align each receiving microring
+  to its incoming signal (using the paper's 130 / 190 uW-per-nm tuning costs),
+
+and converts the total into an energy-per-bit figure using the VCSEL
+modulation bandwidth.  This supports the exploration suggested at the end of
+Section V.C: trading SNR margin for laser / heater power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..devices import HeaterModel, VcselModel
+from ..errors import AnalysisError
+from ..oni import OniPowerConfig
+from ..onoc import OrnocNetwork
+from ..snr import LaserDriveConfig, OniThermalState, WaveguidePropagator, states_by_name
+
+
+@dataclass(frozen=True)
+class NetworkPowerReport:
+    """Power breakdown of a routed ONoC at one operating point."""
+
+    laser_electrical_w: float
+    laser_optical_w: float
+    driver_w: float
+    heater_w: float
+    calibration_w: float
+    communication_count: int
+    aggregate_bandwidth_gbps: float
+
+    @property
+    def total_w(self) -> float:
+        """Total interconnect power [W]."""
+        return self.laser_electrical_w + self.driver_w + self.heater_w + self.calibration_w
+
+    @property
+    def laser_efficiency(self) -> float:
+        """Aggregate wall-plug efficiency of the lasers."""
+        if self.laser_electrical_w <= 0.0:
+            return 0.0
+        return self.laser_optical_w / self.laser_electrical_w
+
+    @property
+    def energy_per_bit_pj(self) -> float:
+        """Energy per transmitted bit [pJ/bit] at full utilisation."""
+        if self.aggregate_bandwidth_gbps <= 0.0:
+            raise AnalysisError("aggregate bandwidth is zero; energy per bit undefined")
+        return self.total_w / (self.aggregate_bandwidth_gbps * 1.0e9) * 1.0e12
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary view for tables and CSV export."""
+        return {
+            "laser_electrical_mw": 1e3 * self.laser_electrical_w,
+            "laser_optical_mw": 1e3 * self.laser_optical_w,
+            "driver_mw": 1e3 * self.driver_w,
+            "heater_mw": 1e3 * self.heater_w,
+            "calibration_mw": 1e3 * self.calibration_w,
+            "total_mw": 1e3 * self.total_w,
+            "energy_per_bit_pj": self.energy_per_bit_pj,
+            "laser_efficiency": self.laser_efficiency,
+        }
+
+
+class NetworkPowerModel:
+    """Computes the power breakdown of a routed ORNoC network."""
+
+    def __init__(
+        self,
+        network: OrnocNetwork,
+        vcsel: Optional[VcselModel] = None,
+        heater: Optional[HeaterModel] = None,
+    ) -> None:
+        self._network = network
+        self._vcsel = vcsel or VcselModel()
+        self._heater = heater or HeaterModel()
+        self._propagator = WaveguidePropagator(network)
+
+    def _laser_powers(
+        self, states: Dict[str, OniThermalState], drive: LaserDriveConfig
+    ) -> tuple[float, float]:
+        electrical = 0.0
+        optical = 0.0
+        for communication in self._network.assigned_communications():
+            state = states.get(communication.source)
+            if state is None:
+                raise AnalysisError(
+                    f"no thermal state provided for ONI {communication.source!r}"
+                )
+            temperature = state.laser_c
+            if drive.current_a is not None:
+                current = drive.current_a
+            else:
+                current = self._vcsel.current_for_dissipated_power(
+                    drive.dissipated_power_w, temperature
+                )
+            point = self._vcsel.operating_point(current, temperature)
+            electrical += point.electrical_power_w
+            optical += point.optical_power_w
+        return electrical, optical
+
+    def _calibration_power(self, states: Dict[str, OniThermalState]) -> float:
+        total = 0.0
+        for communication in self._network.assigned_communications():
+            signal = self._propagator.signal_wavelength_nm(communication, states)
+            resonance = self._propagator.receiver_resonance_nm(communication, states)
+            misalignment = resonance - signal
+            total += self._heater.calibration_power_w(misalignment)
+        return total
+
+    def evaluate(
+        self,
+        states: Dict[str, OniThermalState] | List[OniThermalState],
+        drive: LaserDriveConfig,
+        power: OniPowerConfig,
+        include_calibration: bool = True,
+    ) -> NetworkPowerReport:
+        """Power breakdown for the given per-ONI temperatures and operating point.
+
+        ``power`` supplies the per-device heater and driver settings (the
+        heater power is charged per *active* receiver, the driver power per
+        active transmitter), while ``drive`` sets the laser bias policy used
+        for the electrical laser power.
+        """
+        state_map = states_by_name(states)
+        communications = self._network.assigned_communications()
+        if not communications:
+            raise AnalysisError("the network has no routed communications")
+
+        laser_electrical, laser_optical = self._laser_powers(state_map, drive)
+        driver = power.effective_driver_power_w * len(communications)
+        heater = power.heater_power_w * len(communications)
+        calibration = (
+            self._calibration_power(state_map) if include_calibration else 0.0
+        )
+        bandwidth_gbps = (
+            self._vcsel.parameters.modulation_bandwidth_ghz * len(communications)
+        )
+        return NetworkPowerReport(
+            laser_electrical_w=laser_electrical,
+            laser_optical_w=laser_optical,
+            driver_w=driver,
+            heater_w=heater,
+            calibration_w=calibration,
+            communication_count=len(communications),
+            aggregate_bandwidth_gbps=bandwidth_gbps,
+        )

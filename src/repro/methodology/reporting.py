@@ -1,0 +1,109 @@
+"""Plain-text and CSV reporting of exploration results.
+
+Benchmarks and examples print the same rows the paper's figures plot; these
+helpers keep the formatting in one place (aligned text tables, CSV export,
+simple dataclass-to-row conversion).
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+
+Row = Mapping[str, Any]
+
+
+def rows_from_dataclasses(items: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Convert a sequence of dataclass instances into plain dict rows."""
+    rows: List[Dict[str, Any]] = []
+    for item in items:
+        if not dataclasses.is_dataclass(item):
+            raise ConfigurationError(f"{item!r} is not a dataclass instance")
+        rows.append(dataclasses.asdict(item))
+    return rows
+
+
+def _format_value(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Row],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = ".3f",
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        raise ConfigurationError("cannot format an empty table")
+    selected = list(columns) if columns is not None else list(rows[0].keys())
+    header = [str(column) for column in selected]
+    body: List[List[str]] = []
+    for row in rows:
+        body.append([_format_value(row.get(column, ""), float_format) for column in selected])
+
+    widths = [len(column) for column in header]
+    for line in body:
+        for index, cell in enumerate(line):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(header))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_line(line) for line in body)
+    return "\n".join(lines)
+
+
+def write_csv(
+    rows: Sequence[Row],
+    path: Union[str, Path],
+    columns: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write rows to a CSV file and return the path."""
+    if not rows:
+        raise ConfigurationError("cannot write an empty CSV")
+    destination = Path(path)
+    selected = list(columns) if columns is not None else list(rows[0].keys())
+    with destination.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=selected, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({column: row.get(column, "") for column in selected})
+    return destination
+
+
+def pivot(
+    rows: Sequence[Row],
+    index: str,
+    column: str,
+    value: str,
+    float_format: str = ".2f",
+) -> str:
+    """Render rows as a 2D pivot table (e.g. PVCSEL x Pchip -> temperature)."""
+    if not rows:
+        raise ConfigurationError("cannot pivot an empty table")
+    row_keys = sorted({row[index] for row in rows})
+    column_keys = sorted({row[column] for row in rows})
+    lookup: Dict[tuple, Any] = {}
+    for row in rows:
+        lookup[(row[index], row[column])] = row[value]
+    table_rows: List[Dict[str, Any]] = []
+    for row_key in row_keys:
+        entry: Dict[str, Any] = {index: row_key}
+        for column_key in column_keys:
+            entry[str(column_key)] = lookup.get((row_key, column_key), "")
+        table_rows.append(entry)
+    return format_table(table_rows, float_format=float_format)

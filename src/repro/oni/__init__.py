@@ -1,0 +1,21 @@
+"""Optical Network Interface (ONI) layout and instantiation."""
+
+from .interface import OniPowerConfig, OpticalNetworkInterface, place_onis
+from .layout import (
+    DEVICE_KINDS,
+    DevicePlacement,
+    OniLayout,
+    OniLayoutParameters,
+    generate_chessboard_layout,
+)
+
+__all__ = [
+    "DEVICE_KINDS",
+    "DevicePlacement",
+    "OniLayout",
+    "OniLayoutParameters",
+    "generate_chessboard_layout",
+    "OniPowerConfig",
+    "OpticalNetworkInterface",
+    "place_onis",
+]

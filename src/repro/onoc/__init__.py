@@ -1,0 +1,58 @@
+"""ORNoC ring interconnect: topology, traffic, channel assignment, losses."""
+
+from .communication import (
+    Communication,
+    all_to_all_traffic,
+    all_to_one_traffic,
+    neighbor_traffic,
+    one_to_all_traffic,
+    opposite_traffic,
+    random_pair_traffic,
+    shift_traffic,
+    validate_communications,
+)
+from .crossbars import (
+    BASELINE_TOPOLOGIES,
+    CrossbarLoss,
+    CrossbarTopology,
+    LambdaRouterCrossbar,
+    MatrixCrossbar,
+    OrnocRingCrossbar,
+    PathStructure,
+    SnakeCrossbar,
+    compare_topologies,
+    ornoc_reduction_factors,
+)
+from .insertion_loss import InsertionLossAnalyzer, PathLoss
+from .ornoc import ChannelAssignment, OrnocNetwork, ring_path_length
+from .ring import DIRECTIONS, RingNode, RingTopology
+
+__all__ = [
+    "Communication",
+    "neighbor_traffic",
+    "opposite_traffic",
+    "all_to_one_traffic",
+    "one_to_all_traffic",
+    "all_to_all_traffic",
+    "random_pair_traffic",
+    "shift_traffic",
+    "validate_communications",
+    "BASELINE_TOPOLOGIES",
+    "CrossbarLoss",
+    "CrossbarTopology",
+    "LambdaRouterCrossbar",
+    "MatrixCrossbar",
+    "OrnocRingCrossbar",
+    "SnakeCrossbar",
+    "PathStructure",
+    "compare_topologies",
+    "ornoc_reduction_factors",
+    "InsertionLossAnalyzer",
+    "PathLoss",
+    "ChannelAssignment",
+    "OrnocNetwork",
+    "ring_path_length",
+    "DIRECTIONS",
+    "RingNode",
+    "RingTopology",
+]

@@ -1,0 +1,156 @@
+"""Communications and traffic patterns on the ORNoC ring.
+
+A :class:`Communication` is a point-to-point channel between a source ONI
+(which owns the transmitting VCSEL) and a destination ONI (which owns the
+receiving microring + photodetector).  Traffic-pattern helpers generate the
+communication sets used by the case study and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from ..errors import NetworkError
+from .ring import RingTopology
+
+
+@dataclass(frozen=True)
+class Communication:
+    """A point-to-point communication C_sd on the ring."""
+
+    source: str
+    destination: str
+    waveguide_index: int = 0
+    channel_index: Optional[int] = None
+    wavelength_nm: Optional[float] = None
+    direction: str = "clockwise"
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise NetworkError("a communication needs distinct source and destination")
+        if self.waveguide_index < 0:
+            raise NetworkError("waveguide index must be >= 0")
+        if self.channel_index is not None and self.channel_index < 0:
+            raise NetworkError("channel index must be >= 0")
+        if self.direction not in ("clockwise", "counterclockwise"):
+            raise NetworkError(f"invalid direction {self.direction!r}")
+
+    @property
+    def name(self) -> str:
+        """Readable identifier ``C_source->destination``."""
+        return f"C_{self.source}->{self.destination}"
+
+    def with_channel(self, waveguide_index: int, channel_index: int, wavelength_nm: float) -> "Communication":
+        """Copy with an assigned waveguide / channel / wavelength."""
+        return replace(
+            self,
+            waveguide_index=waveguide_index,
+            channel_index=channel_index,
+            wavelength_nm=wavelength_nm,
+        )
+
+
+def neighbor_traffic(ring: RingTopology, hops: int = 1) -> List[Communication]:
+    """Each ONI sends to the ONI ``hops`` positions further along the ring."""
+    if hops <= 0:
+        raise NetworkError("hops must be positive")
+    names = ring.node_names
+    count = len(names)
+    if hops >= count:
+        raise NetworkError("hops must be smaller than the number of ONIs")
+    return [
+        Communication(source=names[i], destination=names[(i + hops) % count])
+        for i in range(count)
+    ]
+
+
+def opposite_traffic(ring: RingTopology) -> List[Communication]:
+    """Each ONI sends to the diametrically opposite ONI (worst-case paths)."""
+    return [
+        Communication(source=name, destination=ring.opposite(name))
+        for name in ring.node_names
+    ]
+
+
+def all_to_one_traffic(ring: RingTopology, destination: str) -> List[Communication]:
+    """Every ONI sends to a single destination (e.g. a memory-controller ONI)."""
+    if destination not in ring:
+        raise NetworkError(f"unknown destination {destination!r}")
+    return [
+        Communication(source=name, destination=destination)
+        for name in ring.node_names
+        if name != destination
+    ]
+
+
+def one_to_all_traffic(ring: RingTopology, source: str) -> List[Communication]:
+    """A single ONI sends to every other ONI."""
+    if source not in ring:
+        raise NetworkError(f"unknown source {source!r}")
+    return [
+        Communication(source=source, destination=name)
+        for name in ring.node_names
+        if name != source
+    ]
+
+
+def all_to_all_traffic(ring: RingTopology) -> List[Communication]:
+    """Every ordered pair of distinct ONIs communicates."""
+    names = ring.node_names
+    return [
+        Communication(source=source, destination=destination)
+        for source in names
+        for destination in names
+        if source != destination
+    ]
+
+
+def random_pair_traffic(
+    ring: RingTopology, pairs: int, seed: int = 0
+) -> List[Communication]:
+    """Random distinct source/destination pairs (reproducible via ``seed``)."""
+    if pairs <= 0:
+        raise NetworkError("pairs must be positive")
+    names = ring.node_names
+    if len(names) < 2:
+        raise NetworkError("need at least two ONIs")
+    generator = random.Random(seed)
+    seen: set[tuple[str, str]] = set()
+    communications: List[Communication] = []
+    attempts = 0
+    max_attempts = pairs * 100
+    while len(communications) < pairs and attempts < max_attempts:
+        attempts += 1
+        source, destination = generator.sample(names, 2)
+        if (source, destination) in seen:
+            continue
+        seen.add((source, destination))
+        communications.append(Communication(source=source, destination=destination))
+    if len(communications) < pairs:
+        raise NetworkError(
+            f"could not draw {pairs} distinct pairs from {len(names)} ONIs"
+        )
+    return communications
+
+
+def shift_traffic(ring: RingTopology, shift: int) -> List[Communication]:
+    """Each ONI i sends to ONI (i + shift) — generalised neighbour traffic."""
+    return neighbor_traffic(ring, hops=shift)
+
+
+def validate_communications(
+    ring: RingTopology, communications: Sequence[Communication]
+) -> None:
+    """Check every communication references ONIs present on the ring."""
+    for communication in communications:
+        if communication.source not in ring:
+            raise NetworkError(
+                f"{communication.name}: unknown source {communication.source!r}"
+            )
+        if communication.destination not in ring:
+            raise NetworkError(
+                f"{communication.name}: unknown destination "
+                f"{communication.destination!r}"
+            )

@@ -1,0 +1,257 @@
+"""Baseline wavelength-routed crossbar topologies for loss comparison.
+
+Section III.A of the paper motivates the choice of ORNoC by its reduced
+worst-case and average insertion losses compared with three wavelength-routed
+crossbars — Matrix [18], lambda-router [1] and Snake [4] — quoting a 42.5 %
+worst-case and 38 % average reduction at the 4x4 scale (ref [20]).
+
+We model each topology with first-order *structural* loss formulas: for an
+``n x n`` crossbar the worst-case and average path are characterised by the
+number of waveguide crossings, the number of microrings passed on the through
+port, the number of drop operations and the path length expressed in
+inter-node hops.  The per-element losses come from the shared waveguide and
+technology parameters, so the comparison is apples-to-apples.  The formulas
+are documented approximations of the detailed layouts analysed in ref [20];
+the reproduction benchmark checks orderings and reduction factors, not exact
+dB values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import TechnologyParameters
+from ..devices import WaveguideModel, WaveguideParameters
+from ..errors import NetworkError
+
+
+@dataclass(frozen=True)
+class PathStructure:
+    """Structural description of an optical path through a crossbar."""
+
+    hops: float
+    crossings: int
+    rings_passed: int
+    drops: int = 1
+
+
+@dataclass(frozen=True)
+class CrossbarLoss:
+    """Insertion-loss figures of one topology at one scale [dB]."""
+
+    topology: str
+    radix: int
+    worst_case_db: float
+    average_db: float
+
+
+class CrossbarTopology:
+    """Base class of the structural crossbar loss models."""
+
+    #: Human-readable topology name.
+    name = "crossbar"
+
+    def __init__(
+        self,
+        radix: int,
+        hop_length_mm: float = 2.0,
+        technology: Optional[TechnologyParameters] = None,
+        waveguide: Optional[WaveguideModel] = None,
+    ) -> None:
+        if radix < 2:
+            raise NetworkError("crossbar radix must be >= 2")
+        if hop_length_mm <= 0.0:
+            raise NetworkError("hop length must be positive")
+        self.radix = radix
+        self.hop_length_mm = hop_length_mm
+        self.technology = technology or TechnologyParameters()
+        self.waveguide = waveguide or WaveguideModel(
+            WaveguideParameters(
+                propagation_loss_db_per_cm=self.technology.propagation_loss_db_per_cm
+            )
+        )
+
+    # Structure (overridden per topology) ------------------------------------------
+
+    def worst_case_structure(self) -> PathStructure:
+        """Structural description of the worst-case path."""
+        raise NotImplementedError
+
+    def average_structure(self) -> PathStructure:
+        """Structural description of the average path."""
+        raise NotImplementedError
+
+    # Loss evaluation ------------------------------------------------------------------
+
+    def _structure_loss_db(self, structure: PathStructure) -> float:
+        length_m = structure.hops * self.hop_length_mm * 1.0e-3
+        return (
+            self.waveguide.path_loss_db(length_m, crossings=structure.crossings)
+            + structure.rings_passed * self.technology.mr_through_loss_db
+            + structure.drops * self.technology.mr_drop_loss_db
+        )
+
+    def worst_case_loss_db(self) -> float:
+        """Worst-case insertion loss [dB]."""
+        return self._structure_loss_db(self.worst_case_structure())
+
+    def average_loss_db(self) -> float:
+        """Average insertion loss [dB]."""
+        return self._structure_loss_db(self.average_structure())
+
+    def loss(self) -> CrossbarLoss:
+        """Both loss figures, bundled."""
+        return CrossbarLoss(
+            topology=self.name,
+            radix=self.radix,
+            worst_case_db=self.worst_case_loss_db(),
+            average_db=self.average_loss_db(),
+        )
+
+
+class OrnocRingCrossbar(CrossbarTopology):
+    """ORNoC serving an n x n node array with a single serpentine-free ring.
+
+    The worst-case path travels almost the whole ring (n^2 - 1 hops is the
+    upper bound, but opposite-node traffic keeps it near half the ring) and
+    crosses no waveguide; it only passes the receiver rings of intermediate
+    nodes.
+    """
+
+    name = "ornoc"
+
+    def worst_case_structure(self) -> PathStructure:
+        nodes = self.radix * self.radix
+        hops = nodes / 2.0 + 1.0
+        return PathStructure(hops=hops, crossings=0, rings_passed=int(hops) - 1)
+
+    def average_structure(self) -> PathStructure:
+        nodes = self.radix * self.radix
+        hops = nodes / 4.0 + 1.0
+        return PathStructure(hops=hops, crossings=0, rings_passed=max(int(hops) - 1, 0))
+
+
+class MatrixCrossbar(CrossbarTopology):
+    """Matrix crossbar [18]: an n x n grid of rings at waveguide intersections.
+
+    The worst-case path runs along a full row then a full column, crossing a
+    waveguide at every grid intersection it passes and the rings parked on
+    them.
+    """
+
+    name = "matrix"
+
+    def worst_case_structure(self) -> PathStructure:
+        n = self.radix
+        hops = 2.0 * n
+        crossings = 2 * (n - 1) + (n - 1) * (n - 1) // 2
+        rings_passed = 2 * (n - 1)
+        return PathStructure(hops=hops, crossings=crossings, rings_passed=rings_passed)
+
+    def average_structure(self) -> PathStructure:
+        n = self.radix
+        hops = float(n)
+        crossings = (n - 1) + (n - 1) // 2
+        rings_passed = n - 1
+        return PathStructure(hops=hops, crossings=crossings, rings_passed=rings_passed)
+
+
+class LambdaRouterCrossbar(CrossbarTopology):
+    """lambda-router [1]: a multistage arrangement of add-drop rings.
+
+    Each path traverses about n stages; roughly half the stages involve a
+    waveguide crossing and every stage parks a ring on the path.
+    """
+
+    name = "lambda_router"
+
+    def worst_case_structure(self) -> PathStructure:
+        n = self.radix
+        stages = 2 * n - 1
+        return PathStructure(
+            hops=float(stages),
+            crossings=stages // 2 + (n - 1),
+            rings_passed=stages - 1,
+        )
+
+    def average_structure(self) -> PathStructure:
+        n = self.radix
+        stages = n
+        return PathStructure(
+            hops=float(stages),
+            crossings=stages // 2,
+            rings_passed=max(stages - 1, 0),
+        )
+
+
+class SnakeCrossbar(CrossbarTopology):
+    """Snake crossbar [4]: a serpentine waveguide visiting all nodes.
+
+    Paths follow the serpentine, so the worst case traverses nearly all
+    n^2 nodes with a crossing at every U-turn.
+    """
+
+    name = "snake"
+
+    def worst_case_structure(self) -> PathStructure:
+        nodes = self.radix * self.radix
+        hops = float(nodes)
+        return PathStructure(
+            hops=hops,
+            crossings=2 * (self.radix - 1),
+            rings_passed=nodes - 1,
+        )
+
+    def average_structure(self) -> PathStructure:
+        nodes = self.radix * self.radix
+        hops = nodes / 2.0
+        return PathStructure(
+            hops=hops,
+            crossings=self.radix - 1,
+            rings_passed=int(hops) - 1,
+        )
+
+
+#: All baseline topologies, keyed by name.
+BASELINE_TOPOLOGIES = {
+    OrnocRingCrossbar.name: OrnocRingCrossbar,
+    MatrixCrossbar.name: MatrixCrossbar,
+    LambdaRouterCrossbar.name: LambdaRouterCrossbar,
+    SnakeCrossbar.name: SnakeCrossbar,
+}
+
+
+def compare_topologies(
+    radix: int,
+    hop_length_mm: float = 2.0,
+    technology: Optional[TechnologyParameters] = None,
+) -> List[CrossbarLoss]:
+    """Loss comparison of all topologies at a given radix."""
+    return [
+        topology_class(radix, hop_length_mm=hop_length_mm, technology=technology).loss()
+        for topology_class in BASELINE_TOPOLOGIES.values()
+    ]
+
+
+def ornoc_reduction_factors(
+    radix: int,
+    hop_length_mm: float = 2.0,
+    technology: Optional[TechnologyParameters] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Relative loss reduction of ORNoC versus each baseline topology.
+
+    Returns, for every non-ORNoC topology, the fractional reduction of the
+    worst-case and average insertion losses (0.4 means ORNoC is 40 % lower).
+    """
+    losses = {loss.topology: loss for loss in compare_topologies(radix, hop_length_mm, technology)}
+    ornoc = losses["ornoc"]
+    reductions: Dict[str, Dict[str, float]] = {}
+    for name, loss in losses.items():
+        if name == "ornoc":
+            continue
+        reductions[name] = {
+            "worst_case": 1.0 - ornoc.worst_case_db / loss.worst_case_db,
+            "average": 1.0 - ornoc.average_db / loss.average_db,
+        }
+    return reductions

@@ -1,0 +1,112 @@
+"""Insertion-loss accounting for routed ORNoC networks.
+
+The insertion loss of a communication (ignoring thermal misalignment, which
+the SNR analysis adds on top) combines:
+
+* propagation loss along the ring segment between source and destination;
+* the small through-port loss of every receiver microring passed at
+  intermediate ONIs on the same waveguide;
+* the drop loss of the destination microring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import TechnologyParameters
+from ..devices import WaveguideModel, WaveguideParameters
+from ..errors import NetworkError
+from .communication import Communication
+from .ornoc import OrnocNetwork, ring_path_length
+
+
+@dataclass(frozen=True)
+class PathLoss:
+    """Loss breakdown of one communication [dB]."""
+
+    communication: Communication
+    propagation_db: float
+    through_db: float
+    drop_db: float
+    rings_passed: int
+
+    @property
+    def total_db(self) -> float:
+        """Total insertion loss of the path [dB]."""
+        return self.propagation_db + self.through_db + self.drop_db
+
+
+class InsertionLossAnalyzer:
+    """Computes per-communication and aggregate insertion losses."""
+
+    def __init__(
+        self,
+        network: OrnocNetwork,
+        waveguide: Optional[WaveguideModel] = None,
+    ) -> None:
+        self._network = network
+        self._technology = network.technology
+        self._waveguide = waveguide or WaveguideModel(
+            WaveguideParameters(
+                propagation_loss_db_per_cm=self._technology.propagation_loss_db_per_cm
+            )
+        )
+
+    def rings_passed(self, communication: Communication) -> int:
+        """Number of receiver microrings crossed at intermediate ONIs."""
+        intermediates = self._network.ring.nodes_between(
+            communication.source, communication.destination, communication.direction
+        )
+        count = 0
+        for oni_name in intermediates:
+            count += len(
+                self._network.receivers_at(oni_name, communication.waveguide_index)
+            )
+        return count
+
+    def path_loss(self, communication: Communication) -> PathLoss:
+        """Loss breakdown of one routed communication."""
+        if communication.channel_index is None:
+            raise NetworkError(
+                f"{communication.name} has no assigned channel; call assign_channels()"
+            )
+        length_m = ring_path_length(self._network.ring, communication)
+        rings = self.rings_passed(communication)
+        return PathLoss(
+            communication=communication,
+            propagation_db=self._waveguide.propagation_loss_db(length_m),
+            through_db=rings * self._technology.mr_through_loss_db,
+            drop_db=self._technology.mr_drop_loss_db,
+            rings_passed=rings,
+        )
+
+    def all_path_losses(self) -> List[PathLoss]:
+        """Loss breakdown of every routed communication."""
+        return [
+            self.path_loss(communication)
+            for communication in self._network.assigned_communications()
+        ]
+
+    def worst_case_db(self) -> float:
+        """Worst-case (maximum) insertion loss over all communications [dB]."""
+        losses = self.all_path_losses()
+        if not losses:
+            raise NetworkError("the network has no communications")
+        return max(loss.total_db for loss in losses)
+
+    def average_db(self) -> float:
+        """Average insertion loss over all communications [dB]."""
+        losses = self.all_path_losses()
+        if not losses:
+            raise NetworkError("the network has no communications")
+        return sum(loss.total_db for loss in losses) / len(losses)
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate loss statistics [dB]."""
+        losses = [loss.total_db for loss in self.all_path_losses()]
+        return {
+            "worst_case_db": max(losses),
+            "average_db": sum(losses) / len(losses),
+            "best_case_db": min(losses),
+        }

@@ -1,0 +1,203 @@
+"""ORNoC: Optical Ring Network-on-Chip.
+
+ORNoC (ref [2] of the paper) is a ring-based, wavelength-routed interconnect
+without arbitration: each communication owns a (waveguide, wavelength) channel
+along its path, and the same wavelength can be *reused* on the same waveguide
+by communications whose paths do not overlap.  This module implements the
+channel assignment and the bookkeeping needed by the SNR analysis (which
+receivers sit on a waveguide, which signals pass them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import TechnologyParameters
+from ..errors import NetworkError
+from .communication import Communication, validate_communications
+from .ring import RingTopology
+
+
+@dataclass(frozen=True)
+class ChannelAssignment:
+    """Result of assigning a communication to a waveguide / channel."""
+
+    communication: Communication
+    waveguide_index: int
+    channel_index: int
+    wavelength_nm: float
+
+
+def _spans_overlap(
+    ring: RingTopology,
+    first: Communication,
+    second: Communication,
+) -> bool:
+    """Whether two same-direction paths share any portion of the ring."""
+    length = ring.total_length_m
+    first_start = ring.arc_length(first.source)
+    first_len = ring.path_length_m(first.source, first.destination, first.direction)
+    second_start = ring.arc_length(second.source)
+    second_len = ring.path_length_m(second.source, second.destination, second.direction)
+
+    def contains(start: float, span: float, point: float) -> bool:
+        offset = (point - start) % length
+        return offset < span
+
+    return (
+        contains(first_start, first_len, second_start)
+        or contains(second_start, second_len, first_start)
+    )
+
+
+class OrnocNetwork:
+    """A set of communications routed on an ORNoC ring."""
+
+    def __init__(
+        self,
+        ring: RingTopology,
+        communications: Sequence[Communication],
+        technology: Optional[TechnologyParameters] = None,
+        waveguide_count: int = 4,
+        channels_per_waveguide: int = 4,
+    ) -> None:
+        if waveguide_count <= 0 or channels_per_waveguide <= 0:
+            raise NetworkError("waveguide and channel counts must be positive")
+        validate_communications(ring, communications)
+        self.ring = ring
+        self.technology = technology or TechnologyParameters()
+        self.waveguide_count = waveguide_count
+        self.channels_per_waveguide = channels_per_waveguide
+        self._assignments: List[ChannelAssignment] = []
+        self._pending: List[Communication] = list(communications)
+
+    # Channel assignment -----------------------------------------------------------
+
+    def channel_wavelength_nm(self, channel_index: int) -> float:
+        """Design wavelength of a channel index."""
+        if channel_index < 0 or channel_index >= self.channels_per_waveguide:
+            raise NetworkError(
+                f"channel index {channel_index} outside [0, {self.channels_per_waveguide})"
+            )
+        return (
+            self.technology.wavelength_nm
+            + channel_index * self.technology.channel_spacing_nm
+        )
+
+    def assign_channels(self) -> List[ChannelAssignment]:
+        """Greedy waveguide/wavelength assignment with wavelength reuse.
+
+        Communications are processed in order of decreasing path length (long
+        paths are the hardest to place); each is assigned the first
+        (waveguide, channel) pair whose already-assigned communications do not
+        overlap its path.  Raises :class:`NetworkError` when the traffic does
+        not fit in ``waveguide_count x channels_per_waveguide`` channels.
+        """
+        if self._assignments:
+            return list(self._assignments)
+        ordered = sorted(
+            self._pending,
+            key=lambda c: ring_path_length(self.ring, c),
+            reverse=True,
+        )
+        used: Dict[Tuple[int, int], List[Communication]] = {}
+        assignments: List[ChannelAssignment] = []
+        for communication in ordered:
+            placed = False
+            for waveguide in range(self.waveguide_count):
+                for channel in range(self.channels_per_waveguide):
+                    conflicts = used.get((waveguide, channel), [])
+                    if any(
+                        _spans_overlap(self.ring, communication, other)
+                        for other in conflicts
+                    ):
+                        continue
+                    wavelength = self.channel_wavelength_nm(channel)
+                    assigned = communication.with_channel(waveguide, channel, wavelength)
+                    used.setdefault((waveguide, channel), []).append(assigned)
+                    assignments.append(
+                        ChannelAssignment(
+                            communication=assigned,
+                            waveguide_index=waveguide,
+                            channel_index=channel,
+                            wavelength_nm=wavelength,
+                        )
+                    )
+                    placed = True
+                    break
+                if placed:
+                    break
+            if not placed:
+                raise NetworkError(
+                    f"communication {communication.name} cannot be routed: all "
+                    f"{self.waveguide_count * self.channels_per_waveguide} channels conflict"
+                )
+        self._assignments = assignments
+        return list(assignments)
+
+    # Queries ------------------------------------------------------------------------
+
+    def assigned_communications(self) -> List[Communication]:
+        """Communications with their waveguide / channel / wavelength filled in."""
+        return [assignment.communication for assignment in self.assign_channels()]
+
+    def communications_on_waveguide(self, waveguide_index: int) -> List[Communication]:
+        """Assigned communications using a given waveguide."""
+        return [
+            c
+            for c in self.assigned_communications()
+            if c.waveguide_index == waveguide_index
+        ]
+
+    def receivers_at(self, oni_name: str, waveguide_index: int) -> List[Communication]:
+        """Communications whose receiving microring sits at ``oni_name``."""
+        return [
+            c
+            for c in self.communications_on_waveguide(waveguide_index)
+            if c.destination == oni_name
+        ]
+
+    def channels_used(self) -> int:
+        """Number of distinct (waveguide, channel) pairs in use."""
+        return len(
+            {
+                (c.waveguide_index, c.channel_index)
+                for c in self.assigned_communications()
+            }
+        )
+
+    def wavelength_reuse_factor(self) -> float:
+        """Average number of communications sharing a (waveguide, channel) pair."""
+        channels = self.channels_used()
+        if channels == 0:
+            return 0.0
+        return len(self.assigned_communications()) / channels
+
+    def utilization(self) -> float:
+        """Fraction of the available channels in use."""
+        capacity = self.waveguide_count * self.channels_per_waveguide
+        return self.channels_used() / capacity
+
+    def summary(self) -> Dict[str, float]:
+        """Summary statistics of the routed network."""
+        assignments = self.assign_channels()
+        lengths = [
+            ring_path_length(self.ring, assignment.communication)
+            for assignment in assignments
+        ]
+        return {
+            "communications": float(len(assignments)),
+            "channels_used": float(self.channels_used()),
+            "utilization": self.utilization(),
+            "reuse_factor": self.wavelength_reuse_factor(),
+            "max_path_length_m": max(lengths) if lengths else 0.0,
+            "mean_path_length_m": sum(lengths) / len(lengths) if lengths else 0.0,
+        }
+
+
+def ring_path_length(ring: RingTopology, communication: Communication) -> float:
+    """Path length of a communication on the ring [m]."""
+    return ring.path_length_m(
+        communication.source, communication.destination, communication.direction
+    )

@@ -1,0 +1,181 @@
+"""Ring topology of the ORNoC interconnect.
+
+The waveguides of ORNoC form closed rings visiting every ONI.  The topology
+records the order of the ONIs along the ring and their curvilinear positions,
+from which path lengths (for propagation losses) and the list of intermediate
+ONIs traversed by a communication (for crosstalk) are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import NetworkError
+
+#: Propagation directions supported on a ring waveguide.
+DIRECTIONS = ("clockwise", "counterclockwise")
+
+
+@dataclass(frozen=True)
+class RingNode:
+    """One ONI attached to the ring."""
+
+    name: str
+    arc_length_m: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetworkError("ring node name must be non-empty")
+        if self.arc_length_m < 0.0:
+            raise NetworkError("arc length must be >= 0")
+
+
+class RingTopology:
+    """Ordered set of ONIs along a closed waveguide ring."""
+
+    def __init__(self, total_length_m: float, nodes: Sequence[RingNode]) -> None:
+        if total_length_m <= 0.0:
+            raise NetworkError("ring length must be positive")
+        if len(nodes) < 2:
+            raise NetworkError("a ring needs at least two ONIs")
+        names = [node.name for node in nodes]
+        if len(set(names)) != len(names):
+            raise NetworkError("ring node names must be unique")
+        for node in nodes:
+            if node.arc_length_m >= total_length_m:
+                raise NetworkError(
+                    f"node {node.name!r} arc length {node.arc_length_m} exceeds the "
+                    f"ring length {total_length_m}"
+                )
+        self.total_length_m = total_length_m
+        self._nodes = sorted(nodes, key=lambda node: node.arc_length_m)
+        self._by_name: Dict[str, RingNode] = {node.name: node for node in self._nodes}
+
+    # Construction helpers -----------------------------------------------------
+
+    @classmethod
+    def evenly_spaced(cls, names: Sequence[str], total_length_m: float) -> "RingTopology":
+        """Ring with ONIs evenly spaced along the perimeter."""
+        if not names:
+            raise NetworkError("at least one ONI name is required")
+        spacing = total_length_m / len(names)
+        nodes = [
+            RingNode(name=name, arc_length_m=index * spacing)
+            for index, name in enumerate(names)
+        ]
+        return cls(total_length_m, nodes)
+
+    # Queries --------------------------------------------------------------------
+
+    @property
+    def node_names(self) -> List[str]:
+        """ONI names in ring order (increasing arc length)."""
+        return [node.name for node in self._nodes]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def node(self, name: str) -> RingNode:
+        """Node called ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise NetworkError(f"unknown ONI {name!r} on this ring") from None
+
+    def arc_length(self, name: str) -> float:
+        """Curvilinear position of an ONI along the ring [m]."""
+        return self.node(name).arc_length_m
+
+    def path_length_m(
+        self, source: str, destination: str, direction: str = "clockwise"
+    ) -> float:
+        """Waveguide length travelled from ``source`` to ``destination`` [m]."""
+        self._check_direction(direction)
+        if source == destination:
+            raise NetworkError("source and destination must differ")
+        forward = (
+            self.arc_length(destination) - self.arc_length(source)
+        ) % self.total_length_m
+        if direction == "clockwise":
+            return forward
+        return (self.total_length_m - forward) % self.total_length_m
+
+    def nodes_between(
+        self, source: str, destination: str, direction: str = "clockwise"
+    ) -> List[str]:
+        """Intermediate ONIs crossed when travelling source -> destination."""
+        self._check_direction(direction)
+        if source == destination:
+            raise NetworkError("source and destination must differ")
+        path_length = self.path_length_m(source, destination, direction)
+        source_arc = self.arc_length(source)
+        intermediates: List[Tuple[float, str]] = []
+        for node in self._nodes:
+            if node.name in (source, destination):
+                continue
+            forward = (node.arc_length_m - source_arc) % self.total_length_m
+            distance = (
+                forward
+                if direction == "clockwise"
+                else (self.total_length_m - forward) % self.total_length_m
+            )
+            if 0.0 < distance < path_length:
+                intermediates.append((distance, node.name))
+        intermediates.sort()
+        return [name for _, name in intermediates]
+
+    def traversal_order(
+        self, source: str, direction: str = "clockwise"
+    ) -> List[str]:
+        """All ONIs in the order they are visited starting after ``source``."""
+        self._check_direction(direction)
+        source_arc = self.arc_length(source)
+        others: List[Tuple[float, str]] = []
+        for node in self._nodes:
+            if node.name == source:
+                continue
+            forward = (node.arc_length_m - source_arc) % self.total_length_m
+            distance = (
+                forward
+                if direction == "clockwise"
+                else (self.total_length_m - forward) % self.total_length_m
+            )
+            others.append((distance, node.name))
+        others.sort()
+        return [name for _, name in others]
+
+    def segment_length_m(self, first: str, second: str, direction: str = "clockwise") -> float:
+        """Length of the ring segment from ``first`` to ``second``."""
+        return self.path_length_m(first, second, direction)
+
+    def hop_count(self, source: str, destination: str, direction: str = "clockwise") -> int:
+        """Number of ONI-to-ONI hops from source to destination."""
+        return len(self.nodes_between(source, destination, direction)) + 1
+
+    def opposite(self, name: str) -> str:
+        """ONI closest to the diametrically opposite position on the ring."""
+        target = (self.arc_length(name) + self.total_length_m / 2.0) % self.total_length_m
+        best_name: Optional[str] = None
+        best_distance = float("inf")
+        for node in self._nodes:
+            if node.name == name:
+                continue
+            distance = abs(node.arc_length_m - target)
+            distance = min(distance, self.total_length_m - distance)
+            if distance < best_distance:
+                best_distance = distance
+                best_name = node.name
+        if best_name is None:
+            raise NetworkError("ring has no other ONI")
+        return best_name
+
+    @staticmethod
+    def _check_direction(direction: str) -> None:
+        if direction not in DIRECTIONS:
+            raise NetworkError(
+                f"direction must be one of {DIRECTIONS}, got {direction!r}"
+            )

@@ -1,0 +1,16 @@
+"""Worst-case SNR analysis of the optical interconnect."""
+
+from .analysis import LinkResult, SnrAnalyzer, SnrReport
+from .state import LaserDriveConfig, OniThermalState, states_by_name
+from .transmission import PropagationTrace, WaveguidePropagator
+
+__all__ = [
+    "LinkResult",
+    "SnrAnalyzer",
+    "SnrReport",
+    "LaserDriveConfig",
+    "OniThermalState",
+    "states_by_name",
+    "PropagationTrace",
+    "WaveguidePropagator",
+]

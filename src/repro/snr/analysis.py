@@ -1,0 +1,241 @@
+"""Worst-case SNR analysis of a routed ORNoC network (paper Section IV.C).
+
+For every communication ``C_sd`` the analyzer computes
+
+``SNR_sd = 10 log10( OP_sd[sd] / sum_ij X_ij[sd] )``
+
+where ``OP_sd[sd]`` is the signal power actually dropped into the receiver
+``R_sd`` (after propagation losses and thermally-induced misalignment) and
+``X_ij[sd]`` is the power other communications deposit into the same receiver
+because of their own misalignment.  The injected power of each signal comes
+from the VCSEL model evaluated at the source ONI's laser temperature, times
+the taper coupling efficiency — exactly the chain of Figure 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import TechnologyParameters
+from ..devices import (
+    MicroringModel,
+    PhotodetectorModel,
+    VcselModel,
+    WaveguideModel,
+)
+from ..errors import AnalysisError
+from ..onoc import Communication, OrnocNetwork
+from ..units import safe_mw_to_dbm, w_to_mw
+from .state import LaserDriveConfig, OniThermalState, states_by_name
+from .transmission import PropagationTrace, WaveguidePropagator
+
+
+@dataclass(frozen=True)
+class LinkResult:
+    """SNR figures of one communication."""
+
+    communication: Communication
+    injected_power_w: float
+    signal_power_w: float
+    crosstalk_power_w: float
+    snr_db: float
+    detected: bool
+    laser_temperature_c: float
+    path_length_m: float
+
+    @property
+    def signal_power_dbm(self) -> float:
+        """Received signal power [dBm]."""
+        return safe_mw_to_dbm(w_to_mw(self.signal_power_w))
+
+    @property
+    def crosstalk_power_dbm(self) -> float:
+        """Received crosstalk power [dBm]."""
+        return safe_mw_to_dbm(w_to_mw(self.crosstalk_power_w))
+
+
+@dataclass
+class SnrReport:
+    """Aggregate SNR report of a routed network under one thermal state."""
+
+    links: List[LinkResult]
+    traces: List[PropagationTrace]
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise AnalysisError("an SNR report needs at least one link")
+
+    def worst_case(self) -> LinkResult:
+        """Link with the lowest SNR."""
+        return min(self.links, key=lambda link: link.snr_db)
+
+    @property
+    def worst_case_snr_db(self) -> float:
+        """Worst-case SNR over all communications [dB]."""
+        return self.worst_case().snr_db
+
+    @property
+    def average_snr_db(self) -> float:
+        """Average SNR over all communications [dB]."""
+        return sum(link.snr_db for link in self.links) / len(self.links)
+
+    @property
+    def min_signal_power_w(self) -> float:
+        """Weakest received signal power [W]."""
+        return min(link.signal_power_w for link in self.links)
+
+    @property
+    def max_crosstalk_power_w(self) -> float:
+        """Strongest received crosstalk power [W]."""
+        return max(link.crosstalk_power_w for link in self.links)
+
+    @property
+    def all_detected(self) -> bool:
+        """Whether every link is above the photodetector sensitivity."""
+        return all(link.detected for link in self.links)
+
+    def link(self, name: str) -> LinkResult:
+        """Result of the communication called ``name``."""
+        for result in self.links:
+            if result.communication.name == name:
+                return result
+        raise AnalysisError(f"no link called {name!r} in this report")
+
+    def as_rows(self) -> List[Dict[str, float | str | bool]]:
+        """Tabular view (one dict per link) for reports and benchmarks."""
+        return [
+            {
+                "communication": link.communication.name,
+                "signal_mw": w_to_mw(link.signal_power_w),
+                "crosstalk_mw": w_to_mw(link.crosstalk_power_w),
+                "snr_db": link.snr_db,
+                "detected": link.detected,
+                "path_length_mm": link.path_length_m * 1.0e3,
+            }
+            for link in self.links
+        ]
+
+
+class SnrAnalyzer:
+    """Evaluates the SNR of every communication of a routed ORNoC network."""
+
+    def __init__(
+        self,
+        network: OrnocNetwork,
+        technology: Optional[TechnologyParameters] = None,
+        vcsel: Optional[VcselModel] = None,
+        microring: Optional[MicroringModel] = None,
+        waveguide: Optional[WaveguideModel] = None,
+        photodetector: Optional[PhotodetectorModel] = None,
+        noise_floor_w: float = 1.0e-9,
+        interaction_model: str = "same_channel",
+    ) -> None:
+        if noise_floor_w < 0.0:
+            raise AnalysisError("noise floor must be >= 0")
+        self._network = network
+        self._technology = technology or network.technology
+        self._vcsel = vcsel or VcselModel()
+        self._photodetector = photodetector or PhotodetectorModel()
+        self._noise_floor_w = noise_floor_w
+        self._propagator = WaveguidePropagator(
+            network,
+            technology=self._technology,
+            microring=microring,
+            waveguide=waveguide,
+            interaction_model=interaction_model,
+        )
+
+    @property
+    def propagator(self) -> WaveguidePropagator:
+        """Underlying propagation engine (useful for detailed inspection)."""
+        return self._propagator
+
+    # Laser output ------------------------------------------------------------------
+
+    def injected_power_w(
+        self, communication: Communication, state: OniThermalState, drive: LaserDriveConfig
+    ) -> float:
+        """Optical power injected into the waveguide by a communication (OPnet)."""
+        temperature = state.laser_c
+        if drive.current_a is not None:
+            operating_point = self._vcsel.operating_point(drive.current_a, temperature)
+            optical = operating_point.optical_power_w
+        else:
+            optical = self._vcsel.optical_power_from_dissipated(
+                drive.dissipated_power_w, temperature
+            )
+        return optical * self._technology.taper_coupling_efficiency
+
+    def injected_powers_w(
+        self,
+        states: Dict[str, OniThermalState],
+        drive: LaserDriveConfig,
+    ) -> Dict[str, float]:
+        """Injected power of every routed communication, keyed by name."""
+        powers: Dict[str, float] = {}
+        for communication in self._network.assigned_communications():
+            state = states.get(communication.source)
+            if state is None:
+                raise AnalysisError(
+                    f"no thermal state provided for ONI {communication.source!r}"
+                )
+            powers[communication.name] = self.injected_power_w(communication, state, drive)
+        return powers
+
+    # Analysis ------------------------------------------------------------------------
+
+    def analyze(
+        self,
+        states: Dict[str, OniThermalState] | List[OniThermalState],
+        drive: LaserDriveConfig,
+    ) -> SnrReport:
+        """Full SNR analysis under the given per-ONI temperatures and drive."""
+        state_map = states_by_name(states)
+        injected = self.injected_powers_w(state_map, drive)
+
+        links: List[LinkResult] = []
+        traces: List[PropagationTrace] = []
+        waveguides = {
+            c.waveguide_index for c in self._network.assigned_communications()
+        }
+        for waveguide_index in sorted(waveguides):
+            signal, crosstalk, wg_traces = self._propagator.propagate_waveguide(
+                waveguide_index, injected, state_map
+            )
+            traces.extend(wg_traces)
+            for communication in self._network.communications_on_waveguide(waveguide_index):
+                name = communication.name
+                signal_power = signal.get(name, 0.0)
+                crosstalk_power = crosstalk.get(name, 0.0)
+                noise = crosstalk_power + self._noise_floor_w
+                if signal_power <= 0.0:
+                    snr_db = float("-inf")
+                else:
+                    snr_db = 10.0 * _log10(signal_power / noise)
+                state = state_map[communication.source]
+                links.append(
+                    LinkResult(
+                        communication=communication,
+                        injected_power_w=injected[name],
+                        signal_power_w=signal_power,
+                        crosstalk_power_w=crosstalk_power,
+                        snr_db=snr_db,
+                        detected=self._photodetector.detects(signal_power),
+                        laser_temperature_c=state.laser_c,
+                        path_length_m=self._network.ring.path_length_m(
+                            communication.source,
+                            communication.destination,
+                            communication.direction,
+                        ),
+                    )
+                )
+        return SnrReport(links=links, traces=traces)
+
+
+def _log10(value: float) -> float:
+    import math
+
+    if value <= 0.0:
+        raise AnalysisError(f"cannot take log10 of non-positive value {value!r}")
+    return math.log10(value)

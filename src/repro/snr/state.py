@@ -1,0 +1,96 @@
+"""Thermal and drive state shared by the SNR analysis.
+
+The SNR model consumes, for every ONI, the temperature of its lasers and of
+its microrings (usually extracted from a thermal map, but they can also be
+set by hand for what-if studies), plus the laser drive policy: either a fixed
+modulation current or a fixed dissipated power per VCSEL (the paper sweeps
+``PVCSEL``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class OniThermalState:
+    """Temperatures of one ONI used by the SNR analysis."""
+
+    name: str
+    average_temperature_c: float
+    laser_temperature_c: Optional[float] = None
+    microring_temperature_c: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AnalysisError("ONI name must be non-empty")
+
+    @property
+    def laser_c(self) -> float:
+        """Laser temperature, defaulting to the ONI average."""
+        if self.laser_temperature_c is None:
+            return self.average_temperature_c
+        return self.laser_temperature_c
+
+    @property
+    def microring_c(self) -> float:
+        """Microring temperature, defaulting to the ONI average."""
+        if self.microring_temperature_c is None:
+            return self.average_temperature_c
+        return self.microring_temperature_c
+
+    @property
+    def internal_gradient_c(self) -> float:
+        """Laser-to-microring temperature difference inside the ONI."""
+        return abs(self.laser_c - self.microring_c)
+
+
+@dataclass(frozen=True)
+class LaserDriveConfig:
+    """Drive policy of the VCSELs.
+
+    Exactly one of ``current_a`` and ``dissipated_power_w`` must be provided:
+    the former drives every VCSEL at a fixed modulation current (IVCSEL), the
+    latter at a fixed dissipated power (PVCSEL, the paper's sweep variable).
+    """
+
+    current_a: Optional[float] = None
+    dissipated_power_w: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        provided = sum(
+            value is not None for value in (self.current_a, self.dissipated_power_w)
+        )
+        if provided != 1:
+            raise AnalysisError(
+                "exactly one of current_a and dissipated_power_w must be set"
+            )
+        if self.current_a is not None and self.current_a < 0.0:
+            raise AnalysisError("current_a must be >= 0")
+        if self.dissipated_power_w is not None and self.dissipated_power_w < 0.0:
+            raise AnalysisError("dissipated_power_w must be >= 0")
+
+    @classmethod
+    def from_current_ma(cls, current_ma: float) -> "LaserDriveConfig":
+        """Drive every VCSEL at a fixed current given in milliamperes."""
+        return cls(current_a=current_ma * 1.0e-3)
+
+    @classmethod
+    def from_dissipated_mw(cls, power_mw: float) -> "LaserDriveConfig":
+        """Drive every VCSEL at a fixed dissipated power given in milliwatts."""
+        return cls(dissipated_power_w=power_mw * 1.0e-3)
+
+
+def states_by_name(states: Dict[str, OniThermalState] | list[OniThermalState]) -> Dict[str, OniThermalState]:
+    """Normalise a list of states into a name-indexed dictionary."""
+    if isinstance(states, dict):
+        return states
+    result: Dict[str, OniThermalState] = {}
+    for state in states:
+        if state.name in result:
+            raise AnalysisError(f"duplicate ONI state {state.name!r}")
+        result[state.name] = state
+    return result

@@ -1,0 +1,68 @@
+"""Steady-state finite-volume thermal simulation (IcTherm substitute)."""
+
+from .assembly import (
+    AssembledOperator,
+    AssembledSystem,
+    assemble_operator,
+    assemble_system,
+    boundary_rhs,
+    boundary_signature,
+)
+from .boundary import FACES, BoundaryConditions, FaceCondition
+from .compact import CompactResult, CompactThermalModel
+from .mesh import Mesh3D, MeshBuilder, RefinementRegion, build_ticks, merge_close_ticks
+from .solver import SolverDiagnostics, SteadyStateSolver
+from .sources import HeatSource, HeatSourceSet, power_density_field
+from .thermal_map import ThermalMap
+from .zoom import ZoomResult, ZoomSolver, clip_sources_to_window
+
+__all__ = [
+    "AssembledSystem",
+    "assemble_system",
+    "FACES",
+    "BoundaryConditions",
+    "FaceCondition",
+    "CompactResult",
+    "CompactThermalModel",
+    "Mesh3D",
+    "MeshBuilder",
+    "RefinementRegion",
+    "build_ticks",
+    "merge_close_ticks",
+    "SolverDiagnostics",
+    "SteadyStateSolver",
+    "HeatSource",
+    "HeatSourceSet",
+    "power_density_field",
+    "ThermalMap",
+    "ZoomResult",
+    "ZoomSolver",
+    "clip_sources_to_window",
+]
+__all__ = [
+    "AssembledOperator",
+    "AssembledSystem",
+    "assemble_operator",
+    "assemble_system",
+    "boundary_rhs",
+    "boundary_signature",
+    "FACES",
+    "BoundaryConditions",
+    "FaceCondition",
+    "CompactResult",
+    "CompactThermalModel",
+    "Mesh3D",
+    "MeshBuilder",
+    "RefinementRegion",
+    "build_ticks",
+    "merge_close_ticks",
+    "SolverDiagnostics",
+    "SteadyStateSolver",
+    "HeatSource",
+    "HeatSourceSet",
+    "power_density_field",
+    "ThermalMap",
+    "ZoomResult",
+    "ZoomSolver",
+    "clip_sources_to_window",
+]

@@ -1,0 +1,136 @@
+"""Compact one-dimensional thermal estimator.
+
+A resistance-ladder model of the layer stack, useful to sanity-check the
+finite-volume results, to pre-screen design points before running the full
+solver, and to size the heat-sink coefficient during calibration.  It is the
+thermal analogue of a back-of-the-envelope calculation: heat flows from the
+source layer up through every layer above it and into the convective boundary
+(and optionally down into the board path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import SolverError
+from ..geometry import LayerStack
+
+
+@dataclass(frozen=True)
+class CompactResult:
+    """Result of a compact estimate."""
+
+    junction_temperature_c: float
+    resistance_up_k_per_w: float
+    resistance_down_k_per_w: Optional[float]
+    effective_resistance_k_per_w: float
+
+
+class CompactThermalModel:
+    """1D series-resistance model of a layer stack.
+
+    Parameters
+    ----------
+    stack:
+        The package stack (bottom to top).
+    ambient_c:
+        Ambient temperature on both convective paths.
+    top_coefficient_w_m2k:
+        Convective coefficient of the heat-sink path (top face).
+    bottom_coefficient_w_m2k:
+        Optional convective coefficient of the board path (bottom face);
+        0 disables the downward path.
+    spreading_factor:
+        Multiplier (>= 1) applied to the conduction area to account for heat
+        spreading in thick, highly conductive layers; 1 is the conservative
+        purely-1D estimate.
+    """
+
+    def __init__(
+        self,
+        stack: LayerStack,
+        ambient_c: float,
+        top_coefficient_w_m2k: float,
+        bottom_coefficient_w_m2k: float = 0.0,
+        spreading_factor: float = 1.0,
+    ) -> None:
+        if top_coefficient_w_m2k <= 0.0:
+            raise SolverError("top convective coefficient must be positive")
+        if bottom_coefficient_w_m2k < 0.0:
+            raise SolverError("bottom convective coefficient must be >= 0")
+        if spreading_factor < 1.0:
+            raise SolverError("spreading factor must be >= 1")
+        self._stack = stack
+        self._ambient_c = ambient_c
+        self._top_h = top_coefficient_w_m2k
+        self._bottom_h = bottom_coefficient_w_m2k
+        self._spreading = spreading_factor
+
+    def _layer_resistance(self, layer_name: str, fraction: float = 1.0) -> float:
+        layer = self._stack.layer(layer_name)
+        footprint = layer.footprint or self._stack.footprint
+        area = footprint.area * self._spreading
+        return (layer.thickness * fraction) / (layer.material.vertical_conductivity * area)
+
+    def resistance_up_from(self, source_layer: str) -> float:
+        """Series resistance from the middle of ``source_layer`` to the ambient
+        through the top face [K/W]."""
+        names = [layer.name for layer in self._stack]
+        if source_layer not in names:
+            raise SolverError(f"unknown layer {source_layer!r}")
+        source_index = names.index(source_layer)
+        resistance = self._layer_resistance(source_layer, fraction=0.5)
+        for name in names[source_index + 1 :]:
+            resistance += self._layer_resistance(name)
+        top_area = self._stack.footprint.area * self._spreading
+        resistance += 1.0 / (self._top_h * top_area)
+        return resistance
+
+    def resistance_down_from(self, source_layer: str) -> Optional[float]:
+        """Series resistance from ``source_layer`` to the ambient through the
+        bottom face [K/W], or ``None`` when the board path is disabled."""
+        if self._bottom_h <= 0.0:
+            return None
+        names = [layer.name for layer in self._stack]
+        if source_layer not in names:
+            raise SolverError(f"unknown layer {source_layer!r}")
+        source_index = names.index(source_layer)
+        resistance = self._layer_resistance(source_layer, fraction=0.5)
+        for name in names[:source_index]:
+            resistance += self._layer_resistance(name)
+        bottom_area = self._stack.footprint.area * self._spreading
+        resistance += 1.0 / (self._bottom_h * bottom_area)
+        return resistance
+
+    def estimate(self, power_w: float, source_layer: str) -> CompactResult:
+        """Estimate the source-layer temperature for a total power ``power_w``."""
+        if power_w < 0.0:
+            raise SolverError("power must be >= 0")
+        resistance_up = self.resistance_up_from(source_layer)
+        resistance_down = self.resistance_down_from(source_layer)
+        if resistance_down is None:
+            effective = resistance_up
+        else:
+            effective = 1.0 / (1.0 / resistance_up + 1.0 / resistance_down)
+        return CompactResult(
+            junction_temperature_c=self._ambient_c + power_w * effective,
+            resistance_up_k_per_w=resistance_up,
+            resistance_down_k_per_w=resistance_down,
+            effective_resistance_k_per_w=effective,
+        )
+
+    def resistance_report(self, source_layer: str) -> Dict[str, float]:
+        """Per-layer resistance breakdown of the upward path [K/W]."""
+        names = [layer.name for layer in self._stack]
+        if source_layer not in names:
+            raise SolverError(f"unknown layer {source_layer!r}")
+        source_index = names.index(source_layer)
+        report: Dict[str, float] = {
+            source_layer: self._layer_resistance(source_layer, fraction=0.5)
+        }
+        for name in names[source_index + 1 :]:
+            report[name] = self._layer_resistance(name)
+        top_area = self._stack.footprint.area * self._spreading
+        report["convection"] = 1.0 / (self._top_h * top_area)
+        return report

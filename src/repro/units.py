@@ -1,0 +1,177 @@
+"""Unit conversion helpers used throughout the library.
+
+The thermal solver works in SI units (metres, watts, kelvin) while the
+photonic layer and the paper's figures use engineering units (micrometres,
+milliwatts, dBm, nanometres).  Centralising the conversions avoids the
+classic off-by-1e3 bugs that plague mixed-unit simulators.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Length
+# ---------------------------------------------------------------------------
+
+MICRONS_PER_METER = 1.0e6
+MILLIMETERS_PER_METER = 1.0e3
+NANOMETERS_PER_METER = 1.0e9
+
+
+def um_to_m(value_um: float) -> float:
+    """Convert micrometres to metres."""
+    return value_um / MICRONS_PER_METER
+
+
+def m_to_um(value_m: float) -> float:
+    """Convert metres to micrometres."""
+    return value_m * MICRONS_PER_METER
+
+
+def mm_to_m(value_mm: float) -> float:
+    """Convert millimetres to metres."""
+    return value_mm / MILLIMETERS_PER_METER
+
+
+def m_to_mm(value_m: float) -> float:
+    """Convert metres to millimetres."""
+    return value_m * MILLIMETERS_PER_METER
+
+
+def nm_to_m(value_nm: float) -> float:
+    """Convert nanometres to metres."""
+    return value_nm / NANOMETERS_PER_METER
+
+
+def m_to_nm(value_m: float) -> float:
+    """Convert metres to nanometres."""
+    return value_m * NANOMETERS_PER_METER
+
+
+def mm_to_cm(value_mm: float) -> float:
+    """Convert millimetres to centimetres."""
+    return value_mm / 10.0
+
+
+def cm_to_mm(value_cm: float) -> float:
+    """Convert centimetres to millimetres."""
+    return value_cm * 10.0
+
+
+# ---------------------------------------------------------------------------
+# Power
+# ---------------------------------------------------------------------------
+
+
+def mw_to_w(value_mw: float) -> float:
+    """Convert milliwatts to watts."""
+    return value_mw / 1.0e3
+
+
+def w_to_mw(value_w: float) -> float:
+    """Convert watts to milliwatts."""
+    return value_w * 1.0e3
+
+
+def uw_to_w(value_uw: float) -> float:
+    """Convert microwatts to watts."""
+    return value_uw / 1.0e6
+
+
+def w_to_uw(value_w: float) -> float:
+    """Convert watts to microwatts."""
+    return value_w * 1.0e6
+
+
+def mw_to_dbm(power_mw: float) -> float:
+    """Convert a power in milliwatts to dBm.
+
+    Raises :class:`ValueError` for non-positive power since the logarithm is
+    undefined; callers that may legitimately see zero power (e.g. a fully
+    extinguished crosstalk term) should guard with :func:`safe_mw_to_dbm`.
+    """
+    if power_mw <= 0.0:
+        raise ValueError(f"power must be positive to convert to dBm, got {power_mw!r}")
+    return 10.0 * math.log10(power_mw)
+
+
+def dbm_to_mw(power_dbm: float) -> float:
+    """Convert a power in dBm to milliwatts."""
+    return 10.0 ** (power_dbm / 10.0)
+
+
+def safe_mw_to_dbm(power_mw: float, floor_dbm: float = -200.0) -> float:
+    """Convert to dBm, returning ``floor_dbm`` for non-positive powers."""
+    if power_mw <= 0.0:
+        return floor_dbm
+    return max(10.0 * math.log10(power_mw), floor_dbm)
+
+
+# ---------------------------------------------------------------------------
+# Ratios
+# ---------------------------------------------------------------------------
+
+
+def db_to_ratio(value_db: float) -> float:
+    """Convert a dB value to a linear power ratio."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def ratio_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    The ratio must be strictly positive.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive to convert to dB, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def db_loss_to_transmission(loss_db: float) -> float:
+    """Convert a loss expressed in dB (positive number) to a transmission factor.
+
+    A loss of 3 dB corresponds to a transmission of ~0.5.
+    """
+    if loss_db < 0.0:
+        raise ValueError(f"loss must be non-negative, got {loss_db!r}")
+    return 10.0 ** (-loss_db / 10.0)
+
+
+def transmission_to_db_loss(transmission: float) -> float:
+    """Convert a transmission factor in (0, 1] to a positive dB loss."""
+    if not 0.0 < transmission <= 1.0:
+        raise ValueError(f"transmission must be in (0, 1], got {transmission!r}")
+    return -10.0 * math.log10(transmission)
+
+
+# ---------------------------------------------------------------------------
+# Temperature
+# ---------------------------------------------------------------------------
+
+KELVIN_OFFSET = 273.15
+
+
+def celsius_to_kelvin(value_c: float) -> float:
+    """Convert degrees Celsius to kelvin."""
+    return value_c + KELVIN_OFFSET
+
+
+def kelvin_to_celsius(value_k: float) -> float:
+    """Convert kelvin to degrees Celsius."""
+    return value_k - KELVIN_OFFSET
+
+
+# ---------------------------------------------------------------------------
+# Current
+# ---------------------------------------------------------------------------
+
+
+def ma_to_a(value_ma: float) -> float:
+    """Convert milliamperes to amperes."""
+    return value_ma / 1.0e3
+
+
+def a_to_ma(value_a: float) -> float:
+    """Convert amperes to milliamperes."""
+    return value_a * 1.0e3

@@ -1,0 +1,45 @@
+"""Shared fixtures for the heavier (flow-level) tests.
+
+The fixtures use deliberately coarse mesh settings and small ONI counts so
+the full test suite stays fast; the benchmarks exercise the paper-scale
+configurations.
+"""
+
+import pytest
+
+from repro.activity import uniform_activity
+from repro.casestudy import build_oni_ring_scenario, build_scc_architecture
+from repro.config import SimulationSettings
+from repro.methodology import ThermalAwareDesignFlow
+
+
+COARSE_SETTINGS = SimulationSettings(
+    oni_cell_size_um=400.0,
+    die_cell_size_um=3000.0,
+    zoom_cell_size_um=25.0,
+    ambient_temperature_c=35.0,
+)
+
+
+@pytest.fixture(scope="session")
+def coarse_architecture():
+    """SCC architecture meshed coarsely (shared across flow tests)."""
+    return build_scc_architecture(settings=COARSE_SETTINGS)
+
+
+@pytest.fixture(scope="session")
+def small_scenario(coarse_architecture):
+    """Six ONIs on an 18 mm ring."""
+    return build_oni_ring_scenario(coarse_architecture, ring_length_mm=18.0, oni_count=6)
+
+
+@pytest.fixture(scope="session")
+def small_flow(coarse_architecture, small_scenario):
+    """Design flow over the small scenario (mesh/factorisation shared)."""
+    return ThermalAwareDesignFlow(coarse_architecture, small_scenario)
+
+
+@pytest.fixture(scope="session")
+def uniform_25w(coarse_architecture):
+    """Uniform 25 W chip activity on the coarse architecture."""
+    return uniform_activity(coarse_architecture.floorplan, 25.0)

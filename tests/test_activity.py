@@ -1,0 +1,202 @@
+"""Tests for chip activity patterns and synthetic traces."""
+
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.activity import (
+    ActivityPattern,
+    SyntheticTraceGenerator,
+    checkerboard_activity,
+    diagonal_activity,
+    from_mapping,
+    gradient_activity,
+    hotspot_activity,
+    infrastructure_activity,
+    random_activity,
+    standard_activities,
+    uniform_activity,
+)
+from repro.casestudy import build_scc_floorplan
+from repro.errors import ConfigurationError
+from repro.geometry import Rect, grid_floorplan
+
+
+@pytest.fixture(scope="module")
+def floorplan():
+    return grid_floorplan(Rect.from_size_mm(0.0, 0.0, 24.0, 16.0), 6, 4)
+
+
+@pytest.fixture(scope="module")
+def scc_floorplan():
+    return build_scc_floorplan()
+
+
+class TestActivityPattern:
+    def test_total_and_lookup(self):
+        pattern = from_mapping("test", {"a": 1.0, "b": 2.0})
+        assert pattern.total_power_w == pytest.approx(3.0)
+        assert pattern.power_of("a") == 1.0
+        assert pattern.power_of("missing") == 0.0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            from_mapping("bad", {"a": -1.0})
+
+    def test_scaled_to(self):
+        pattern = from_mapping("test", {"a": 1.0, "b": 3.0}).scaled_to(8.0)
+        assert pattern.total_power_w == pytest.approx(8.0)
+        assert pattern.power_of("b") == pytest.approx(6.0)
+
+    def test_scaled_to_zero_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            from_mapping("zero", {"a": 0.0}).scaled_to(5.0)
+
+    def test_merged_with_adds_power(self):
+        first = from_mapping("a", {"x": 1.0, "y": 2.0})
+        second = from_mapping("b", {"y": 3.0, "z": 4.0})
+        merged = first.merged_with(second, name="ab")
+        assert merged.power_of("y") == pytest.approx(5.0)
+        assert merged.total_power_w == pytest.approx(10.0)
+
+    def test_heat_sources_conserve_power(self, floorplan):
+        pattern = uniform_activity(floorplan, 24.0)
+        sources = pattern.heat_sources(floorplan, 0.0, 10e-6)
+        assert sum(source.power_w for source in sources) == pytest.approx(24.0)
+        assert len(sources) == 24
+
+    def test_imbalance_uniform_is_one(self, floorplan):
+        assert uniform_activity(floorplan, 24.0).imbalance() == pytest.approx(1.0)
+
+
+class TestPatternGenerators:
+    def test_uniform_splits_evenly(self, floorplan):
+        pattern = uniform_activity(floorplan, 12.0)
+        assert all(p == pytest.approx(0.5) for p in pattern.tile_powers_w.values())
+
+    def test_diagonal_quadrants(self, floorplan):
+        pattern = diagonal_activity(floorplan, low_quadrant_power_w=4.0, high_quadrant_power_w=8.0)
+        assert pattern.total_power_w == pytest.approx(24.0)
+        # A tile in the upper-left quadrant dissipates twice the power of one
+        # in the upper-right quadrant.
+        upper_left = pattern.power_of("tile_0_3")
+        upper_right = pattern.power_of("tile_5_3")
+        assert upper_left == pytest.approx(2.0 * upper_right)
+
+    def test_random_activity_reproducible_and_scaled(self, floorplan):
+        first = random_activity(floorplan, 20.0, seed=7)
+        second = random_activity(floorplan, 20.0, seed=7)
+        different = random_activity(floorplan, 20.0, seed=8)
+        assert first.tile_powers_w == second.tile_powers_w
+        assert first.tile_powers_w != different.tile_powers_w
+        assert first.total_power_w == pytest.approx(20.0)
+
+    def test_hotspot_concentrates_power(self, floorplan):
+        pattern = hotspot_activity(floorplan, 20.0, hotspot_fraction=0.6, hotspot_tiles=2)
+        assert pattern.total_power_w == pytest.approx(20.0)
+        assert pattern.imbalance() > 3.0
+
+    def test_checkerboard_and_gradient_totals(self, floorplan):
+        assert checkerboard_activity(floorplan, 15.0).total_power_w == pytest.approx(15.0)
+        assert gradient_activity(floorplan, 15.0, axis="y").total_power_w == pytest.approx(15.0)
+
+    def test_gradient_increases_along_axis(self, floorplan):
+        pattern = gradient_activity(floorplan, 24.0, axis="x")
+        assert pattern.power_of("tile_5_0") > pattern.power_of("tile_0_0")
+
+    def test_invalid_arguments(self, floorplan):
+        with pytest.raises(ConfigurationError):
+            uniform_activity(floorplan, -1.0)
+        with pytest.raises(ConfigurationError):
+            hotspot_activity(floorplan, 10.0, hotspot_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            gradient_activity(floorplan, 10.0, axis="z")
+
+    @given(st.floats(min_value=1.0, max_value=200.0), st.integers(min_value=0, max_value=5))
+    @hyp_settings(max_examples=20, deadline=None)
+    def test_standard_activities_conserve_total(self, total, seed):
+        floorplan = grid_floorplan(Rect.from_size_mm(0.0, 0.0, 24.0, 16.0), 6, 4)
+        activities = standard_activities(floorplan, total, seed=seed)
+        for pattern in activities.values():
+            assert pattern.total_power_w == pytest.approx(total, rel=1e-9)
+
+
+class TestInfrastructureAndSccActivities:
+    def test_infrastructure_activity_targets_non_tile_blocks(self, scc_floorplan):
+        pattern = infrastructure_activity(scc_floorplan, 5.0)
+        assert pattern.total_power_w == pytest.approx(5.0)
+        assert all(
+            name.startswith(("memory_controller", "system_interface"))
+            for name in pattern.tile_powers_w
+        )
+
+    def test_infrastructure_activity_empty_without_blocks(self, floorplan):
+        pattern = infrastructure_activity(floorplan, 5.0)
+        assert pattern.total_power_w == 0.0
+
+    def test_standard_activities_on_scc_include_infrastructure(self, scc_floorplan):
+        activities = standard_activities(scc_floorplan, 25.0, infrastructure_fraction=0.3)
+        uniform = activities["uniform"]
+        assert uniform.total_power_w == pytest.approx(25.0)
+        infrastructure_power = sum(
+            power
+            for name, power in uniform.tile_powers_w.items()
+            if not name.startswith("tile")
+        )
+        assert infrastructure_power == pytest.approx(25.0 * 0.3, rel=1e-9)
+
+    def test_standard_activities_names(self, scc_floorplan):
+        activities = standard_activities(scc_floorplan, 25.0)
+        assert set(activities) == {"uniform", "diagonal", "random"}
+
+
+class TestTraces:
+    def test_random_walk_trace_statistics(self, floorplan):
+        generator = SyntheticTraceGenerator(floorplan, seed=1)
+        trace = generator.random_walk_trace(phases=5, mean_power_w=20.0)
+        assert len(trace) == 5
+        assert trace.total_duration_s == pytest.approx(5.0)
+        assert trace.peak_power_w() >= trace.average_power_w() > 0.0
+
+    def test_random_walk_reproducible(self, floorplan):
+        first = SyntheticTraceGenerator(floorplan, seed=3).random_walk_trace(4, 10.0)
+        second = SyntheticTraceGenerator(floorplan, seed=3).random_walk_trace(4, 10.0)
+        assert first.time_averaged_activity().tile_powers_w == pytest.approx(
+            second.time_averaged_activity().tile_powers_w
+        )
+
+    def test_migration_trace_moves_hotspot(self, floorplan):
+        trace = SyntheticTraceGenerator(floorplan, seed=2).migration_trace(
+            total_power_w=20.0, phases=3
+        )
+        hot_tiles_per_phase = []
+        for phase in trace:
+            hottest = max(
+                phase.activity.tile_powers_w, key=phase.activity.tile_powers_w.get
+            )
+            hot_tiles_per_phase.append(hottest)
+        assert len(set(hot_tiles_per_phase)) > 1
+
+    def test_ramp_trace_monotone(self, floorplan):
+        trace = SyntheticTraceGenerator(floorplan).ramp_trace(5.0, 25.0, phases=5)
+        totals = [phase.activity.total_power_w for phase in trace]
+        assert totals == sorted(totals)
+        assert totals[0] == pytest.approx(5.0)
+        assert totals[-1] == pytest.approx(25.0)
+
+    def test_time_averaged_activity(self, floorplan):
+        trace = SyntheticTraceGenerator(floorplan).ramp_trace(10.0, 20.0, phases=3)
+        averaged = trace.time_averaged_activity()
+        assert averaged.total_power_w == pytest.approx(trace.average_power_w())
+
+    def test_worst_phase(self, floorplan):
+        trace = SyntheticTraceGenerator(floorplan).ramp_trace(10.0, 20.0, phases=3)
+        assert trace.worst_phase().activity.total_power_w == pytest.approx(20.0)
+
+    def test_invalid_trace_arguments(self, floorplan):
+        generator = SyntheticTraceGenerator(floorplan)
+        with pytest.raises(ConfigurationError):
+            generator.random_walk_trace(0, 10.0)
+        with pytest.raises(ConfigurationError):
+            generator.ramp_trace(10.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            generator.migration_trace(10.0, phases=0)

@@ -1,0 +1,130 @@
+"""Tests for the SCC-like case study: package stack, floorplan, placement scenarios."""
+
+import pytest
+
+from repro.casestudy import (
+    SccPackageParameters,
+    build_oni_ring_scenario,
+    build_scc_architecture,
+    build_scc_floorplan,
+    build_scc_stack,
+    build_standard_scenarios,
+)
+from repro.config import SimulationSettings
+from repro.errors import ConfigurationError
+from repro.geometry import rectangle_perimeter_length
+from repro.oni import OniPowerConfig
+
+
+@pytest.fixture(scope="module")
+def architecture():
+    return build_scc_architecture(
+        settings=SimulationSettings(
+            oni_cell_size_um=400.0, die_cell_size_um=3000.0, zoom_cell_size_um=25.0
+        )
+    )
+
+
+class TestSccPackage:
+    def test_floorplan_has_24_tiles_and_infrastructure(self):
+        floorplan = build_scc_floorplan()
+        assert len(floorplan.instances_of_kind("tile")) == 24
+        assert len(floorplan.instances_of_kind("memory_controller")) == 4
+        assert len(floorplan.instances_of_kind("system_interface")) == 1
+
+    def test_floorplan_without_infrastructure(self):
+        params = SccPackageParameters(include_infrastructure=False)
+        floorplan = build_scc_floorplan(params)
+        assert len(floorplan) == 24
+
+    def test_die_dimensions_match_scc(self):
+        floorplan = build_scc_floorplan()
+        assert floorplan.outline.width == pytest.approx(26.5e-3)
+        assert floorplan.outline.height == pytest.approx(21.4e-3)
+
+    def test_stack_layers_follow_figure7(self):
+        stack = build_scc_stack()
+        names = [layer.name for layer in stack]
+        assert names.index("beol") < names.index("optical_layer")
+        assert names.index("optical_layer") < names.index("copper_lid")
+        assert names[0] == "substrate"
+        assert names[-1] == "copper_lid"
+        # Figure 7 thicknesses.
+        optical = stack.layer("optical_layer")
+        assert optical.thickness == pytest.approx(4.0e-6)
+        assert stack.layer("tim").thickness == pytest.approx(75.0e-6)
+        assert stack.layer("copper_lid").thickness == pytest.approx(2.0e-3)
+
+    def test_architecture_z_ranges_are_ordered(self, architecture):
+        electrical = architecture.electrical_z_range()
+        optical = architecture.optical_z_range()
+        assert electrical[1] <= optical[0]
+        zoom_low, zoom_high = architecture.zoom_vertical_range()
+        assert zoom_low < optical[0] < optical[1] < zoom_high
+
+    def test_boundary_conditions_use_settings(self, architecture):
+        boundaries = architecture.boundary_conditions()
+        top = boundaries.face("z_max")
+        assert top.kind == "convective"
+        assert top.ambient_c == architecture.settings.ambient_temperature_c
+
+    def test_mesh_builder_respects_refinements(self, architecture):
+        coarse = architecture.build_mesh()
+        scenario = build_oni_ring_scenario(architecture, 18.0, oni_count=6)
+        refined = architecture.build_mesh(oni_footprints=scenario.oni_footprints)
+        assert refined.n_cells > coarse.n_cells
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SccPackageParameters(die_width_mm=-1.0)
+        with pytest.raises(ConfigurationError):
+            SccPackageParameters(tile_columns=0)
+        with pytest.raises(ConfigurationError):
+            SccPackageParameters(bonding_tsv_copper_fraction=2.0)
+
+
+class TestScenarios:
+    def test_ring_length_matches_request(self, architecture):
+        scenario = build_oni_ring_scenario(architecture, 32.4, oni_count=12)
+        assert rectangle_perimeter_length(scenario.ring_rect) == pytest.approx(32.4e-3)
+        assert scenario.ring.total_length_m == pytest.approx(32.4e-3)
+        assert scenario.oni_count == 12
+
+    def test_onis_lie_inside_die(self, architecture):
+        scenario = build_oni_ring_scenario(architecture, 46.8, oni_count=24)
+        die = architecture.die_rect
+        for oni in scenario.onis:
+            assert die.contains_rect(oni.footprint), oni.name
+
+    def test_oni_names_match_ring_nodes(self, architecture):
+        scenario = build_oni_ring_scenario(architecture, 18.0, oni_count=8)
+        assert sorted(o.name for o in scenario.onis) == sorted(scenario.ring.node_names)
+
+    def test_standard_scenarios_lengths(self, architecture):
+        scenarios = build_standard_scenarios(architecture, oni_count=8)
+        lengths = sorted(s.ring_length_mm for s in scenarios.values())
+        assert lengths == [18.0, 32.4, 46.8]
+
+    def test_scenario_power_reconfiguration(self, architecture):
+        scenario = build_oni_ring_scenario(architecture, 18.0, oni_count=8)
+        powered = scenario.with_power(OniPowerConfig(vcsel_power_w=6.0e-3, heater_power_w=1.8e-3))
+        assert powered.total_optical_power_w() == pytest.approx(
+            8 * 16 * (6.0e-3 + 1.8e-3)
+        )
+        assert powered.total_driver_power_w() == pytest.approx(8 * 16 * 6.0e-3)
+
+    def test_oni_lookup(self, architecture):
+        scenario = build_oni_ring_scenario(architecture, 18.0, oni_count=8)
+        assert scenario.oni_by_name("oni_03").name == "oni_03"
+        with pytest.raises(ConfigurationError):
+            scenario.oni_by_name("oni_99")
+
+    def test_too_long_ring_rejected(self, architecture):
+        with pytest.raises(ConfigurationError, match="does not fit"):
+            build_oni_ring_scenario(architecture, 200.0, oni_count=8)
+
+    def test_invalid_arguments(self, architecture):
+        with pytest.raises(ConfigurationError):
+            build_oni_ring_scenario(architecture, -1.0, oni_count=8)
+        with pytest.raises(ConfigurationError):
+            build_oni_ring_scenario(architecture, 18.0, oni_count=1)

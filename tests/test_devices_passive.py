@@ -1,0 +1,244 @@
+"""Tests for the passive / electronic device models: microring, photodetector,
+waveguide, heater, TSV, driver and the device library."""
+
+import math
+
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.devices import (
+    DEFAULT_DEVICE_LIBRARY,
+    DeviceLibrary,
+    DriverModel,
+    DriverParameters,
+    HeaterModel,
+    HeaterParameters,
+    MicroringModel,
+    MicroringParameters,
+    PhotodetectorModel,
+    PhotodetectorParameters,
+    TsvModel,
+    TsvParameters,
+    WaveguideModel,
+    WaveguideParameters,
+)
+from repro.errors import DeviceError
+
+
+class TestMicroring:
+    def test_half_drop_anchor_matches_paper(self):
+        """50 % of the power is dropped at a 0.77 nm misalignment (7.7 degC)."""
+        ring = MicroringModel(MicroringParameters(drop_loss_db=0.0))
+        assert ring.half_drop_detuning_nm() == pytest.approx(0.775)
+        assert ring.half_drop_temperature_difference_c() == pytest.approx(7.75)
+        assert ring.drop_fraction(0.775) == pytest.approx(0.5, rel=1e-6)
+
+    def test_resonance_drifts_with_temperature(self):
+        ring = MicroringModel()
+        assert ring.resonance_wavelength_nm(30.0) - ring.resonance_wavelength_nm(
+            20.0
+        ) == pytest.approx(1.0)
+
+    def test_heater_shift_adds_to_resonance(self):
+        ring = MicroringModel()
+        assert ring.resonance_wavelength_nm(20.0, heater_shift_nm=0.5) == pytest.approx(
+            ring.resonance_wavelength_nm(20.0) + 0.5
+        )
+
+    def test_drop_plus_through_bounded_by_unity(self):
+        ring = MicroringModel()
+        for detuning in (0.0, 0.2, 0.775, 1.5, 3.0):
+            total = ring.drop_fraction(detuning) + ring.through_fraction(detuning)
+            assert total <= 1.0 + 1e-12
+
+    def test_far_detuned_signal_passes(self):
+        ring = MicroringModel()
+        assert ring.through_fraction(5.0) > 0.9
+        assert ring.drop_fraction(5.0) < 0.06
+
+    def test_aligned_signal_is_dropped(self):
+        ring = MicroringModel()
+        assert ring.drop_fraction(0.0) > 0.85
+        assert ring.through_fraction(0.0) < 0.01
+
+    def test_rolloff_order_two_is_steeper(self):
+        order1 = MicroringModel(MicroringParameters(rolloff_order=1))
+        order2 = MicroringModel(MicroringParameters(rolloff_order=2))
+        assert order2.drop_fraction(3.2) < order1.drop_fraction(3.2)
+        # Both keep the 3 dB bandwidth anchor.
+        assert order1.lineshape(0.775) == pytest.approx(0.5)
+        assert order2.lineshape(0.775) == pytest.approx(0.5)
+
+    def test_detuning_folds_into_fsr(self):
+        ring = MicroringModel(MicroringParameters(free_spectral_range_nm=20.0))
+        detuning = ring.detuning_nm(1550.0 - 19.0, 20.0)
+        assert abs(detuning) <= 10.0
+
+    def test_drop_fraction_for_temperatures(self):
+        ring = MicroringModel()
+        aligned = ring.drop_fraction_for_temperatures(1550.0, 20.0)
+        shifted = ring.drop_fraction_for_temperatures(1550.0, 27.7)
+        assert aligned > shifted
+        assert shifted == pytest.approx(aligned / 2.0, rel=0.01)
+
+    def test_transmission_penalty_positive(self):
+        ring = MicroringModel()
+        assert ring.transmission_penalty_db(5.0) > 0.0
+        assert ring.transmission_penalty_db(0.0) == pytest.approx(0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DeviceError):
+            MicroringParameters(bandwidth_3db_nm=0.0)
+        with pytest.raises(DeviceError):
+            MicroringParameters(rolloff_order=0)
+        with pytest.raises(DeviceError):
+            MicroringParameters(free_spectral_range_nm=-1.0)
+
+    @given(st.floats(min_value=-10.0, max_value=10.0))
+    @hyp_settings(max_examples=50)
+    def test_lineshape_bounded_and_symmetric(self, detuning):
+        ring = MicroringModel()
+        value = ring.lineshape(detuning)
+        assert 0.0 < value <= 1.0
+        assert value == pytest.approx(ring.lineshape(-detuning))
+
+    @given(st.floats(min_value=0.0, max_value=9.0))
+    @hyp_settings(max_examples=50)
+    def test_drop_monotonically_decreases_with_detuning(self, detuning):
+        ring = MicroringModel()
+        assert ring.drop_fraction(detuning + 0.5) <= ring.drop_fraction(detuning) + 1e-12
+
+
+class TestPhotodetector:
+    def test_sensitivity_threshold(self):
+        detector = PhotodetectorModel()
+        assert detector.sensitivity_w == pytest.approx(1.0e-5)  # -20 dBm
+        assert detector.detects(2.0e-5)
+        assert not detector.detects(0.5e-5)
+
+    def test_power_margin(self):
+        detector = PhotodetectorModel()
+        assert detector.power_margin_db(1.0e-5) == pytest.approx(0.0, abs=1e-9)
+        assert detector.power_margin_db(1.0e-4) == pytest.approx(10.0)
+        assert detector.power_margin_db(1.0e-6) == pytest.approx(-10.0)
+
+    def test_photocurrent(self):
+        detector = PhotodetectorModel(PhotodetectorParameters(responsivity_a_per_w=0.8))
+        assert detector.photocurrent_a(1.0e-3) == pytest.approx(0.8e-3, rel=1e-3)
+
+    def test_negative_power_rejected(self):
+        detector = PhotodetectorModel()
+        with pytest.raises(DeviceError):
+            detector.detects(-1.0)
+        with pytest.raises(DeviceError):
+            detector.power_margin_db(-1.0)
+
+
+class TestWaveguide:
+    def test_propagation_loss_matches_table1(self):
+        waveguide = WaveguideModel()
+        # 0.5 dB/cm over 46.8 mm = 2.34 dB.
+        assert waveguide.propagation_loss_db(46.8e-3) == pytest.approx(2.34)
+
+    def test_path_loss_includes_crossings_and_bends(self):
+        waveguide = WaveguideModel(
+            WaveguideParameters(crossing_loss_db=0.2, bend_loss_db=0.01)
+        )
+        loss = waveguide.path_loss_db(10.0e-3, crossings=3, bends=4)
+        assert loss == pytest.approx(0.5 + 0.6 + 0.04)
+
+    def test_transmission_in_unit_interval(self):
+        waveguide = WaveguideModel()
+        assert 0.0 < waveguide.transmission(0.1) <= 1.0
+        assert waveguide.transmission(0.0) == pytest.approx(1.0)
+
+    def test_negative_inputs_rejected(self):
+        waveguide = WaveguideModel()
+        with pytest.raises(DeviceError):
+            waveguide.propagation_loss_db(-1.0)
+        with pytest.raises(DeviceError):
+            waveguide.path_loss_db(1.0, crossings=-1)
+
+
+class TestHeater:
+    def test_tuning_costs_match_paper(self):
+        heater = HeaterModel()
+        # 190 uW/nm red shift, 130 uW/nm blue shift (Section III.B).
+        assert heater.power_for_red_shift_w(1.0) == pytest.approx(190e-6)
+        assert heater.power_for_blue_shift_w(1.0) == pytest.approx(130e-6)
+
+    def test_calibration_power_picks_direction(self):
+        heater = HeaterModel()
+        assert heater.calibration_power_w(0.5) == pytest.approx(65e-6)
+        assert heater.calibration_power_w(-0.5) == pytest.approx(95e-6)
+
+    def test_max_power_enforced(self):
+        heater = HeaterModel(HeaterParameters(max_power_w=1.0e-3))
+        with pytest.raises(DeviceError):
+            heater.power_for_red_shift_w(10.0)
+
+    def test_drive_voltage(self):
+        heater = HeaterModel(HeaterParameters(resistance_ohm=1000.0))
+        assert heater.drive_voltage_v(1.0e-3) == pytest.approx(1.0)
+
+    def test_negative_shift_rejected(self):
+        heater = HeaterModel()
+        with pytest.raises(DeviceError):
+            heater.power_for_red_shift_w(-1.0)
+
+
+class TestTsvAndDriver:
+    def test_tsv_resistances_scale_with_geometry(self):
+        small = TsvModel(TsvParameters(diameter_um=5.0, height_um=50.0))
+        wide = TsvModel(TsvParameters(diameter_um=10.0, height_um=50.0))
+        assert wide.electrical_resistance_ohm() < small.electrical_resistance_ohm()
+        assert wide.thermal_conductance_w_per_k() > small.thermal_conductance_w_per_k()
+
+    def test_tsv_joule_power(self):
+        tsv = TsvModel()
+        resistance = tsv.electrical_resistance_ohm()
+        assert tsv.joule_power_w(6.0e-3) == pytest.approx(resistance * 36.0e-6)
+        assert tsv.voltage_drop_v(6.0e-3) == pytest.approx(resistance * 6.0e-3)
+
+    def test_driver_power_components(self):
+        driver = DriverModel(DriverParameters(supply_voltage_v=2.4, static_power_w=0.1e-3))
+        power = driver.dissipated_power_w(6.0e-3, 1.2)
+        assert power == pytest.approx(0.5 * 6.0e-3 * 1.2 + 0.1e-3)
+
+    def test_driver_worst_case_matches_paper_assumption(self):
+        assert DriverModel.worst_case_power_w(3.6e-3) == pytest.approx(3.6e-3)
+
+    def test_driver_invalid_inputs(self):
+        driver = DriverModel()
+        with pytest.raises(DeviceError):
+            driver.dissipated_power_w(-1.0, 1.0)
+        with pytest.raises(DeviceError):
+            DriverModel.worst_case_power_w(-1.0)
+
+
+class TestDeviceLibrary:
+    def test_default_library_has_paper_devices(self):
+        library = DEFAULT_DEVICE_LIBRARY
+        assert library.default_vcsel() is not None
+        assert library.default_microring() is not None
+        assert library.default_photodetector() is not None
+        assert "tsv_5um" in library.tsvs
+        assert "cmos_driver" in library.drivers
+
+    def test_register_and_lookup(self):
+        library = DeviceLibrary.with_defaults()
+        library.vcsels.register("hot_vcsel", DEFAULT_DEVICE_LIBRARY.default_vcsel())
+        assert "hot_vcsel" in library.vcsels
+        assert "hot_vcsel" in library.vcsels.names()
+
+    def test_duplicate_registration_requires_overwrite(self):
+        library = DeviceLibrary.with_defaults()
+        with pytest.raises(DeviceError):
+            library.vcsels.register(
+                "cmos_compatible_vcsel", DEFAULT_DEVICE_LIBRARY.default_vcsel()
+            )
+
+    def test_unknown_device_error_lists_known(self):
+        library = DeviceLibrary.with_defaults()
+        with pytest.raises(DeviceError, match="known"):
+            library.microrings.get("missing_ring")

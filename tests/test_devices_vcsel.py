@@ -1,0 +1,149 @@
+"""Tests for the CMOS-compatible VCSEL model (paper Figure 8 anchors)."""
+
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.constants import quantum_slope_efficiency_w_per_a
+from repro.devices import VcselModel, VcselParameters
+from repro.errors import DeviceError
+
+
+@pytest.fixture(scope="module")
+def vcsel():
+    return VcselModel()
+
+
+class TestVcselParameters:
+    def test_defaults_are_physical(self):
+        params = VcselParameters()
+        assert params.slope_efficiency_w_per_a < quantum_slope_efficiency_w_per_a(
+            params.wavelength_nm
+        )
+        assert params.footprint_um == (15.0, 30.0)
+        assert params.thickness_um <= 4.0
+        assert params.modulation_bandwidth_ghz == 12.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DeviceError):
+            VcselParameters(threshold_current_a=0.0)
+        with pytest.raises(DeviceError):
+            VcselParameters(slope_efficiency_w_per_a=2.0)  # above quantum limit
+        with pytest.raises(DeviceError):
+            VcselParameters(slope_decay_span_k=-1.0)
+        with pytest.raises(DeviceError):
+            VcselParameters(max_current_a=0.0)
+
+    def test_with_thermal_resistance(self):
+        params = VcselParameters().with_thermal_resistance(500.0)
+        assert params.thermal_resistance_k_per_w == 500.0
+
+
+class TestTemperatureDependence:
+    def test_threshold_increases_with_temperature(self, vcsel):
+        assert vcsel.threshold_current_a(60.0) > vcsel.threshold_current_a(20.0)
+
+    def test_slope_efficiency_decreases_with_temperature(self, vcsel):
+        assert vcsel.slope_efficiency_w_per_a(60.0) < vcsel.slope_efficiency_w_per_a(20.0)
+
+    def test_slope_efficiency_clamped_at_zero(self, vcsel):
+        assert vcsel.slope_efficiency_w_per_a(500.0) == 0.0
+
+    def test_emission_wavelength_drifts_at_paper_rate(self, vcsel):
+        cold = vcsel.emission_wavelength_nm(20.0)
+        hot = vcsel.emission_wavelength_nm(30.0)
+        assert hot - cold == pytest.approx(1.0)  # 0.1 nm/degC x 10 degC
+
+    def test_paper_efficiency_anchors(self, vcsel):
+        """Section III.C: efficiency drops from ~15 % at 40 degC to ~4 % at 60 degC."""
+        at_40 = vcsel.wall_plug_efficiency(6.0e-3, 40.0)
+        at_60 = vcsel.wall_plug_efficiency(6.0e-3, 60.0)
+        assert 0.12 <= at_40 <= 0.18
+        assert 0.02 <= at_60 <= 0.07
+        assert at_40 > 2.5 * at_60
+
+
+class TestOperatingPoint:
+    def test_below_threshold_no_light(self, vcsel):
+        point = vcsel.operating_point(0.2e-3, 40.0)
+        assert point.optical_power_w == 0.0
+        assert not point.is_lasing
+        assert point.dissipated_power_w == pytest.approx(point.electrical_power_w)
+
+    def test_above_threshold_emits(self, vcsel):
+        point = vcsel.operating_point(6.0e-3, 40.0)
+        assert point.is_lasing
+        assert point.optical_power_w > 0.0
+        assert point.junction_temperature_c > point.base_temperature_c
+
+    def test_energy_balance(self, vcsel):
+        point = vcsel.operating_point(8.0e-3, 40.0)
+        assert point.electrical_power_w == pytest.approx(
+            point.optical_power_w + point.dissipated_power_w
+        )
+
+    def test_efficiency_decreases_with_base_temperature(self, vcsel):
+        efficiencies = [
+            vcsel.wall_plug_efficiency(6.0e-3, temperature)
+            for temperature in (20.0, 40.0, 60.0, 70.0)
+        ]
+        assert all(a >= b for a, b in zip(efficiencies, efficiencies[1:]))
+
+    def test_optical_power_rolls_over_at_high_current(self, vcsel):
+        """Figure 8-c: thermal roll-over limits the emitted power."""
+        currents_ma = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]
+        powers = [vcsel.optical_power_w(ma * 1e-3, 50.0) for ma in currents_ma]
+        peak_index = powers.index(max(powers))
+        assert 0 < peak_index < len(powers) - 1
+
+    def test_over_current_rejected(self, vcsel):
+        with pytest.raises(DeviceError):
+            vcsel.operating_point(20.0e-3, 40.0)
+        with pytest.raises(DeviceError):
+            vcsel.operating_point(-1.0e-3, 40.0)
+
+    @given(
+        st.floats(min_value=0.5e-3, max_value=12e-3),
+        st.floats(min_value=10.0, max_value=70.0),
+    )
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_operating_point_invariants(self, current, temperature):
+        vcsel = VcselModel()
+        point = vcsel.operating_point(current, temperature)
+        assert 0.0 <= point.wall_plug_efficiency < 1.0
+        assert point.optical_power_w >= 0.0
+        assert point.dissipated_power_w >= 0.0
+        assert point.junction_temperature_c >= temperature - 1e-9
+
+
+class TestInverseProblems:
+    def test_current_for_dissipated_power_roundtrip(self, vcsel):
+        current = vcsel.current_for_dissipated_power(3.6e-3, 50.0)
+        point = vcsel.operating_point(current, 50.0)
+        assert point.dissipated_power_w == pytest.approx(3.6e-3, rel=1e-6)
+
+    def test_current_for_optical_power_roundtrip(self, vcsel):
+        current = vcsel.current_for_optical_power(0.2e-3, 45.0)
+        assert vcsel.optical_power_w(current, 45.0) == pytest.approx(0.2e-3, rel=1e-6)
+
+    def test_optical_power_from_dissipated_monotone_in_temperature(self, vcsel):
+        """Hotter lasers emit less for the same dissipated power (Figure 8-c)."""
+        cold = vcsel.optical_power_from_dissipated(3.6e-3, 40.0)
+        hot = vcsel.optical_power_from_dissipated(3.6e-3, 60.0)
+        assert cold > hot > 0.0
+
+    def test_zero_targets(self, vcsel):
+        assert vcsel.current_for_dissipated_power(0.0, 40.0) == 0.0
+        assert vcsel.current_for_optical_power(0.0, 40.0) == 0.0
+
+    def test_unreachable_targets_rejected(self, vcsel):
+        with pytest.raises(DeviceError):
+            vcsel.current_for_optical_power(50.0e-3, 60.0)
+        with pytest.raises(DeviceError):
+            vcsel.current_for_dissipated_power(1.0, 40.0)
+
+    def test_higher_temperature_requires_more_current_for_same_light(self, vcsel):
+        """The methodology's key trade-off: compensating temperature costs current."""
+        target = 0.15e-3
+        cold_current = vcsel.current_for_optical_power(target, 40.0)
+        hot_current = vcsel.current_for_optical_power(target, 55.0)
+        assert hot_current > cold_current

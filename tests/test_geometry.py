@@ -1,0 +1,272 @@
+"""Tests for geometric primitives: rectangles, boxes, stacks, floorplans, placement."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    Box,
+    Floorplan,
+    FloorplanInstance,
+    Layer,
+    LayerStack,
+    MaterialBlock,
+    Rect,
+    grid_floorplan,
+    grid_positions,
+    nearest_position_index,
+    point_on_rectangle_perimeter,
+    rectangle_for_perimeter,
+    rectangle_perimeter_length,
+    ring_distance,
+    ring_positions,
+)
+from repro.materials import COPPER, EPOXY, SILICON
+
+finite_coords = st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
+positive_sizes = st.floats(min_value=1e-6, max_value=1.0, allow_nan=False)
+
+
+class TestRect:
+    def test_from_size_and_properties(self):
+        rect = Rect.from_size(1.0, 2.0, 3.0, 4.0)
+        assert rect.width == pytest.approx(3.0)
+        assert rect.height == pytest.approx(4.0)
+        assert rect.area == pytest.approx(12.0)
+        assert rect.center == (pytest.approx(2.5), pytest.approx(4.0))
+
+    def test_from_center(self):
+        rect = Rect.from_center(0.0, 0.0, 2.0, 4.0)
+        assert rect.x_min == -1.0 and rect.x_max == 1.0
+        assert rect.y_min == -2.0 and rect.y_max == 2.0
+
+    def test_unit_constructors(self):
+        rect_mm = Rect.from_size_mm(0.0, 0.0, 26.5, 21.4)
+        assert rect_mm.width == pytest.approx(0.0265)
+        rect_um = Rect.from_size_um(0.0, 0.0, 15.0, 30.0)
+        assert rect_um.height == pytest.approx(30.0e-6)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(GeometryError):
+            Rect.from_size(0.0, 0.0, -1.0, 1.0)
+
+    def test_containment_and_intersection(self):
+        outer = Rect.from_size(0.0, 0.0, 10.0, 10.0)
+        inner = Rect.from_size(2.0, 2.0, 3.0, 3.0)
+        disjoint = Rect.from_size(20.0, 20.0, 1.0, 1.0)
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+        assert outer.intersects(inner)
+        assert not outer.intersects(disjoint)
+        assert outer.intersection(disjoint) is None
+        assert outer.overlap_area(inner) == pytest.approx(inner.area)
+
+    def test_touching_rects_do_not_intersect(self):
+        left = Rect.from_size(0.0, 0.0, 1.0, 1.0)
+        right = Rect.from_size(1.0, 0.0, 1.0, 1.0)
+        assert not left.intersects(right)
+        assert left.overlap_area(right) == 0.0
+
+    def test_expand_and_translate(self):
+        rect = Rect.from_size(0.0, 0.0, 2.0, 2.0)
+        grown = rect.expanded(1.0)
+        assert grown.width == pytest.approx(4.0)
+        moved = rect.translated(5.0, -1.0)
+        assert moved.x_min == pytest.approx(5.0)
+        assert moved.y_min == pytest.approx(-1.0)
+
+    def test_grid_cells_cover_area(self):
+        rect = Rect.from_size(0.0, 0.0, 6.0, 4.0)
+        cells = list(rect.grid_cells(3, 2))
+        assert len(cells) == 6
+        assert sum(cell.area for cell in cells) == pytest.approx(rect.area)
+
+    @given(finite_coords, finite_coords, positive_sizes, positive_sizes)
+    def test_overlap_is_symmetric_and_bounded(self, x, y, w, h):
+        first = Rect.from_size(x, y, w, h)
+        second = Rect.from_size(0.0, 0.0, 0.5, 0.5)
+        overlap = first.overlap_area(second)
+        assert overlap == pytest.approx(second.overlap_area(first))
+        assert overlap <= min(first.area, second.area) + 1e-12
+
+
+class TestBox:
+    def test_from_rect_and_volume(self):
+        rect = Rect.from_size(0.0, 0.0, 2.0, 3.0)
+        box = Box.from_rect(rect, 1.0, 2.0)
+        assert box.volume == pytest.approx(6.0)
+        assert box.thickness == pytest.approx(1.0)
+        assert box.footprint.area == pytest.approx(rect.area)
+
+    def test_overlap_fraction(self):
+        box = Box(0.0, 0.0, 0.0, 2.0, 2.0, 2.0)
+        half = Box(0.0, 0.0, 0.0, 1.0, 2.0, 2.0)
+        assert half.overlap_fraction(box) == pytest.approx(1.0)
+        assert box.overlap_fraction(half) == pytest.approx(0.5)
+
+    def test_disjoint_boxes(self):
+        first = Box(0.0, 0.0, 0.0, 1.0, 1.0, 1.0)
+        second = Box(5.0, 5.0, 5.0, 6.0, 6.0, 6.0)
+        assert first.intersection(second) is None
+        assert first.overlap_volume(second) == 0.0
+
+    def test_contains_point(self):
+        box = Box(0.0, 0.0, 0.0, 1.0, 1.0, 1.0)
+        assert box.contains_point(0.5, 0.5, 0.5)
+        assert not box.contains_point(1.5, 0.5, 0.5)
+
+
+class TestLayerStack:
+    def _stack(self):
+        footprint = Rect.from_size_mm(0.0, 0.0, 10.0, 10.0)
+        stack = LayerStack(footprint)
+        stack.add_layer(Layer(name="bottom", thickness=100e-6, material=SILICON))
+        stack.add_layer(Layer(name="top", thickness=50e-6, material=COPPER))
+        return stack
+
+    def test_total_thickness_and_bounds(self):
+        stack = self._stack()
+        assert stack.total_thickness == pytest.approx(150e-6)
+        assert stack.z_bounds("bottom") == (pytest.approx(0.0), pytest.approx(100e-6))
+        assert stack.z_bounds("top") == (pytest.approx(100e-6), pytest.approx(150e-6))
+
+    def test_layer_at_height(self):
+        stack = self._stack()
+        assert stack.layer_at(50e-6).name == "bottom"
+        assert stack.layer_at(120e-6).name == "top"
+        with pytest.raises(GeometryError):
+            stack.layer_at(1.0)
+
+    def test_duplicate_layer_rejected(self):
+        stack = self._stack()
+        with pytest.raises(GeometryError):
+            stack.add_layer(Layer(name="top", thickness=10e-6, material=SILICON))
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(GeometryError, match="unknown layer"):
+            self._stack().layer("missing")
+
+    def test_material_at_with_blocks(self):
+        stack = self._stack()
+        block_rect = Rect.from_size_mm(1.0, 1.0, 2.0, 2.0)
+        stack.layer("bottom").add_block(
+            MaterialBlock(name="island", footprint=block_rect, material=EPOXY)
+        )
+        inside = stack.material_at(2e-3, 2e-3, 50e-6)
+        outside = stack.material_at(8e-3, 8e-3, 50e-6)
+        assert inside.name == "epoxy"
+        assert outside.name == "silicon"
+
+    def test_narrow_layer_uses_padding(self):
+        footprint = Rect.from_size_mm(0.0, 0.0, 10.0, 10.0)
+        stack = LayerStack(footprint)
+        die = Rect.from_size_mm(2.0, 2.0, 6.0, 6.0)
+        stack.add_layer(
+            Layer(
+                name="die",
+                thickness=100e-6,
+                material=SILICON,
+                footprint=die,
+                padding_material=EPOXY,
+            )
+        )
+        assert stack.material_at(5e-3, 5e-3, 50e-6).name == "silicon"
+        assert stack.material_at(0.5e-3, 0.5e-3, 50e-6).name == "epoxy"
+
+    def test_layer_box(self):
+        stack = self._stack()
+        box = stack.layer_box("top")
+        assert box.thickness == pytest.approx(50e-6)
+
+
+class TestFloorplan:
+    def test_grid_floorplan_covers_outline(self):
+        outline = Rect.from_size_mm(0.0, 0.0, 26.5, 21.4)
+        floorplan = grid_floorplan(outline, 6, 4)
+        assert len(floorplan) == 24
+        assert floorplan.utilization() == pytest.approx(1.0)
+        assert "tile_0_0" in floorplan
+        assert "tile_5_3" in floorplan
+
+    def test_duplicate_instance_rejected(self):
+        outline = Rect.from_size_mm(0.0, 0.0, 10.0, 10.0)
+        floorplan = Floorplan(outline)
+        rect = Rect.from_size_mm(0.0, 0.0, 1.0, 1.0)
+        floorplan.add_rect("a", rect)
+        with pytest.raises(GeometryError):
+            floorplan.add_rect("a", rect)
+
+    def test_instance_outside_outline_rejected(self):
+        outline = Rect.from_size_mm(0.0, 0.0, 10.0, 10.0)
+        floorplan = Floorplan(outline)
+        with pytest.raises(GeometryError):
+            floorplan.add_rect("big", Rect.from_size_mm(5.0, 5.0, 10.0, 10.0))
+
+    def test_instances_of_kind_and_intersecting(self):
+        outline = Rect.from_size_mm(0.0, 0.0, 10.0, 10.0)
+        floorplan = Floorplan(outline)
+        floorplan.add_rect("core0", Rect.from_size_mm(0.0, 0.0, 4.0, 4.0), kind="core")
+        floorplan.add_rect("cache0", Rect.from_size_mm(5.0, 5.0, 4.0, 4.0), kind="cache")
+        assert [i.name for i in floorplan.instances_of_kind("core")] == ["core0"]
+        hits = floorplan.instances_intersecting(Rect.from_size_mm(3.0, 3.0, 1.0, 1.0))
+        assert [i.name for i in hits] == ["core0"]
+
+    def test_unknown_instance(self):
+        outline = Rect.from_size_mm(0.0, 0.0, 10.0, 10.0)
+        floorplan = Floorplan(outline)
+        with pytest.raises(GeometryError):
+            floorplan.get("missing")
+
+
+class TestPlacement:
+    def test_rectangle_for_perimeter(self):
+        rect = rectangle_for_perimeter(0.0, 0.0, 18.0e-3, aspect_ratio=2.0)
+        assert rectangle_perimeter_length(rect) == pytest.approx(18.0e-3)
+        assert rect.width / rect.height == pytest.approx(2.0)
+
+    def test_point_on_perimeter_corners(self):
+        rect = Rect.from_size(0.0, 0.0, 2.0, 1.0)
+        assert point_on_rectangle_perimeter(rect, 0.0) == (pytest.approx(0.0), pytest.approx(0.0))
+        assert point_on_rectangle_perimeter(rect, 2.0) == (pytest.approx(2.0), pytest.approx(0.0))
+        assert point_on_rectangle_perimeter(rect, 3.0) == (pytest.approx(2.0), pytest.approx(1.0))
+        # Full perimeter wraps back to the start.
+        x, y = point_on_rectangle_perimeter(rect, 6.0)
+        assert (x, y) == (pytest.approx(0.0), pytest.approx(0.0))
+
+    def test_ring_positions_even_spacing(self):
+        rect = Rect.from_size(0.0, 0.0, 4.0, 2.0)
+        positions = ring_positions(rect, 12)
+        assert len(positions) == 12
+        spacings = [
+            positions[i + 1].arc_length - positions[i].arc_length for i in range(11)
+        ]
+        assert all(s == pytest.approx(1.0) for s in spacings)
+        # Every position lies on the rectangle border.
+        for position in positions:
+            on_vertical = math.isclose(position.x, 0.0) or math.isclose(position.x, 4.0)
+            on_horizontal = math.isclose(position.y, 0.0) or math.isclose(position.y, 2.0)
+            assert on_vertical or on_horizontal
+
+    def test_ring_distance_directions(self):
+        assert ring_distance(10.0, 1.0, 4.0, "forward") == pytest.approx(3.0)
+        assert ring_distance(10.0, 1.0, 4.0, "backward") == pytest.approx(7.0)
+        assert ring_distance(10.0, 4.0, 1.0, "forward") == pytest.approx(7.0)
+
+    def test_ring_distance_invalid_direction(self):
+        with pytest.raises(GeometryError):
+            ring_distance(10.0, 0.0, 1.0, "sideways")
+
+    def test_grid_positions_and_nearest(self):
+        rect = Rect.from_size(0.0, 0.0, 4.0, 4.0)
+        positions = grid_positions(rect, 2, 2)
+        assert len(positions) == 4
+        index = nearest_position_index(positions, 0.9, 0.9)
+        assert positions[index] == (pytest.approx(1.0), pytest.approx(1.0))
+
+    def test_nearest_with_empty_positions(self):
+        with pytest.raises(GeometryError):
+            nearest_position_index([], 0.0, 0.0)

@@ -1,0 +1,136 @@
+"""Tests for the material models and the default library."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MaterialError
+from repro.materials import (
+    BEOL,
+    COPPER,
+    DEFAULT_LIBRARY,
+    EPOXY,
+    Material,
+    MaterialLibrary,
+    SILICON,
+    SILICON_DIOXIDE,
+    mixed_material,
+)
+
+
+class TestMaterial:
+    def test_isotropic_material(self):
+        material = Material(name="test", thermal_conductivity_w_mk=100.0)
+        assert material.is_isotropic
+        assert material.lateral_conductivity == 100.0
+        assert material.vertical_conductivity == 100.0
+
+    def test_anisotropic_material(self):
+        material = Material(
+            name="aniso",
+            thermal_conductivity_w_mk=50.0,
+            vertical_conductivity_w_mk=5.0,
+        )
+        assert not material.is_isotropic
+        assert material.conductivity_along(0) == 50.0
+        assert material.conductivity_along(1) == 50.0
+        assert material.conductivity_along(2) == 5.0
+
+    def test_conductivity_along_invalid_axis(self):
+        with pytest.raises(MaterialError):
+            SILICON.conductivity_along(3)
+
+    def test_volumetric_heat_capacity(self):
+        assert SILICON.volumetric_heat_capacity_j_m3k() == pytest.approx(
+            2330.0 * 710.0
+        )
+
+    def test_rejects_non_physical_values(self):
+        with pytest.raises(MaterialError):
+            Material(name="bad", thermal_conductivity_w_mk=0.0)
+        with pytest.raises(MaterialError):
+            Material(name="bad", thermal_conductivity_w_mk=10.0, density_kg_m3=-1.0)
+        with pytest.raises(MaterialError):
+            Material(name="", thermal_conductivity_w_mk=10.0)
+        with pytest.raises(MaterialError):
+            Material(
+                name="bad",
+                thermal_conductivity_w_mk=10.0,
+                vertical_conductivity_w_mk=0.0,
+            )
+
+
+class TestMixedMaterial:
+    def test_pure_fractions_recover_constituents(self):
+        pure_first = mixed_material("m", COPPER, EPOXY, first_fraction=1.0)
+        assert pure_first.lateral_conductivity == pytest.approx(
+            COPPER.lateral_conductivity
+        )
+        pure_second = mixed_material("m", COPPER, EPOXY, first_fraction=0.0)
+        assert pure_second.vertical_conductivity == pytest.approx(
+            EPOXY.vertical_conductivity
+        )
+
+    def test_lateral_is_arithmetic_and_vertical_is_harmonic(self):
+        mix = mixed_material("m", COPPER, SILICON_DIOXIDE, first_fraction=0.5)
+        arithmetic = 0.5 * (COPPER.lateral_conductivity + SILICON_DIOXIDE.lateral_conductivity)
+        harmonic = 1.0 / (
+            0.5 / COPPER.vertical_conductivity + 0.5 / SILICON_DIOXIDE.vertical_conductivity
+        )
+        assert mix.lateral_conductivity == pytest.approx(arithmetic)
+        assert mix.vertical_conductivity == pytest.approx(harmonic)
+
+    def test_vertical_never_exceeds_lateral(self):
+        mix = mixed_material("m", COPPER, EPOXY, first_fraction=0.3)
+        assert mix.vertical_conductivity <= mix.lateral_conductivity
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(MaterialError):
+            mixed_material("m", COPPER, EPOXY, first_fraction=1.5)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_mixed_conductivities_bounded_by_constituents(self, fraction):
+        mix = mixed_material("m", COPPER, EPOXY, first_fraction=fraction)
+        low = min(COPPER.lateral_conductivity, EPOXY.lateral_conductivity)
+        high = max(COPPER.lateral_conductivity, EPOXY.lateral_conductivity)
+        assert low - 1e-9 <= mix.lateral_conductivity <= high + 1e-9
+        assert low - 1e-9 <= mix.vertical_conductivity <= high + 1e-9
+
+    def test_beol_composite_is_anisotropic(self):
+        # Copper lines in oxide conduct much better laterally than vertically.
+        assert BEOL.lateral_conductivity > 10.0 * BEOL.vertical_conductivity
+
+
+class TestMaterialLibrary:
+    def test_default_library_contains_standard_materials(self):
+        for name in ("silicon", "copper", "epoxy", "beol", "optical_layer", "fr4"):
+            assert name in DEFAULT_LIBRARY
+            assert DEFAULT_LIBRARY.get(name).thermal_conductivity_w_mk > 0.0
+
+    def test_unknown_material_raises_with_known_names(self):
+        with pytest.raises(MaterialError, match="unknown material"):
+            DEFAULT_LIBRARY.get("unobtanium")
+
+    def test_register_and_retrieve(self):
+        library = MaterialLibrary()
+        custom = Material(name="custom_tim", thermal_conductivity_w_mk=8.0)
+        library.register(custom)
+        assert library.get("custom_tim") is custom
+
+    def test_register_duplicate_requires_overwrite(self):
+        library = MaterialLibrary()
+        custom = Material(name="silicon", thermal_conductivity_w_mk=150.0)
+        with pytest.raises(MaterialError):
+            library.register(custom)
+        library.register(custom, overwrite=True)
+        assert library.get("silicon").thermal_conductivity_w_mk == 150.0
+
+    def test_names_sorted_and_len(self):
+        library = MaterialLibrary()
+        names = library.names()
+        assert names == sorted(names)
+        assert len(library) == len(names)
+
+    def test_constructor_accepts_extra_materials(self):
+        extra = Material(name="diamond", thermal_conductivity_w_mk=2000.0)
+        library = MaterialLibrary([extra])
+        assert "diamond" in library

@@ -1,0 +1,116 @@
+"""Tests for the end-to-end design flow (thermal + SNR evaluation)."""
+
+import pytest
+
+from repro.activity import diagonal_activity, uniform_activity
+from repro.errors import AnalysisError
+from repro.oni import OniPowerConfig
+from repro.onoc import opposite_traffic
+from repro.snr import LaserDriveConfig
+
+
+PAPER_POWER = OniPowerConfig(vcsel_power_w=3.6e-3, heater_power_w=1.08e-3)
+
+
+class TestThermalStep:
+    def test_run_thermal_produces_summary_per_oni(self, small_flow, uniform_25w):
+        evaluation = small_flow.run_thermal(uniform_25w, power=PAPER_POWER, zoom_oni=None)
+        assert set(evaluation.oni_summaries) == {o.name for o in small_flow.scenario.onis}
+        for summary in evaluation.oni_summaries.values():
+            assert summary.average_c > small_flow.settings.ambient_temperature_c
+            assert summary.laser_c > 0.0
+            assert summary.microring_c > 0.0
+
+    def test_zoom_provides_gradient(self, small_flow, uniform_25w):
+        evaluation = small_flow.run_thermal(uniform_25w, power=PAPER_POWER, zoom_oni="auto")
+        assert evaluation.zoomed_oni is not None
+        assert evaluation.gradient_c > 0.0
+        assert evaluation.zoom_map is not None
+
+    def test_gradient_requires_zoom(self, small_flow, uniform_25w):
+        evaluation = small_flow.run_thermal(uniform_25w, power=PAPER_POWER, zoom_oni=None)
+        with pytest.raises(AnalysisError):
+            _ = evaluation.gradient_c
+
+    def test_more_chip_power_raises_temperatures(self, small_flow, coarse_architecture):
+        low = small_flow.run_thermal(
+            uniform_activity(coarse_architecture.floorplan, 12.5),
+            power=PAPER_POWER,
+            zoom_oni=None,
+        )
+        high = small_flow.run_thermal(
+            uniform_activity(coarse_architecture.floorplan, 31.25),
+            power=PAPER_POWER,
+            zoom_oni=None,
+        )
+        assert high.average_oni_temperature_c > low.average_oni_temperature_c + 3.0
+
+    def test_more_vcsel_power_raises_oni_temperature(self, small_flow, uniform_25w):
+        low = small_flow.run_thermal(
+            uniform_25w, power=OniPowerConfig(vcsel_power_w=1.0e-3, heater_power_w=0.0), zoom_oni=None
+        )
+        high = small_flow.run_thermal(
+            uniform_25w, power=OniPowerConfig(vcsel_power_w=6.0e-3, heater_power_w=0.0), zoom_oni=None
+        )
+        assert high.max_oni_temperature_c > low.max_oni_temperature_c + 1.0
+
+    def test_diagonal_activity_spreads_oni_temperatures(self, small_flow, coarse_architecture, uniform_25w):
+        uniform_eval = small_flow.run_thermal(uniform_25w, power=PAPER_POWER, zoom_oni=None)
+        diagonal = diagonal_activity(coarse_architecture.floorplan).scaled_to(25.0)
+        diagonal_eval = small_flow.run_thermal(diagonal, power=PAPER_POWER, zoom_oni=None)
+        assert (
+            diagonal_eval.oni_temperature_spread_c
+            > uniform_eval.oni_temperature_spread_c
+        )
+
+    def test_heat_sources_cover_activity_and_onis(self, small_flow, uniform_25w):
+        sources = small_flow.heat_sources(uniform_25w, PAPER_POWER)
+        total = sum(source.power_w for source in sources)
+        oni_power = sum(
+            oni.with_power(PAPER_POWER).total_power_w()
+            for oni in small_flow.scenario.onis
+        )
+        assert total == pytest.approx(25.0 + oni_power, rel=1e-9)
+
+    def test_default_zoom_oni_is_central(self, small_flow):
+        name = small_flow.default_zoom_oni()
+        assert name in {o.name for o in small_flow.scenario.onis}
+
+    def test_meets_gradient_constraint_helper(self, small_flow, uniform_25w):
+        evaluation = small_flow.run_thermal(uniform_25w, power=PAPER_POWER, zoom_oni="auto")
+        assert evaluation.meets_gradient_constraint(1000.0)
+        assert not evaluation.meets_gradient_constraint(0.0)
+
+
+class TestNetworkAndSnrStep:
+    def test_build_network_routes_default_traffic(self, small_flow):
+        network = small_flow.build_network()
+        assert len(network.assigned_communications()) == len(small_flow.scenario.onis)
+        assert network.waveguide_count == 4
+
+    def test_build_network_with_explicit_traffic(self, small_flow):
+        traffic = opposite_traffic(small_flow.scenario.ring)
+        network = small_flow.build_network(traffic)
+        assert len(network.assigned_communications()) == len(traffic)
+
+    def test_run_snr_produces_report(self, small_flow, uniform_25w):
+        evaluation = small_flow.run_thermal(uniform_25w, power=PAPER_POWER, zoom_oni=None)
+        report = small_flow.run_snr(
+            evaluation, LaserDriveConfig.from_dissipated_mw(3.6)
+        )
+        assert len(report.links) == len(small_flow.scenario.onis)
+        assert report.worst_case_snr_db > 0.0
+        assert report.all_detected
+
+    def test_evaluate_design_point_combines_both(self, small_flow, uniform_25w):
+        result = small_flow.evaluate_design_point(uniform_25w, PAPER_POWER)
+        assert result.worst_case_snr_db > 0.0
+        assert result.gradient_c > 0.0
+        assert result.average_oni_temperature_c > 35.0
+        assert result.drive.dissipated_power_w == pytest.approx(3.6e-3)
+
+    def test_states_feed_snr(self, small_flow, uniform_25w):
+        evaluation = small_flow.run_thermal(uniform_25w, power=PAPER_POWER, zoom_oni=None)
+        states = evaluation.states()
+        assert len(states) == len(small_flow.scenario.onis)
+        assert all(state.laser_c > 35.0 for state in states)

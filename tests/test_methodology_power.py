@@ -1,0 +1,127 @@
+"""Tests for the ONoC power-efficiency accounting."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.methodology.power import NetworkPowerModel, NetworkPowerReport
+from repro.oni import OniPowerConfig
+from repro.onoc import OrnocNetwork, RingTopology, shift_traffic
+from repro.snr import LaserDriveConfig, OniThermalState
+
+
+def make_network(oni_count=6):
+    names = [f"oni_{i:02d}" for i in range(oni_count)]
+    ring = RingTopology.evenly_spaced(names, 18.0e-3)
+    network = OrnocNetwork(ring, shift_traffic(ring, max(1, oni_count // 3)))
+    network.assign_channels()
+    return ring, network
+
+
+def states_at(ring, temperature_c):
+    return {
+        name: OniThermalState(name=name, average_temperature_c=temperature_c)
+        for name in ring.node_names
+    }
+
+
+class TestNetworkPowerModel:
+    def test_breakdown_components_and_total(self):
+        ring, network = make_network()
+        model = NetworkPowerModel(network)
+        power = OniPowerConfig(vcsel_power_w=3.6e-3, heater_power_w=1.08e-3)
+        report = model.evaluate(
+            states_at(ring, 50.0), LaserDriveConfig.from_dissipated_mw(3.6), power
+        )
+        assert report.communication_count == 6
+        # Heater and driver powers follow the per-device settings.
+        assert report.heater_w == pytest.approx(6 * 1.08e-3)
+        assert report.driver_w == pytest.approx(6 * 3.6e-3)
+        # Laser electrical power exceeds the dissipated target (it includes
+        # the emitted light) and the optical power is what remains.
+        assert report.laser_electrical_w > 6 * 3.6e-3
+        assert report.laser_optical_w == pytest.approx(
+            report.laser_electrical_w - 6 * 3.6e-3, rel=1e-6
+        )
+        assert report.total_w == pytest.approx(
+            report.laser_electrical_w
+            + report.driver_w
+            + report.heater_w
+            + report.calibration_w
+        )
+        assert 0.0 < report.laser_efficiency < 0.3
+        assert report.energy_per_bit_pj > 0.0
+
+    def test_uniform_temperatures_need_no_calibration(self):
+        ring, network = make_network()
+        model = NetworkPowerModel(network)
+        power = OniPowerConfig(vcsel_power_w=3.6e-3, heater_power_w=1.08e-3)
+        report = model.evaluate(
+            states_at(ring, 50.0), LaserDriveConfig.from_dissipated_mw(3.6), power
+        )
+        assert report.calibration_w == pytest.approx(0.0, abs=1e-9)
+
+    def test_temperature_imbalance_costs_calibration_power(self):
+        ring, network = make_network()
+        model = NetworkPowerModel(network)
+        power = OniPowerConfig(vcsel_power_w=3.6e-3, heater_power_w=1.08e-3)
+        skewed = {
+            name: OniThermalState(name=name, average_temperature_c=48.0 + 2.0 * index)
+            for index, name in enumerate(ring.node_names)
+        }
+        report = model.evaluate(
+            skewed, LaserDriveConfig.from_dissipated_mw(3.6), power
+        )
+        assert report.calibration_w > 0.0
+        without = model.evaluate(
+            skewed,
+            LaserDriveConfig.from_dissipated_mw(3.6),
+            power,
+            include_calibration=False,
+        )
+        assert without.calibration_w == 0.0
+        assert without.total_w < report.total_w
+
+    def test_hotter_network_draws_more_laser_power_for_same_light(self):
+        ring, network = make_network()
+        model = NetworkPowerModel(network)
+        power = OniPowerConfig(vcsel_power_w=3.6e-3, heater_power_w=0.0)
+        drive = LaserDriveConfig(current_a=6.0e-3)
+        cool = model.evaluate(states_at(ring, 40.0), drive, power)
+        hot = model.evaluate(states_at(ring, 60.0), drive, power)
+        # Same current, hotter junctions: less light out, lower efficiency.
+        assert hot.laser_optical_w < cool.laser_optical_w
+        assert hot.laser_efficiency < cool.laser_efficiency
+
+    def test_as_row_keys(self):
+        ring, network = make_network()
+        model = NetworkPowerModel(network)
+        report = model.evaluate(
+            states_at(ring, 50.0),
+            LaserDriveConfig.from_dissipated_mw(3.6),
+            OniPowerConfig(),
+        )
+        row = report.as_row()
+        assert {"total_mw", "energy_per_bit_pj", "laser_efficiency"} <= set(row)
+
+    def test_missing_state_raises(self):
+        ring, network = make_network()
+        model = NetworkPowerModel(network)
+        states = states_at(ring, 50.0)
+        states.pop("oni_00")
+        with pytest.raises(AnalysisError):
+            model.evaluate(
+                states, LaserDriveConfig.from_dissipated_mw(3.6), OniPowerConfig()
+            )
+
+    def test_zero_bandwidth_energy_per_bit_rejected(self):
+        report = NetworkPowerReport(
+            laser_electrical_w=1.0,
+            laser_optical_w=0.1,
+            driver_w=0.5,
+            heater_w=0.1,
+            calibration_w=0.0,
+            communication_count=1,
+            aggregate_bandwidth_gbps=0.0,
+        )
+        with pytest.raises(AnalysisError):
+            _ = report.energy_per_bit_pj

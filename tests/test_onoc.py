@@ -1,0 +1,279 @@
+"""Tests for the ORNoC ring: topology, traffic, channel assignment, losses,
+and the baseline crossbar comparison."""
+
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.config import TechnologyParameters
+from repro.errors import NetworkError
+from repro.onoc import (
+    Communication,
+    InsertionLossAnalyzer,
+    LambdaRouterCrossbar,
+    MatrixCrossbar,
+    OrnocNetwork,
+    OrnocRingCrossbar,
+    RingNode,
+    RingTopology,
+    SnakeCrossbar,
+    all_to_all_traffic,
+    all_to_one_traffic,
+    compare_topologies,
+    neighbor_traffic,
+    one_to_all_traffic,
+    opposite_traffic,
+    ornoc_reduction_factors,
+    random_pair_traffic,
+    ring_path_length,
+    shift_traffic,
+)
+
+
+@pytest.fixture
+def ring():
+    return RingTopology.evenly_spaced([f"oni_{i:02d}" for i in range(8)], 32.0e-3)
+
+
+class TestRingTopology:
+    def test_evenly_spaced_positions(self, ring):
+        assert len(ring) == 8
+        assert ring.arc_length("oni_00") == 0.0
+        assert ring.arc_length("oni_04") == pytest.approx(16.0e-3)
+
+    def test_path_length_directions(self, ring):
+        forward = ring.path_length_m("oni_00", "oni_02", "clockwise")
+        backward = ring.path_length_m("oni_00", "oni_02", "counterclockwise")
+        assert forward == pytest.approx(8.0e-3)
+        assert backward == pytest.approx(24.0e-3)
+        assert forward + backward == pytest.approx(ring.total_length_m)
+
+    def test_nodes_between(self, ring):
+        assert ring.nodes_between("oni_00", "oni_03") == ["oni_01", "oni_02"]
+        assert ring.nodes_between("oni_06", "oni_01") == ["oni_07", "oni_00"]
+        assert ring.nodes_between("oni_00", "oni_01") == []
+
+    def test_traversal_order_visits_all_others(self, ring):
+        order = ring.traversal_order("oni_03")
+        assert len(order) == 7
+        assert order[0] == "oni_04"
+        assert order[-1] == "oni_02"
+        assert "oni_03" not in order
+
+    def test_opposite(self, ring):
+        assert ring.opposite("oni_00") == "oni_04"
+        assert ring.opposite("oni_06") == "oni_02"
+
+    def test_hop_count(self, ring):
+        assert ring.hop_count("oni_00", "oni_01") == 1
+        assert ring.hop_count("oni_00", "oni_04") == 4
+
+    def test_validation_errors(self, ring):
+        with pytest.raises(NetworkError):
+            ring.path_length_m("oni_00", "oni_00")
+        with pytest.raises(NetworkError):
+            ring.node("oni_99")
+        with pytest.raises(NetworkError):
+            ring.path_length_m("oni_00", "oni_01", direction="sideways")
+        with pytest.raises(NetworkError):
+            RingTopology(0.0, [RingNode("a", 0.0), RingNode("b", 1.0)])
+        with pytest.raises(NetworkError):
+            RingTopology(1.0, [RingNode("a", 0.0), RingNode("a", 0.5)])
+        with pytest.raises(NetworkError):
+            RingTopology(1.0, [RingNode("a", 0.0), RingNode("b", 2.0)])
+
+    @given(st.integers(min_value=2, max_value=20), st.integers(min_value=0, max_value=19))
+    @hyp_settings(max_examples=30)
+    def test_forward_plus_backward_equals_ring_length(self, count, offset):
+        names = [f"n{i}" for i in range(count)]
+        topology = RingTopology.evenly_spaced(names, 10.0e-3)
+        source = names[offset % count]
+        destination = names[(offset + 1) % count]
+        forward = topology.path_length_m(source, destination, "clockwise")
+        backward = topology.path_length_m(source, destination, "counterclockwise")
+        assert forward + backward == pytest.approx(topology.total_length_m)
+
+
+class TestTraffic:
+    def test_neighbor_traffic(self, ring):
+        traffic = neighbor_traffic(ring)
+        assert len(traffic) == 8
+        assert traffic[0].source == "oni_00" and traffic[0].destination == "oni_01"
+
+    def test_opposite_traffic(self, ring):
+        traffic = opposite_traffic(ring)
+        assert all(
+            ring.path_length_m(c.source, c.destination) == pytest.approx(16.0e-3)
+            for c in traffic
+        )
+
+    def test_all_to_one_and_one_to_all(self, ring):
+        inbound = all_to_one_traffic(ring, "oni_00")
+        outbound = one_to_all_traffic(ring, "oni_00")
+        assert len(inbound) == 7 and len(outbound) == 7
+        assert all(c.destination == "oni_00" for c in inbound)
+        assert all(c.source == "oni_00" for c in outbound)
+
+    def test_all_to_all_count(self, ring):
+        assert len(all_to_all_traffic(ring)) == 8 * 7
+
+    def test_random_pairs_reproducible(self, ring):
+        first = random_pair_traffic(ring, pairs=6, seed=3)
+        second = random_pair_traffic(ring, pairs=6, seed=3)
+        assert [(c.source, c.destination) for c in first] == [
+            (c.source, c.destination) for c in second
+        ]
+        assert len({(c.source, c.destination) for c in first}) == 6
+
+    def test_shift_traffic(self, ring):
+        traffic = shift_traffic(ring, 3)
+        assert traffic[0].destination == "oni_03"
+
+    def test_invalid_traffic_arguments(self, ring):
+        with pytest.raises(NetworkError):
+            neighbor_traffic(ring, hops=0)
+        with pytest.raises(NetworkError):
+            neighbor_traffic(ring, hops=8)
+        with pytest.raises(NetworkError):
+            all_to_one_traffic(ring, "missing")
+        with pytest.raises(NetworkError):
+            random_pair_traffic(ring, pairs=0)
+
+    def test_communication_validation(self):
+        with pytest.raises(NetworkError):
+            Communication(source="a", destination="a")
+        with pytest.raises(NetworkError):
+            Communication(source="a", destination="b", direction="diagonal")
+
+
+class TestOrnocAssignment:
+    def test_opposite_traffic_reuses_wavelengths(self, ring):
+        network = OrnocNetwork(ring, opposite_traffic(ring), waveguide_count=4, channels_per_waveguide=4)
+        assignments = network.assign_channels()
+        assert len(assignments) == 8
+        # Complementary halves of the ring can share a channel: at most 4
+        # channels are needed for 8 opposite communications.
+        assert network.channels_used() <= 4
+        assert network.wavelength_reuse_factor() >= 2.0
+
+    def test_no_channel_conflicts_on_overlapping_paths(self, ring):
+        network = OrnocNetwork(ring, shift_traffic(ring, 3))
+        assignments = network.assign_channels()
+        by_channel = {}
+        for assignment in assignments:
+            key = (assignment.waveguide_index, assignment.channel_index)
+            by_channel.setdefault(key, []).append(assignment.communication)
+        for communications in by_channel.values():
+            for index, first in enumerate(communications):
+                for second in communications[index + 1 :]:
+                    first_path = set(
+                        ring.nodes_between(first.source, first.destination)
+                        + [first.source]
+                    )
+                    second_path = set(
+                        ring.nodes_between(second.source, second.destination)
+                        + [second.source]
+                    )
+                    assert not (first_path & second_path), (
+                        f"{first.name} and {second.name} overlap on a shared channel"
+                    )
+
+    def test_wavelengths_follow_channel_spacing(self, ring):
+        technology = TechnologyParameters(channel_spacing_nm=2.0)
+        network = OrnocNetwork(ring, neighbor_traffic(ring), technology=technology)
+        assert network.channel_wavelength_nm(0) == pytest.approx(1550.0)
+        assert network.channel_wavelength_nm(3) == pytest.approx(1556.0)
+        with pytest.raises(NetworkError):
+            network.channel_wavelength_nm(10)
+
+    def test_unroutable_traffic_raises(self, ring):
+        # All-to-all on 8 nodes needs far more than 1 waveguide x 1 channel.
+        network = OrnocNetwork(
+            ring, all_to_all_traffic(ring), waveguide_count=1, channels_per_waveguide=1
+        )
+        with pytest.raises(NetworkError, match="cannot be routed"):
+            network.assign_channels()
+
+    def test_receivers_at(self, ring):
+        network = OrnocNetwork(ring, neighbor_traffic(ring))
+        network.assign_channels()
+        found = []
+        for waveguide in range(network.waveguide_count):
+            found.extend(network.receivers_at("oni_01", waveguide))
+        assert len(found) == 1
+        assert found[0].destination == "oni_01"
+
+    def test_summary_and_utilization(self, ring):
+        network = OrnocNetwork(ring, neighbor_traffic(ring))
+        summary = network.summary()
+        assert summary["communications"] == 8
+        assert 0.0 < summary["utilization"] <= 1.0
+        assert summary["max_path_length_m"] == pytest.approx(4.0e-3)
+
+    def test_unknown_oni_in_communication_rejected(self, ring):
+        with pytest.raises(NetworkError):
+            OrnocNetwork(ring, [Communication(source="oni_00", destination="oni_99")])
+
+
+class TestInsertionLoss:
+    def test_loss_grows_with_path_length(self, ring):
+        network = OrnocNetwork(ring, neighbor_traffic(ring))
+        network.assign_channels()
+        analyzer = InsertionLossAnalyzer(network)
+        neighbor_loss = analyzer.worst_case_db()
+
+        far_network = OrnocNetwork(ring, opposite_traffic(ring))
+        far_network.assign_channels()
+        far_loss = InsertionLossAnalyzer(far_network).worst_case_db()
+        assert far_loss > neighbor_loss
+
+    def test_loss_breakdown_components(self, ring):
+        network = OrnocNetwork(ring, opposite_traffic(ring))
+        network.assign_channels()
+        analyzer = InsertionLossAnalyzer(network)
+        losses = analyzer.all_path_losses()
+        for loss in losses:
+            assert loss.total_db == pytest.approx(
+                loss.propagation_db + loss.through_db + loss.drop_db
+            )
+            assert loss.drop_db == pytest.approx(network.technology.mr_drop_loss_db)
+        summary = analyzer.summary()
+        assert summary["worst_case_db"] >= summary["average_db"] >= summary["best_case_db"]
+
+    def test_unrouted_communication_rejected(self, ring):
+        network = OrnocNetwork(ring, neighbor_traffic(ring))
+        analyzer = InsertionLossAnalyzer(network)
+        with pytest.raises(NetworkError):
+            analyzer.path_loss(Communication(source="oni_00", destination="oni_01"))
+
+
+class TestCrossbarBaselines:
+    def test_ornoc_has_lowest_losses_at_4x4(self):
+        """Section III.A: ORNoC reduces worst-case and average losses vs the
+        Matrix, lambda-router and Snake crossbars (~42.5 % / 38 % at 4x4)."""
+        losses = {loss.topology: loss for loss in compare_topologies(4)}
+        ornoc = losses["ornoc"]
+        for name in ("matrix", "lambda_router", "snake"):
+            assert ornoc.worst_case_db < losses[name].worst_case_db
+            assert ornoc.average_db < losses[name].average_db
+
+        reductions = ornoc_reduction_factors(4)
+        average_worst_case_reduction = sum(
+            r["worst_case"] for r in reductions.values()
+        ) / len(reductions)
+        assert 0.2 <= average_worst_case_reduction <= 0.75
+
+    def test_losses_grow_with_radix(self):
+        for topology_class in (OrnocRingCrossbar, MatrixCrossbar, LambdaRouterCrossbar, SnakeCrossbar):
+            small = topology_class(4).worst_case_loss_db()
+            large = topology_class(8).worst_case_loss_db()
+            assert large > small
+
+    def test_worst_case_not_below_average(self):
+        for loss in compare_topologies(6):
+            assert loss.worst_case_db >= loss.average_db
+
+    def test_invalid_radix(self):
+        with pytest.raises(NetworkError):
+            MatrixCrossbar(1)
+        with pytest.raises(NetworkError):
+            OrnocRingCrossbar(4, hop_length_mm=0.0)

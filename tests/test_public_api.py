@@ -1,0 +1,77 @@
+"""Smoke tests of the public API surface.
+
+These tests guard the names re-exported from ``repro`` (the documented entry
+points of the library) and the README quickstart flow on a tiny configuration.
+"""
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") >= 1
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"{name} listed in __all__ but missing"
+
+    def test_key_entry_points_exported(self):
+        for name in (
+            "ThermalAwareDesignFlow",
+            "build_scc_architecture",
+            "build_oni_ring_scenario",
+            "build_standard_scenarios",
+            "OniPowerConfig",
+            "LaserDriveConfig",
+            "SnrAnalyzer",
+            "MeshBuilder",
+            "SteadyStateSolver",
+            "ZoomSolver",
+            "VcselModel",
+            "MicroringModel",
+            "uniform_activity",
+            "standard_activities",
+            "format_table",
+        ):
+            assert name in repro.__all__
+
+    def test_exceptions_derive_from_repro_error(self):
+        from repro.errors import (
+            AnalysisError,
+            ConfigurationError,
+            DeviceError,
+            GeometryError,
+            MaterialError,
+            MeshError,
+            NetworkError,
+            ReproError,
+            SolverError,
+        )
+
+        for exc in (
+            GeometryError,
+            MaterialError,
+            MeshError,
+            SolverError,
+            DeviceError,
+            NetworkError,
+            AnalysisError,
+            ConfigurationError,
+        ):
+            assert issubclass(exc, ReproError)
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_flow_on_small_configuration(self, small_flow, uniform_25w):
+        """The README quickstart, on the shared coarse fixtures."""
+        power = repro.OniPowerConfig(vcsel_power_w=3.6e-3).with_heater_ratio(0.3)
+        result = small_flow.evaluate_design_point(
+            uniform_25w, power, drive=repro.LaserDriveConfig.from_dissipated_mw(3.6)
+        )
+        assert result.thermal.average_oni_temperature_c > 35.0
+        assert result.gradient_c >= 0.0
+        assert result.worst_case_snr_db > 0.0
+        assert result.snr.all_detected

@@ -1,0 +1,244 @@
+"""Tests for the SNR analysis (paper Section IV.C)."""
+
+import pytest
+
+from repro.config import TechnologyParameters
+from repro.devices import VcselModel
+from repro.errors import AnalysisError
+from repro.onoc import OrnocNetwork, RingTopology, opposite_traffic, shift_traffic
+from repro.snr import (
+    LaserDriveConfig,
+    OniThermalState,
+    SnrAnalyzer,
+    WaveguidePropagator,
+    states_by_name,
+)
+
+
+def make_network(oni_count=6, length_mm=18.0, traffic="shift"):
+    names = [f"oni_{i:02d}" for i in range(oni_count)]
+    ring = RingTopology.evenly_spaced(names, length_mm * 1e-3)
+    if traffic == "shift":
+        communications = shift_traffic(ring, max(1, oni_count // 3))
+    else:
+        communications = opposite_traffic(ring)
+    network = OrnocNetwork(ring, communications)
+    network.assign_channels()
+    return ring, network
+
+
+def uniform_states(ring, temperature_c):
+    return {
+        name: OniThermalState(name=name, average_temperature_c=temperature_c)
+        for name in ring.node_names
+    }
+
+
+class TestStates:
+    def test_defaults_fall_back_to_average(self):
+        state = OniThermalState(name="oni", average_temperature_c=50.0)
+        assert state.laser_c == 50.0
+        assert state.microring_c == 50.0
+        assert state.internal_gradient_c == 0.0
+
+    def test_explicit_device_temperatures(self):
+        state = OniThermalState(
+            name="oni",
+            average_temperature_c=50.0,
+            laser_temperature_c=53.0,
+            microring_temperature_c=51.0,
+        )
+        assert state.internal_gradient_c == pytest.approx(2.0)
+
+    def test_states_by_name_detects_duplicates(self):
+        state = OniThermalState(name="oni", average_temperature_c=50.0)
+        with pytest.raises(AnalysisError):
+            states_by_name([state, state])
+
+    def test_drive_config_requires_exactly_one_mode(self):
+        with pytest.raises(AnalysisError):
+            LaserDriveConfig()
+        with pytest.raises(AnalysisError):
+            LaserDriveConfig(current_a=1e-3, dissipated_power_w=1e-3)
+        assert LaserDriveConfig.from_current_ma(6.0).current_a == pytest.approx(6e-3)
+        assert LaserDriveConfig.from_dissipated_mw(3.6).dissipated_power_w == pytest.approx(
+            3.6e-3
+        )
+
+
+class TestPropagation:
+    def test_uniform_temperatures_give_negligible_crosstalk(self):
+        ring, network = make_network()
+        propagator = WaveguidePropagator(network)
+        states = uniform_states(ring, 50.0)
+        communication = network.assigned_communications()[0]
+        trace = propagator.propagate_signal(communication, 1.0e-4, states)
+        assert trace.signal_power_w > 0.5e-4
+        assert sum(trace.crosstalk_contributions_w.values()) < 1.0e-8
+
+    def test_temperature_difference_creates_crosstalk(self):
+        ring, network = make_network()
+        propagator = WaveguidePropagator(network)
+        states = uniform_states(ring, 50.0)
+        # Heat the destination of the first communication by 5 degC.
+        communication = network.assigned_communications()[0]
+        states[communication.destination] = OniThermalState(
+            name=communication.destination, average_temperature_c=55.0
+        )
+        trace = propagator.propagate_signal(communication, 1.0e-4, states)
+        aligned_trace = propagator.propagate_signal(
+            communication, 1.0e-4, uniform_states(ring, 50.0)
+        )
+        assert trace.signal_power_w < aligned_trace.signal_power_w
+        # The power not captured by the misaligned destination ring leaks into
+        # downstream same-channel receivers as crosstalk.
+        assert sum(trace.crosstalk_contributions_w.values()) > sum(
+            aligned_trace.crosstalk_contributions_w.values()
+        )
+
+    def test_signal_wavelength_tracks_source_temperature(self):
+        ring, network = make_network()
+        propagator = WaveguidePropagator(network)
+        communication = network.assigned_communications()[0]
+        cold = propagator.signal_wavelength_nm(
+            communication, uniform_states(ring, 20.0)
+        )
+        hot = propagator.signal_wavelength_nm(communication, uniform_states(ring, 30.0))
+        assert hot - cold == pytest.approx(1.0)
+
+    def test_power_conservation_no_amplification(self):
+        ring, network = make_network()
+        propagator = WaveguidePropagator(network)
+        states = uniform_states(ring, 52.0)
+        injected = 2.0e-4
+        communication = network.assigned_communications()[0]
+        trace = propagator.propagate_signal(communication, injected, states)
+        total_out = (
+            trace.signal_power_w
+            + sum(trace.crosstalk_contributions_w.values())
+            + trace.residual_power_w
+        )
+        assert total_out <= injected * (1.0 + 1e-9)
+
+    def test_missing_state_raises(self):
+        ring, network = make_network()
+        propagator = WaveguidePropagator(network)
+        states = uniform_states(ring, 50.0)
+        states.pop("oni_00")
+        communication = next(
+            c for c in network.assigned_communications() if c.source == "oni_00"
+        )
+        with pytest.raises(AnalysisError, match="no thermal state"):
+            propagator.propagate_signal(communication, 1e-4, states)
+
+    def test_invalid_interaction_model(self):
+        _, network = make_network()
+        with pytest.raises(AnalysisError):
+            WaveguidePropagator(network, interaction_model="psychic")
+
+    def test_lineshape_model_adds_adjacent_channel_crosstalk(self):
+        ring, network = make_network()
+        states = uniform_states(ring, 50.0)
+        same_channel = WaveguidePropagator(network, interaction_model="same_channel")
+        lineshape = WaveguidePropagator(network, interaction_model="lineshape")
+        communication = network.assigned_communications()[0]
+        same_trace = same_channel.propagate_signal(communication, 1e-4, states)
+        line_trace = lineshape.propagate_signal(communication, 1e-4, states)
+        assert sum(line_trace.crosstalk_contributions_w.values()) >= sum(
+            same_trace.crosstalk_contributions_w.values()
+        )
+
+
+class TestSnrAnalyzer:
+    def test_uniform_temperature_high_snr(self):
+        ring, network = make_network()
+        analyzer = SnrAnalyzer(network)
+        report = analyzer.analyze(
+            uniform_states(ring, 45.0), LaserDriveConfig.from_dissipated_mw(3.6)
+        )
+        assert report.worst_case_snr_db > 30.0
+        assert report.all_detected
+        assert len(report.links) == len(network.assigned_communications())
+
+    def test_temperature_gradient_reduces_snr(self):
+        ring, network = make_network()
+        analyzer = SnrAnalyzer(network)
+        drive = LaserDriveConfig.from_dissipated_mw(3.6)
+        flat = analyzer.analyze(uniform_states(ring, 50.0), drive)
+        skewed_states = {
+            name: OniThermalState(
+                name=name, average_temperature_c=47.0 + 1.5 * index
+            )
+            for index, name in enumerate(ring.node_names)
+        }
+        skewed = analyzer.analyze(skewed_states, drive)
+        assert skewed.worst_case_snr_db < flat.worst_case_snr_db
+        assert skewed.max_crosstalk_power_w > flat.max_crosstalk_power_w
+
+    def test_hotter_lasers_emit_less_signal(self):
+        ring, network = make_network()
+        analyzer = SnrAnalyzer(network)
+        drive = LaserDriveConfig.from_dissipated_mw(3.6)
+        cool = analyzer.analyze(uniform_states(ring, 45.0), drive)
+        hot = analyzer.analyze(uniform_states(ring, 60.0), drive)
+        assert hot.min_signal_power_w < cool.min_signal_power_w
+
+    def test_current_drive_mode(self):
+        ring, network = make_network()
+        analyzer = SnrAnalyzer(network)
+        report = analyzer.analyze(
+            uniform_states(ring, 45.0), LaserDriveConfig.from_current_ma(6.0)
+        )
+        assert report.worst_case_snr_db > 0.0
+
+    def test_injected_power_includes_coupling_efficiency(self):
+        ring, network = make_network()
+        vcsel = VcselModel()
+        technology = TechnologyParameters()
+        analyzer = SnrAnalyzer(network, technology=technology, vcsel=vcsel)
+        state = OniThermalState(name="oni_00", average_temperature_c=45.0)
+        drive = LaserDriveConfig.from_dissipated_mw(3.6)
+        communication = network.assigned_communications()[0]
+        injected = analyzer.injected_power_w(communication, state, drive)
+        optical = vcsel.optical_power_from_dissipated(3.6e-3, 45.0)
+        assert injected == pytest.approx(optical * technology.taper_coupling_efficiency)
+
+    def test_report_accessors(self):
+        ring, network = make_network()
+        analyzer = SnrAnalyzer(network)
+        report = analyzer.analyze(
+            uniform_states(ring, 45.0), LaserDriveConfig.from_dissipated_mw(3.6)
+        )
+        worst = report.worst_case()
+        assert worst.snr_db == report.worst_case_snr_db
+        assert report.average_snr_db >= report.worst_case_snr_db - 1e-9
+        rows = report.as_rows()
+        assert len(rows) == len(report.links)
+        assert {"communication", "signal_mw", "snr_db"} <= set(rows[0])
+        named = report.link(worst.communication.name)
+        assert named.communication.name == worst.communication.name
+        with pytest.raises(AnalysisError):
+            report.link("C_missing->missing")
+
+    def test_link_dbm_properties(self):
+        ring, network = make_network()
+        analyzer = SnrAnalyzer(network)
+        report = analyzer.analyze(
+            uniform_states(ring, 45.0), LaserDriveConfig.from_dissipated_mw(3.6)
+        )
+        link = report.links[0]
+        assert link.signal_power_dbm > -40.0
+        assert link.crosstalk_power_dbm <= link.signal_power_dbm
+
+    def test_missing_source_state_raises(self):
+        ring, network = make_network()
+        analyzer = SnrAnalyzer(network)
+        states = uniform_states(ring, 45.0)
+        states.pop("oni_01")
+        with pytest.raises(AnalysisError):
+            analyzer.analyze(states, LaserDriveConfig.from_dissipated_mw(3.6))
+
+    def test_negative_noise_floor_rejected(self):
+        _, network = make_network()
+        with pytest.raises(AnalysisError):
+            SnrAnalyzer(network, noise_floor_w=-1.0)

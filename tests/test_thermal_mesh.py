@@ -1,0 +1,198 @@
+"""Tests for the rectilinear mesh builder and the mesh object."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.errors import MeshError
+from repro.geometry import Box, Layer, LayerStack, MaterialBlock, Rect
+from repro.materials import COPPER, EPOXY, SILICON
+from repro.thermal import Mesh3D, MeshBuilder, build_ticks, merge_close_ticks
+
+
+def simple_stack(side_mm=4.0):
+    footprint = Rect.from_size_mm(0.0, 0.0, side_mm, side_mm)
+    stack = LayerStack(footprint)
+    stack.add_layer(Layer(name="bulk", thickness=300e-6, material=SILICON))
+    stack.add_layer(Layer(name="lid", thickness=200e-6, material=COPPER))
+    return stack
+
+
+class TestBuildTicks:
+    def test_uniform_ticks(self):
+        ticks = build_ticks(0.0, 1.0, 0.25)
+        assert np.allclose(ticks, [0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_refined_interval_gets_finer_cells(self):
+        ticks = build_ticks(0.0, 1.0, 0.5, refinements=[(0.4, 0.6, 0.1)])
+        spacings = np.diff(ticks)
+        # The refined interval is meshed at 0.1, the rest no finer than needed.
+        assert min(spacings) == pytest.approx(0.1, rel=1e-6)
+        assert 0.4 in ticks and 0.6 in ticks
+
+    def test_refinement_outside_domain_is_ignored(self):
+        ticks = build_ticks(0.0, 1.0, 0.5, refinements=[(2.0, 3.0, 0.01)])
+        assert ticks.size == 3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MeshError):
+            build_ticks(1.0, 0.0, 0.1)
+        with pytest.raises(MeshError):
+            build_ticks(0.0, 1.0, -0.1)
+        with pytest.raises(MeshError):
+            build_ticks(0.0, 1.0, 0.5, refinements=[(0.0, 0.5, 0.0)])
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.5),
+        st.floats(min_value=0.0, max_value=0.5),
+        st.floats(min_value=0.5, max_value=1.0),
+    )
+    @hyp_settings(max_examples=30, deadline=None)
+    def test_ticks_are_strictly_increasing_and_span_domain(self, size, lo, hi):
+        refinements = [(lo, hi, size / 2.0)] if hi > lo else []
+        ticks = build_ticks(0.0, 1.0, size, refinements=refinements)
+        assert ticks[0] == pytest.approx(0.0)
+        assert ticks[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(ticks) > 0.0)
+
+    def test_merge_close_ticks(self):
+        ticks = np.array([0.0, 1e-12, 0.5, 0.5 + 1e-13, 1.0])
+        merged = merge_close_ticks(ticks)
+        assert merged.size == 3
+
+
+class TestMeshBuilder:
+    def test_basic_mesh_shape_and_materials(self):
+        stack = simple_stack()
+        builder = MeshBuilder(stack, base_cell_size_um=1000.0, vertical_target_um=150.0)
+        mesh = builder.build()
+        assert mesh.nx == 4 and mesh.ny == 4
+        assert mesh.nz >= 3
+        # Bottom cells are silicon, top cells are copper.
+        assert mesh.k_lateral[0, 0, 0] == pytest.approx(SILICON.lateral_conductivity)
+        assert mesh.k_lateral[0, 0, -1] == pytest.approx(COPPER.lateral_conductivity)
+
+    def test_refinement_region_adds_cells(self):
+        stack = simple_stack()
+        coarse = MeshBuilder(stack, base_cell_size_um=1000.0).build()
+        builder = MeshBuilder(stack, base_cell_size_um=1000.0)
+        builder.add_refinement(Rect.from_size_mm(1.0, 1.0, 1.0, 1.0), cell_size_um=250.0)
+        refined = builder.build()
+        assert refined.n_cells > coarse.n_cells
+
+    def test_block_material_overrides_layer(self):
+        stack = simple_stack()
+        stack.layer("bulk").add_block(
+            MaterialBlock(
+                name="epoxy_island",
+                footprint=Rect.from_size_mm(1.0, 1.0, 1.0, 1.0),
+                material=EPOXY,
+            )
+        )
+        builder = MeshBuilder(stack, base_cell_size_um=500.0)
+        mesh = builder.build()
+        i, j, k = mesh.locate(1.5e-3, 1.5e-3, 100e-6)
+        assert mesh.k_lateral[i, j, k] == pytest.approx(EPOXY.lateral_conductivity)
+
+    def test_max_cells_enforced(self):
+        stack = simple_stack()
+        builder = MeshBuilder(stack, base_cell_size_um=10.0, max_cells=100)
+        with pytest.raises(MeshError, match="above the configured limit"):
+            builder.build()
+
+    def test_region_restriction(self):
+        stack = simple_stack()
+        region = Rect.from_size_mm(1.0, 1.0, 2.0, 2.0)
+        mesh = MeshBuilder(stack, base_cell_size_um=500.0, region=region).build()
+        bounding = mesh.bounding_box()
+        assert bounding.x_min == pytest.approx(1.0e-3)
+        assert bounding.x_max == pytest.approx(3.0e-3)
+
+    def test_region_outside_stack_rejected(self):
+        stack = simple_stack()
+        with pytest.raises(MeshError):
+            MeshBuilder(stack, region=Rect.from_size_mm(-1.0, 0.0, 2.0, 2.0))
+
+    def test_vertical_range_clipping(self):
+        stack = simple_stack()
+        mesh = MeshBuilder(
+            stack, base_cell_size_um=1000.0, vertical_range=(100e-6, 400e-6)
+        ).build()
+        assert mesh.z_ticks[0] == pytest.approx(100e-6)
+        assert mesh.z_ticks[-1] == pytest.approx(400e-6)
+
+    def test_invalid_vertical_range(self):
+        stack = simple_stack()
+        with pytest.raises(MeshError):
+            MeshBuilder(stack, vertical_range=(400e-6, 100e-6))
+
+    def test_narrow_layer_padding_material(self):
+        footprint = Rect.from_size_mm(0.0, 0.0, 6.0, 6.0)
+        stack = LayerStack(footprint)
+        die = Rect.from_size_mm(2.0, 2.0, 2.0, 2.0)
+        stack.add_layer(
+            Layer(
+                name="die",
+                thickness=200e-6,
+                material=SILICON,
+                footprint=die,
+                padding_material=EPOXY,
+            )
+        )
+        mesh = MeshBuilder(stack, base_cell_size_um=1000.0).build()
+        i, j, k = mesh.locate(3e-3, 3e-3, 100e-6)
+        assert mesh.k_lateral[i, j, k] == pytest.approx(SILICON.lateral_conductivity)
+        i, j, k = mesh.locate(0.5e-3, 0.5e-3, 100e-6)
+        assert mesh.k_lateral[i, j, k] == pytest.approx(EPOXY.lateral_conductivity)
+
+
+class TestMesh3D:
+    def _mesh(self):
+        return MeshBuilder(simple_stack(), base_cell_size_um=1000.0).build()
+
+    def test_cell_volumes_sum_to_domain_volume(self):
+        mesh = self._mesh()
+        box = mesh.bounding_box()
+        assert mesh.cell_volumes().sum() == pytest.approx(box.volume, rel=1e-9)
+
+    def test_locate_and_cell_box(self):
+        mesh = self._mesh()
+        i, j, k = mesh.locate(0.5e-3, 3.5e-3, 100e-6)
+        cell = mesh.cell_box(i, j, k)
+        assert cell.contains_point(0.5e-3, 3.5e-3, 100e-6)
+
+    def test_locate_outside_raises(self):
+        mesh = self._mesh()
+        with pytest.raises(MeshError):
+            mesh.locate(1.0, 1.0, 1.0)
+
+    def test_flat_index_bounds(self):
+        mesh = self._mesh()
+        assert mesh.flat_index(0, 0, 0) == 0
+        assert mesh.flat_index(mesh.nx - 1, mesh.ny - 1, mesh.nz - 1) == mesh.n_cells - 1
+        with pytest.raises(MeshError):
+            mesh.flat_index(mesh.nx, 0, 0)
+
+    def test_box_overlap_volumes_conserves_volume(self):
+        mesh = self._mesh()
+        box = Box(0.2e-3, 0.2e-3, 50e-6, 1.7e-3, 0.9e-3, 250e-6)
+        overlap = mesh.box_overlap_volumes(box)
+        assert overlap.sum() == pytest.approx(box.volume, rel=1e-9)
+
+    def test_box_outside_has_zero_overlap(self):
+        mesh = self._mesh()
+        box = Box(10.0, 10.0, 10.0, 11.0, 11.0, 11.0)
+        assert mesh.box_overlap_volumes(box).sum() == 0.0
+
+    def test_invalid_conductivity_arrays_rejected(self):
+        mesh = self._mesh()
+        bad = np.zeros(mesh.shape)
+        with pytest.raises(MeshError):
+            Mesh3D(mesh.x_ticks, mesh.y_ticks, mesh.z_ticks, bad, bad)
+
+    def test_non_monotonic_ticks_rejected(self):
+        mesh = self._mesh()
+        bad_ticks = mesh.x_ticks.copy()
+        bad_ticks[1] = bad_ticks[0]
+        with pytest.raises(MeshError):
+            Mesh3D(bad_ticks, mesh.y_ticks, mesh.z_ticks, mesh.k_lateral, mesh.k_vertical)

@@ -1,0 +1,118 @@
+"""Tests for unit conversions."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestLengthConversions:
+    def test_um_to_m_roundtrip(self):
+        assert units.m_to_um(units.um_to_m(123.0)) == pytest.approx(123.0)
+
+    def test_mm_to_m(self):
+        assert units.mm_to_m(26.5) == pytest.approx(0.0265)
+
+    def test_nm_to_m(self):
+        assert units.nm_to_m(1550.0) == pytest.approx(1.55e-6)
+
+    def test_mm_to_cm(self):
+        assert units.mm_to_cm(46.8) == pytest.approx(4.68)
+
+    def test_cm_to_mm_roundtrip(self):
+        assert units.cm_to_mm(units.mm_to_cm(18.0)) == pytest.approx(18.0)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_length_roundtrips_are_identity(self, value):
+        assert units.um_to_m(units.m_to_um(value)) == pytest.approx(value, rel=1e-12, abs=1e-12)
+        assert units.mm_to_m(units.m_to_mm(value)) == pytest.approx(value, rel=1e-12, abs=1e-12)
+        assert units.nm_to_m(units.m_to_nm(value)) == pytest.approx(value, rel=1e-12, abs=1e-12)
+
+
+class TestPowerConversions:
+    def test_mw_to_w(self):
+        assert units.mw_to_w(3.6) == pytest.approx(3.6e-3)
+
+    def test_uw_to_w(self):
+        assert units.uw_to_w(190.0) == pytest.approx(1.9e-4)
+
+    def test_mw_to_dbm_known_values(self):
+        assert units.mw_to_dbm(1.0) == pytest.approx(0.0)
+        assert units.mw_to_dbm(0.01) == pytest.approx(-20.0)
+        assert units.mw_to_dbm(100.0) == pytest.approx(20.0)
+
+    def test_dbm_to_mw_known_values(self):
+        assert units.dbm_to_mw(-20.0) == pytest.approx(0.01)
+        assert units.dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_mw_to_dbm_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(0.0)
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(-1.0)
+
+    def test_safe_mw_to_dbm_floors_non_positive(self):
+        assert units.safe_mw_to_dbm(0.0) == -200.0
+        assert units.safe_mw_to_dbm(-5.0, floor_dbm=-99.0) == -99.0
+
+    def test_safe_mw_to_dbm_matches_exact_for_positive(self):
+        assert units.safe_mw_to_dbm(0.5) == pytest.approx(units.mw_to_dbm(0.5))
+
+    @given(st.floats(min_value=1e-12, max_value=1e6))
+    def test_dbm_roundtrip(self, power_mw):
+        assert units.dbm_to_mw(units.mw_to_dbm(power_mw)) == pytest.approx(
+            power_mw, rel=1e-9
+        )
+
+
+class TestRatioConversions:
+    def test_db_to_ratio_known_values(self):
+        assert units.db_to_ratio(0.0) == pytest.approx(1.0)
+        assert units.db_to_ratio(10.0) == pytest.approx(10.0)
+        assert units.db_to_ratio(3.0) == pytest.approx(1.995, rel=1e-3)
+
+    def test_ratio_to_db_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            units.ratio_to_db(0.0)
+
+    def test_db_loss_to_transmission(self):
+        assert units.db_loss_to_transmission(0.0) == pytest.approx(1.0)
+        assert units.db_loss_to_transmission(3.0) == pytest.approx(0.501, rel=1e-2)
+        assert units.db_loss_to_transmission(10.0) == pytest.approx(0.1)
+
+    def test_db_loss_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.db_loss_to_transmission(-1.0)
+
+    def test_transmission_to_db_loss_bounds(self):
+        with pytest.raises(ValueError):
+            units.transmission_to_db_loss(0.0)
+        with pytest.raises(ValueError):
+            units.transmission_to_db_loss(1.5)
+
+    @given(st.floats(min_value=1e-6, max_value=1.0))
+    def test_transmission_roundtrip(self, transmission):
+        loss = units.transmission_to_db_loss(transmission)
+        assert loss >= 0.0
+        assert units.db_loss_to_transmission(loss) == pytest.approx(
+            transmission, rel=1e-9
+        )
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_loss_monotonicity(self, loss_db):
+        assert units.db_loss_to_transmission(loss_db) <= 1.0
+        assert units.db_loss_to_transmission(loss_db + 1.0) < units.db_loss_to_transmission(loss_db) + 1e-15
+
+
+class TestTemperatureAndCurrent:
+    def test_celsius_kelvin_roundtrip(self):
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(60.0)) == pytest.approx(60.0)
+
+    def test_celsius_to_kelvin_offset(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+    def test_current_conversions(self):
+        assert units.ma_to_a(6.0) == pytest.approx(6.0e-3)
+        assert units.a_to_ma(0.012) == pytest.approx(12.0)

@@ -44,7 +44,9 @@ from .devices import (
 )
 from .errors import ReproError
 from .methodology import (
+    SweepEngine,
     ThermalAwareDesignFlow,
+    ThermalRequest,
     compare_heater_options,
     find_minimum_vcsel_power,
     find_optimal_heater_ratio,
@@ -106,6 +108,8 @@ __all__ = [
     "build_standard_scenarios",
     "OniRingScenario",
     "ThermalAwareDesignFlow",
+    "ThermalRequest",
+    "SweepEngine",
     "sweep_average_temperature",
     "sweep_heater_power",
     "compare_heater_options",

@@ -1,5 +1,6 @@
-"""Thermal-aware design methodology: flow, exploration sweeps, optimisation."""
+"""Thermal-aware design methodology: flow, sweep engine, exploration, optimisation."""
 
+from .engine import EngineStats, SweepEngine, SweepPoint, evaluation_key
 from .exploration import (
     HeaterComparisonPoint,
     HeaterSweepPoint,
@@ -16,6 +17,7 @@ from .flow import (
     OniThermalSummary,
     ThermalAwareDesignFlow,
     ThermalEvaluation,
+    ThermalRequest,
 )
 from .power import NetworkPowerModel, NetworkPowerReport
 from .optimization import (
@@ -30,8 +32,13 @@ from .reporting import format_table, pivot, rows_from_dataclasses, write_csv
 __all__ = [
     "ThermalAwareDesignFlow",
     "ThermalEvaluation",
+    "ThermalRequest",
     "OniThermalSummary",
     "DesignPointResult",
+    "SweepEngine",
+    "SweepPoint",
+    "EngineStats",
+    "evaluation_key",
     "TemperatureSweepPoint",
     "HeaterSweepPoint",
     "HeaterComparisonPoint",

@@ -10,6 +10,11 @@ Each helper reproduces the data behind one of the paper's figures:
   temperature with and without the MR heater);
 * :func:`snr_across_scenarios` — Figure 12 (worst-case SNR of the three ONI
   placements under several activities).
+
+All helpers plan their grid up front and execute it on the shared
+:class:`~repro.methodology.engine.SweepEngine`, which deduplicates repeated
+(activity, operating-point) evaluations and batches the coarse solves into
+multi-right-hand-side calls against the flow's cached factorisation.
 """
 
 from __future__ import annotations
@@ -23,7 +28,8 @@ from ..errors import ConfigurationError
 from ..oni import OniPowerConfig
 from ..snr import LaserDriveConfig
 from ..units import w_to_mw
-from .flow import ThermalAwareDesignFlow, ThermalEvaluation
+from .engine import SweepEngine, SweepPoint
+from .flow import ThermalAwareDesignFlow, ThermalEvaluation, ThermalRequest
 
 
 @dataclass(frozen=True)
@@ -91,26 +97,34 @@ def sweep_average_temperature(
     """
     if not chip_powers_w or not vcsel_powers_mw:
         raise ConfigurationError("chip_powers_w and vcsel_powers_mw must be non-empty")
-    points: List[TemperatureSweepPoint] = []
+    grid: List[tuple] = []
+    requests: List[ThermalRequest] = []
     for chip_power in chip_powers_w:
         activity = uniform_activity(flow.architecture.floorplan, chip_power)
         for vcsel_mw in vcsel_powers_mw:
             power = OniPowerConfig(vcsel_power_w=vcsel_mw * 1.0e-3).with_heater_ratio(
                 heater_ratio
             )
-            evaluation = flow.run_thermal(
-                activity, power=power, zoom_oni=_zoom_setting(fast)
-            )
-            zoom_name = evaluation.zoomed_oni or flow.default_zoom_oni()
-            summary = evaluation.oni_summaries[zoom_name]
-            points.append(
-                TemperatureSweepPoint(
-                    chip_power_w=chip_power,
-                    vcsel_power_mw=vcsel_mw,
-                    average_oni_temperature_c=summary.average_c,
-                    laser_temperature_c=summary.laser_c,
+            grid.append((chip_power, vcsel_mw))
+            requests.append(
+                ThermalRequest(
+                    activity=activity, power=power, zoom_oni=_zoom_setting(fast)
                 )
             )
+    evaluations = SweepEngine.shared(flow).evaluate(requests)
+
+    points: List[TemperatureSweepPoint] = []
+    for (chip_power, vcsel_mw), evaluation in zip(grid, evaluations):
+        zoom_name = evaluation.zoomed_oni or flow.default_zoom_oni()
+        summary = evaluation.oni_summaries[zoom_name]
+        points.append(
+            TemperatureSweepPoint(
+                chip_power_w=chip_power,
+                vcsel_power_mw=vcsel_mw,
+                average_oni_temperature_c=summary.average_c,
+                laser_temperature_c=summary.laser_c,
+            )
+        )
     return points
 
 
@@ -123,23 +137,31 @@ def sweep_heater_power(
     """Figure 9-b: intra-ONI gradient vs ``Pheater`` for several ``PVCSEL``."""
     if not vcsel_powers_mw or not heater_powers_mw:
         raise ConfigurationError("power sweeps must be non-empty")
-    points: List[HeaterSweepPoint] = []
+    grid: List[tuple] = []
+    requests: List[ThermalRequest] = []
     for vcsel_mw in vcsel_powers_mw:
         for heater_mw in heater_powers_mw:
             power = OniPowerConfig(
                 vcsel_power_w=vcsel_mw * 1.0e-3,
                 heater_power_w=heater_mw * 1.0e-3,
             )
-            evaluation = flow.run_thermal(activity, power=power, zoom_oni="auto")
-            summary = evaluation.oni_summaries[evaluation.zoomed_oni]
-            points.append(
-                HeaterSweepPoint(
-                    vcsel_power_mw=vcsel_mw,
-                    heater_power_mw=heater_mw,
-                    gradient_c=evaluation.gradient_c,
-                    average_oni_temperature_c=summary.average_c,
-                )
+            grid.append((vcsel_mw, heater_mw))
+            requests.append(
+                ThermalRequest(activity=activity, power=power, zoom_oni="auto")
             )
+    evaluations = SweepEngine.shared(flow).evaluate(requests)
+
+    points: List[HeaterSweepPoint] = []
+    for (vcsel_mw, heater_mw), evaluation in zip(grid, evaluations):
+        summary = evaluation.oni_summaries[evaluation.zoomed_oni]
+        points.append(
+            HeaterSweepPoint(
+                vcsel_power_mw=vcsel_mw,
+                heater_power_mw=heater_mw,
+                gradient_c=evaluation.gradient_c,
+                average_oni_temperature_c=summary.average_c,
+            )
+        )
     return points
 
 
@@ -154,12 +176,23 @@ def compare_heater_options(
         raise ConfigurationError("vcsel_powers_mw must be non-empty")
     if heater_ratio < 0.0:
         raise ConfigurationError("heater_ratio must be >= 0")
-    points: List[HeaterComparisonPoint] = []
+    requests: List[ThermalRequest] = []
     for vcsel_mw in vcsel_powers_mw:
         base = OniPowerConfig(vcsel_power_w=vcsel_mw * 1.0e-3, heater_power_w=0.0)
-        with_heater = base.with_heater_ratio(heater_ratio)
-        without_eval = flow.run_thermal(activity, power=base, zoom_oni="auto")
-        with_eval = flow.run_thermal(activity, power=with_heater, zoom_oni="auto")
+        requests.append(ThermalRequest(activity=activity, power=base, zoom_oni="auto"))
+        requests.append(
+            ThermalRequest(
+                activity=activity,
+                power=base.with_heater_ratio(heater_ratio),
+                zoom_oni="auto",
+            )
+        )
+    evaluations = SweepEngine.shared(flow).evaluate(requests)
+
+    points: List[HeaterComparisonPoint] = []
+    for index, vcsel_mw in enumerate(vcsel_powers_mw):
+        without_eval = evaluations[2 * index]
+        with_eval = evaluations[2 * index + 1]
         without_summary = without_eval.oni_summaries[without_eval.zoomed_oni]
         with_summary = with_eval.oni_summaries[with_eval.zoomed_oni]
         points.append(
@@ -202,11 +235,14 @@ def snr_across_scenarios(
     drive: Optional[LaserDriveConfig] = None,
     chip_power_w: float = 25.0,
     zoom: bool = False,
+    workers: Optional[int] = None,
 ) -> List[ScenarioSnrPoint]:
     """Figure 12: SNR of each placement scenario under each activity.
 
     ``power`` defaults to the paper's operating point (PVCSEL = 3.6 mW,
     Pheater = 1.08 mW) and ``drive`` to the matching dissipated-power drive.
+    Each scenario is an independent mesh, so ``workers=N`` lets the engine
+    solve the scenarios in a process pool.
     """
     if isinstance(scenarios, dict):
         scenario_list = list(scenarios.values())
@@ -224,29 +260,46 @@ def snr_across_scenarios(
         architecture.floorplan, chip_power_w
     )
 
-    points: List[ScenarioSnrPoint] = []
-    for scenario in scenario_list:
-        flow = ThermalAwareDesignFlow(architecture, scenario)
+    flows = {
+        f"{index}:{scenario.name}": ThermalAwareDesignFlow(architecture, scenario)
+        for index, scenario in enumerate(scenario_list)
+    }
+    engine = SweepEngine(flows, workers=workers)
+    plan: List[SweepPoint] = []
+    labels: List[tuple] = []
+    for index, scenario in enumerate(scenario_list):
+        flow_key = f"{index}:{scenario.name}"
         for activity_name, activity in activity_map.items():
-            evaluation = flow.run_thermal(
-                activity,
-                power=operating_power,
-                zoom_oni="auto" if zoom else None,
-            )
-            report = flow.run_snr(evaluation, operating_drive)
-            averages = [s.average_c for s in evaluation.oni_summaries.values()]
-            points.append(
-                ScenarioSnrPoint(
-                    scenario=scenario.name,
-                    ring_length_mm=scenario.ring_length_mm,
-                    activity=activity_name,
-                    worst_case_snr_db=report.worst_case_snr_db,
-                    average_snr_db=report.average_snr_db,
-                    min_signal_power_mw=w_to_mw(report.min_signal_power_w),
-                    max_crosstalk_power_mw=w_to_mw(report.max_crosstalk_power_w),
-                    oni_temperature_min_c=min(averages),
-                    oni_temperature_max_c=max(averages),
-                    all_detected=report.all_detected,
+            labels.append((flow_key, scenario, activity_name))
+            plan.append(
+                SweepPoint(
+                    request=ThermalRequest(
+                        activity=activity,
+                        power=operating_power,
+                        zoom_oni="auto" if zoom else None,
+                    ),
+                    flow_key=flow_key,
                 )
             )
+    evaluations = engine.evaluate(plan)
+
+    points: List[ScenarioSnrPoint] = []
+    for (flow_key, scenario, activity_name), evaluation in zip(labels, evaluations):
+        flow = engine.flow(flow_key)
+        report = flow.run_snr(evaluation, operating_drive)
+        averages = [s.average_c for s in evaluation.oni_summaries.values()]
+        points.append(
+            ScenarioSnrPoint(
+                scenario=scenario.name,
+                ring_length_mm=scenario.ring_length_mm,
+                activity=activity_name,
+                worst_case_snr_db=report.worst_case_snr_db,
+                average_snr_db=report.average_snr_db,
+                min_signal_power_mw=w_to_mw(report.min_signal_power_w),
+                max_crosstalk_power_mw=w_to_mw(report.max_crosstalk_power_w),
+                oni_temperature_min_c=min(averages),
+                oni_temperature_max_c=max(averages),
+                all_detected=report.all_detected,
+            )
+        )
     return points

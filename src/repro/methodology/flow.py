@@ -38,6 +38,20 @@ from ..thermal import (
 )
 
 
+@dataclass(frozen=True)
+class ThermalRequest:
+    """One thermal design point, as consumed by the batched flow API.
+
+    ``zoom_oni`` follows the :meth:`ThermalAwareDesignFlow.run_thermal`
+    convention: ``"auto"`` zooms the most central ONI, ``None`` skips the
+    zoom solve, any other string names the ONI to zoom.
+    """
+
+    activity: ActivityPattern
+    power: Optional[OniPowerConfig] = None
+    zoom_oni: Optional[str] = "auto"
+
+
 @dataclass
 class OniThermalSummary:
     """Thermal figures of one ONI extracted from the simulation."""
@@ -149,6 +163,9 @@ class ThermalAwareDesignFlow:
         self._mesh_cache: Optional[Mesh3D] = None
         self._solver_cache: Optional[SteadyStateSolver] = None
         self._zoom_solver: Optional[ZoomSolver] = None
+        #: Bumped by :meth:`invalidate_caches`; folded into the sweep
+        #: engine's cache keys so stale evaluations are never served.
+        self._generation = 0
 
     # Mesh / solver infrastructure ----------------------------------------------------
 
@@ -191,6 +208,19 @@ class ThermalAwareDesignFlow:
         self._mesh_cache = None
         self._solver_cache = None
         self._zoom_solver = None
+        self._generation += 1
+
+    def __getstate__(self) -> dict:
+        # The cached solvers hold SuperLU factorisations, which cannot be
+        # pickled; drop every cache so the flow can cross a process boundary
+        # (the sweep engine's worker pool) and rebuild them lazily there.
+        # The attached shared sweep engine (if any) stays behind too.
+        state = dict(self.__dict__)
+        state["_mesh_cache"] = None
+        state["_solver_cache"] = None
+        state["_zoom_solver"] = None
+        state.pop("_sweep_engine", None)
+        return state
 
     # Heat sources -----------------------------------------------------------------------
 
@@ -238,9 +268,57 @@ class ThermalAwareDesignFlow:
         ``zoom_oni`` selects the ONI refined with the submodel solver
         (``"auto"`` picks the most central one, ``None`` skips the zoom).
         """
-        sources = self.heat_sources(activity, power)
-        thermal_map = self._solver().solve(sources)
+        request = ThermalRequest(activity=activity, power=power, zoom_oni=zoom_oni)
+        return self.run_thermal_many([request])[0]
 
+    def run_thermal_many(
+        self,
+        requests: Sequence[ThermalRequest],
+        batch_size: Optional[int] = 16,
+    ) -> List[ThermalEvaluation]:
+        """Thermal analysis of several design points in batched solves.
+
+        The coarse full-package solves are stacked ``batch_size`` at a time
+        into multi-right-hand-side calls
+        (:meth:`~repro.thermal.SteadyStateSolver.solve_many`); the
+        conductance matrix is factorised at most once regardless of the
+        request count, while ``batch_size`` bounds the dense
+        ``(n_cells, batch_size)`` right-hand-side/solution arrays
+        (``None`` stacks everything into one call).  Zoom solves (which
+        depend on each coarse solution) run per request afterwards, reusing
+        the zoom solver's own window cache.  The results are identical to
+        calling :meth:`run_thermal` once per request.
+        """
+        request_list = list(requests)
+        if not request_list:
+            return []
+        if batch_size is not None and batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1 or None")
+        chunk_size = len(request_list) if batch_size is None else batch_size
+        evaluations: List[ThermalEvaluation] = []
+        for start in range(0, len(request_list), chunk_size):
+            chunk = request_list[start : start + chunk_size]
+            source_lists = [
+                self.heat_sources(request.activity, request.power)
+                for request in chunk
+            ]
+            batch = self._solver().solve_many(source_lists)
+            evaluations.extend(
+                self._finish_thermal(request, sources, thermal_map)
+                for request, sources, thermal_map in zip(
+                    chunk, source_lists, batch.maps
+                )
+            )
+        return evaluations
+
+    def _finish_thermal(
+        self,
+        request: ThermalRequest,
+        sources: List[HeatSource],
+        thermal_map: ThermalMap,
+    ) -> ThermalEvaluation:
+        """ONI summaries + optional zoom solve on top of a coarse solution."""
+        activity, power, zoom_oni = request.activity, request.power, request.zoom_oni
         optical_z = self.architecture.optical_z_range()
         summaries: Dict[str, OniThermalSummary] = {}
         for oni in self.scenario.onis:

@@ -8,7 +8,11 @@ Two optimisation problems appear in the paper:
   trading interconnect reliability for power (Section V.C, last paragraph).
 
 Both use scipy's scalar optimisers / root finders on top of
-:class:`~repro.methodology.flow.ThermalAwareDesignFlow`.
+:class:`~repro.methodology.flow.ThermalAwareDesignFlow`.  Every objective
+evaluation goes through the flow's shared
+:class:`~repro.methodology.engine.SweepEngine`, so design points revisited by
+the optimiser (or already solved by a prior sweep on the same flow) are
+served from the evaluation cache instead of being re-simulated.
 """
 
 from __future__ import annotations
@@ -22,7 +26,8 @@ from ..activity import ActivityPattern
 from ..errors import AnalysisError, ConfigurationError
 from ..oni import OniPowerConfig
 from ..snr import LaserDriveConfig
-from .flow import ThermalAwareDesignFlow
+from .engine import SweepEngine
+from .flow import ThermalAwareDesignFlow, ThermalRequest
 
 
 @dataclass
@@ -61,12 +66,15 @@ def find_optimal_heater_ratio(
     if not 0.0 <= low < high:
         raise ConfigurationError("ratio bounds must satisfy 0 <= low < high")
     evaluations: List[Tuple[float, float]] = []
+    engine = SweepEngine.shared(flow)
 
     def objective(ratio: float) -> float:
         power = OniPowerConfig(vcsel_power_w=vcsel_power_mw * 1.0e-3).with_heater_ratio(
             float(ratio)
         )
-        evaluation = flow.run_thermal(activity, power=power, zoom_oni="auto")
+        evaluation = engine.evaluate_one(
+            ThermalRequest(activity=activity, power=power, zoom_oni="auto")
+        )
         gradient = evaluation.gradient_c
         evaluations.append((float(ratio), gradient))
         return gradient
@@ -126,16 +134,17 @@ def find_minimum_vcsel_power(
     if tolerance_mw <= 0.0:
         raise ConfigurationError("tolerance_mw must be positive")
     evaluations: List[Tuple[float, float]] = []
+    engine = SweepEngine.shared(flow)
 
     def snr_at(power_mw: float) -> float:
         power = OniPowerConfig(vcsel_power_w=power_mw * 1.0e-3).with_heater_ratio(
             heater_ratio
         )
         drive = LaserDriveConfig(dissipated_power_w=power.vcsel_power_w)
-        result = flow.evaluate_design_point(
-            activity, power, drive=drive, zoom_oni=None
+        thermal = engine.evaluate_one(
+            ThermalRequest(activity=activity, power=power, zoom_oni=None)
         )
-        snr = result.worst_case_snr_db
+        snr = flow.run_snr(thermal, drive).worst_case_snr_db
         evaluations.append((power_mw, snr))
         return snr
 

@@ -11,34 +11,11 @@ from .assembly import (
 from .boundary import FACES, BoundaryConditions, FaceCondition
 from .compact import CompactResult, CompactThermalModel
 from .mesh import Mesh3D, MeshBuilder, RefinementRegion, build_ticks, merge_close_ticks
-from .solver import SolverDiagnostics, SteadyStateSolver
+from .solver import BatchSolveResult, SolverDiagnostics, SteadyStateSolver
 from .sources import HeatSource, HeatSourceSet, power_density_field
 from .thermal_map import ThermalMap
 from .zoom import ZoomResult, ZoomSolver, clip_sources_to_window
 
-__all__ = [
-    "AssembledSystem",
-    "assemble_system",
-    "FACES",
-    "BoundaryConditions",
-    "FaceCondition",
-    "CompactResult",
-    "CompactThermalModel",
-    "Mesh3D",
-    "MeshBuilder",
-    "RefinementRegion",
-    "build_ticks",
-    "merge_close_ticks",
-    "SolverDiagnostics",
-    "SteadyStateSolver",
-    "HeatSource",
-    "HeatSourceSet",
-    "power_density_field",
-    "ThermalMap",
-    "ZoomResult",
-    "ZoomSolver",
-    "clip_sources_to_window",
-]
 __all__ = [
     "AssembledOperator",
     "AssembledSystem",
@@ -56,6 +33,7 @@ __all__ = [
     "RefinementRegion",
     "build_ticks",
     "merge_close_ticks",
+    "BatchSolveResult",
     "SolverDiagnostics",
     "SteadyStateSolver",
     "HeatSource",

@@ -25,6 +25,51 @@ from ..units import um_to_m
 
 
 @dataclass(frozen=True)
+class BoxOverlap:
+    """Separable box/mesh overlap: per-axis lengths on their nonzero ranges.
+
+    All lengths are strictly positive (the nonzero overlap range along an
+    axis is contiguous), so every cell of the
+    ``[x_slice, y_slice, z_slice]`` sub-box overlaps the source box.
+    """
+
+    x_slice: slice
+    y_slice: slice
+    z_slice: slice
+    x_lengths: np.ndarray
+    y_lengths: np.ndarray
+    z_lengths: np.ndarray
+
+    @property
+    def total_volume(self) -> float:
+        """Total overlap volume [m^3]."""
+        return float(
+            self.x_lengths.sum() * self.y_lengths.sum() * self.z_lengths.sum()
+        )
+
+    def volumes(self) -> np.ndarray:
+        """Dense per-cell overlap volumes of the sub-box."""
+        return (
+            self.x_lengths[:, None, None]
+            * self.y_lengths[None, :, None]
+            * self.z_lengths[None, None, :]
+        )
+
+    def weighted_sum(self, field: np.ndarray) -> float:
+        """Overlap-volume-weighted sum of ``field`` (full mesh shape)."""
+        sub = field[self.x_slice, self.y_slice, self.z_slice]
+        return float(
+            np.einsum(
+                "ijk,i,j,k->",
+                sub,
+                self.x_lengths,
+                self.y_lengths,
+                self.z_lengths,
+            )
+        )
+
+
+@dataclass(frozen=True)
 class RefinementRegion:
     """A lateral region meshed with a finer target cell size."""
 
@@ -254,16 +299,48 @@ class Mesh3D:
         ends = np.minimum(ticks[1:], upper)
         return np.clip(ends - starts, 0.0, None)
 
+    def box_overlap_profile(self, box: Box) -> Optional["BoxOverlap"]:
+        """Separable overlap of ``box`` with the mesh, trimmed to its sub-box.
+
+        The overlap volume of a rectilinear box with a tensor mesh factors
+        into per-axis overlap lengths that are nonzero only on a contiguous
+        index range.  Returning the three trimmed 1-D profiles (plus their
+        index slices) lets hot paths work on the small sub-box instead of
+        materialising a full ``(nx, ny, nz)`` array per box.  Returns ``None``
+        when the box does not overlap the mesh.
+        """
+        profiles = []
+        slices = []
+        for ticks, lower, upper in (
+            (self.x_ticks, box.x_min, box.x_max),
+            (self.y_ticks, box.y_min, box.y_max),
+            (self.z_ticks, box.z_min, box.z_max),
+        ):
+            lengths = self._axis_overlap(ticks, lower, upper)
+            nonzero = np.flatnonzero(lengths)
+            if nonzero.size == 0:
+                return None
+            start, stop = int(nonzero[0]), int(nonzero[-1]) + 1
+            profiles.append(lengths[start:stop])
+            slices.append(slice(start, stop))
+        return BoxOverlap(
+            x_slice=slices[0],
+            y_slice=slices[1],
+            z_slice=slices[2],
+            x_lengths=profiles[0],
+            y_lengths=profiles[1],
+            z_lengths=profiles[2],
+        )
+
     def box_overlap_volumes(self, box: Box) -> np.ndarray:
         """Per-cell overlap volume with ``box`` [m^3], shape ``(nx, ny, nz)``."""
-        overlap_x = self._axis_overlap(self.x_ticks, box.x_min, box.x_max)
-        overlap_y = self._axis_overlap(self.y_ticks, box.y_min, box.y_max)
-        overlap_z = self._axis_overlap(self.z_ticks, box.z_min, box.z_max)
-        return (
-            overlap_x[:, None, None]
-            * overlap_y[None, :, None]
-            * overlap_z[None, None, :]
-        )
+        volumes = np.zeros(self.shape, dtype=float)
+        profile = self.box_overlap_profile(box)
+        if profile is not None:
+            volumes[profile.x_slice, profile.y_slice, profile.z_slice] = (
+                profile.volumes()
+            )
+        return volumes
 
 
 class MeshBuilder:

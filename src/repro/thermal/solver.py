@@ -15,7 +15,7 @@ fall back to a conjugate-gradient solve preconditioned with an incomplete LU.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 from scipy.sparse.linalg import LinearOperator, cg, spilu, splu
@@ -47,6 +47,27 @@ class SolverDiagnostics:
             f"T in [{self.min_temperature_c:.2f}, {self.max_temperature_c:.2f}] degC, "
             f"P = {self.total_power_w:.3f} W, residual = {self.residual_norm:.2e}"
         )
+
+
+@dataclass(frozen=True)
+class BatchSolveResult:
+    """Result of a batched multi-right-hand-side solve.
+
+    ``maps[i]`` and ``diagnostics[i]`` correspond to the i-th source set
+    passed to :meth:`SteadyStateSolver.solve_many`.
+    """
+
+    maps: List[ThermalMap]
+    diagnostics: List[SolverDiagnostics]
+
+    def __len__(self) -> int:
+        return len(self.maps)
+
+    def __iter__(self):
+        return iter(self.maps)
+
+    def __getitem__(self, index: int) -> ThermalMap:
+        return self.maps[index]
 
 
 class SteadyStateSolver:
@@ -133,7 +154,16 @@ class SteadyStateSolver:
             self._factorization = None
         return self._operator
 
-    def _solve_linear(self, rhs: np.ndarray) -> tuple[np.ndarray, str, bool]:
+    def _solve_linear_many(self, rhs_matrix: np.ndarray) -> tuple[np.ndarray, str, bool]:
+        """Solve ``K X = B`` for a stacked right-hand-side matrix ``B``.
+
+        ``rhs_matrix`` has shape ``(n_cells, n_rhs)``.  The direct path runs
+        every column through the cached LU factorisation in a single
+        ``splu(...).solve(B)`` call; the iterative path (very large meshes)
+        loops the preconditioned conjugate gradient over the columns, reusing
+        the one incomplete-LU preconditioner.  Returns the solution matrix,
+        the method name and whether a cached factorisation predated the call.
+        """
         operator = self._ensure_operator()
         n_cells = operator.n_cells
         if n_cells <= self._direct_cell_limit:
@@ -142,7 +172,7 @@ class SteadyStateSolver:
                 self._factorization = splu(
                     operator.matrix.tocsc(), permc_spec="MMD_AT_PLUS_A"
                 )
-            return self._factorization.solve(rhs), "direct", reused
+            return self._factorization.solve(rhs_matrix), "direct", reused
         # Iterative fallback for very large meshes.
         reused = self._factorization is not None
         if self._factorization is None:
@@ -152,52 +182,88 @@ class SteadyStateSolver:
         preconditioner = LinearOperator(
             operator.matrix.shape, self._factorization.solve
         )
-        solution, info = cg(
-            operator.matrix,
-            rhs,
-            rtol=self._rtol,
-            maxiter=20_000,
-            M=preconditioner,
-        )
-        if info != 0:
-            raise SolverError(f"conjugate gradient failed to converge (info = {info})")
-        return solution, "ilu_cg", reused
+        solutions = np.empty_like(rhs_matrix)
+        for column in range(rhs_matrix.shape[1]):
+            solution, info = cg(
+                operator.matrix,
+                rhs_matrix[:, column],
+                rtol=self._rtol,
+                maxiter=20_000,
+                M=preconditioner,
+            )
+            if info != 0:
+                raise SolverError(
+                    f"conjugate gradient failed to converge (info = {info})"
+                )
+            solutions[:, column] = solution
+        return solutions, "ilu_cg", reused
 
     # Public API ----------------------------------------------------------------------
 
     def solve(self, sources: Iterable[HeatSource]) -> ThermalMap:
         """Solve for the steady-state temperature field of the given sources."""
-        source_list = list(sources)
-        power = power_density_field(self._mesh, source_list)
+        return self.solve_many([sources]).maps[0]
+
+    def solve_many(
+        self, source_sets: Sequence[Iterable[HeatSource]]
+    ) -> BatchSolveResult:
+        """Solve one steady-state problem per source set, sharing one factorisation.
+
+        The right-hand sides of all source sets are stacked into a single
+        ``(n_cells, n_rhs)`` array and solved together, so the conductance
+        matrix is factorised at most once for the whole batch regardless of
+        how many source sets are passed.  Column ``i`` of the batch yields
+        ``maps[i]`` / ``diagnostics[i]``; the results are identical to
+        calling :meth:`solve` once per source set.
+        """
+        source_lists = [list(sources) for sources in source_sets]
+        if not source_lists:
+            return BatchSolveResult(maps=[], diagnostics=[])
         operator = self._ensure_operator()
         if self._boundary_rhs is None:
             self._boundary_rhs = boundary_rhs(operator, self._boundaries)
-        rhs = power.ravel() + self._boundary_rhs
 
-        temperatures, method, reused = self._solve_linear(rhs)
-        temperatures = np.asarray(temperatures, dtype=float)
-        if not np.all(np.isfinite(temperatures)):
+        powers = [
+            power_density_field(self._mesh, sources) for sources in source_lists
+        ]
+        rhs_matrix = np.stack(
+            [power.ravel() + self._boundary_rhs for power in powers], axis=1
+        )
+
+        solutions, method, reused = self._solve_linear_many(rhs_matrix)
+        solutions = np.asarray(solutions, dtype=float)
+        if not np.all(np.isfinite(solutions)):
             raise SolverError("solver produced non-finite temperatures")
 
-        residual = operator.matrix @ temperatures - rhs
-        rhs_norm = float(np.linalg.norm(rhs))
-        residual_norm = float(np.linalg.norm(residual)) / (
-            rhs_norm if rhs_norm > 0 else 1.0
+        residuals = operator.matrix @ solutions - rhs_matrix
+        rhs_norms = np.linalg.norm(rhs_matrix, axis=0)
+        residual_norms = np.linalg.norm(residuals, axis=0) / np.where(
+            rhs_norms > 0, rhs_norms, 1.0
         )
-        if residual_norm > 1.0e-6:
+        worst = float(residual_norms.max())
+        if worst > 1.0e-6:
             raise SolverError(
-                f"linear solve produced a large residual ({residual_norm:.2e}); "
+                f"linear solve produced a large residual ({worst:.2e}); "
                 "the system may be ill-conditioned"
             )
 
-        field = temperatures.reshape(self._mesh.shape)
-        self._last_diagnostics = SolverDiagnostics(
-            n_cells=operator.n_cells,
-            method=method,
-            residual_norm=residual_norm,
-            total_power_w=float(power.sum()),
-            min_temperature_c=float(field.min()),
-            max_temperature_c=float(field.max()),
-            factorization_reused=reused,
-        )
-        return ThermalMap(self._mesh, field)
+        maps: List[ThermalMap] = []
+        diagnostics: List[SolverDiagnostics] = []
+        for column, power in enumerate(powers):
+            field = solutions[:, column].reshape(self._mesh.shape)
+            diagnostics.append(
+                SolverDiagnostics(
+                    n_cells=operator.n_cells,
+                    method=method,
+                    residual_norm=float(residual_norms[column]),
+                    total_power_w=float(power.sum()),
+                    min_temperature_c=float(field.min()),
+                    max_temperature_c=float(field.max()),
+                    # The first column pays the factorisation unless one was
+                    # already cached; every later column reuses it by design.
+                    factorization_reused=reused or column > 0,
+                )
+            )
+            maps.append(ThermalMap(self._mesh, field))
+        self._last_diagnostics = diagnostics[-1]
+        return BatchSolveResult(maps=maps, diagnostics=diagnostics)

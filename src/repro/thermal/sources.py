@@ -165,11 +165,13 @@ def power_density_field(mesh: Mesh3D, sources: Iterable[HeatSource]) -> np.ndarr
     for source in sources:
         if source.power_w == 0.0:
             continue
-        overlap = mesh.box_overlap_volumes(source.box)
-        total_overlap = float(overlap.sum())
-        if total_overlap <= 0.0:
+        profile = mesh.box_overlap_profile(source.box)
+        total_overlap = profile.total_volume if profile is not None else 0.0
+        if profile is None or total_overlap <= 0.0:
             raise SolverError(
                 f"heat source {source.name!r} does not overlap the thermal mesh"
             )
-        field += overlap * (source.power_w / total_overlap)
+        field[profile.x_slice, profile.y_slice, profile.z_slice] += (
+            profile.volumes() * (source.power_w / total_overlap)
+        )
     return field

@@ -58,25 +58,26 @@ class ThermalMap:
 
     # Box queries ---------------------------------------------------------------
 
-    def _box_weights(self, box: Box) -> np.ndarray:
-        weights = self._mesh.box_overlap_volumes(box)
-        if float(weights.sum()) <= 0.0:
+    def _box_profile(self, box: Box):
+        profile = self._mesh.box_overlap_profile(box)
+        if profile is None or profile.total_volume <= 0.0:
             raise AnalysisError(
                 "query box does not overlap the thermal map domain: "
                 f"{box!r}"
             )
-        return weights
+        return profile
 
     def average_over(self, box: Box) -> float:
         """Volume-weighted average temperature over ``box``."""
-        weights = self._box_weights(box)
-        return float((weights * self._temperatures).sum() / weights.sum())
+        profile = self._box_profile(box)
+        return profile.weighted_sum(self._temperatures) / profile.total_volume
 
     def extrema_over(self, box: Box) -> Tuple[float, float]:
         """Minimum and maximum cell temperature among cells overlapping ``box``."""
-        weights = self._box_weights(box)
-        mask = weights > 0.0
-        values = self._temperatures[mask]
+        profile = self._box_profile(box)
+        values = self._temperatures[
+            profile.x_slice, profile.y_slice, profile.z_slice
+        ]
         return float(values.min()), float(values.max())
 
     def max_over(self, box: Box) -> float:

@@ -1,0 +1,220 @@
+"""Tests for the sweep-execution engine (cache, batching, workers).
+
+The engine is the execution substrate of every exploration helper, so these
+tests pin down its contract: results identical to the point-by-point flow,
+deduplication behind the content-derived evaluation key, batch chunking, and
+the optional process pool across independent meshes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.activity import uniform_activity
+from repro.casestudy import build_oni_ring_scenario
+from repro.errors import ConfigurationError
+from repro.methodology import (
+    SweepEngine,
+    SweepPoint,
+    ThermalAwareDesignFlow,
+    ThermalRequest,
+    evaluation_key,
+    sweep_average_temperature,
+    sweep_heater_power,
+)
+from repro.oni import OniPowerConfig
+
+
+def request_grid(flow, vcsel_powers_mw, zoom=None):
+    activity = uniform_activity(flow.architecture.floorplan, 20.0)
+    return [
+        ThermalRequest(
+            activity=activity,
+            power=OniPowerConfig(vcsel_power_w=mw * 1.0e-3),
+            zoom_oni=zoom,
+        )
+        for mw in vcsel_powers_mw
+    ]
+
+
+class TestEvaluationKey:
+    def test_equal_content_equal_key(self, small_flow):
+        first, second = request_grid(small_flow, [2.0, 2.0])
+        assert evaluation_key("default", first) == evaluation_key("default", second)
+
+    def test_distinguishes_power_zoom_and_flow(self, small_flow):
+        base = request_grid(small_flow, [2.0])[0]
+        other_power = request_grid(small_flow, [3.0])[0]
+        zoomed = request_grid(small_flow, [2.0], zoom="auto")[0]
+        key = evaluation_key("default", base)
+        assert key != evaluation_key("default", other_power)
+        assert key != evaluation_key("default", zoomed)
+        assert key != evaluation_key("other", base)
+
+
+class TestSweepEngine:
+    def test_matches_point_by_point_flow(self, small_flow):
+        requests = request_grid(small_flow, [0.0, 2.0, 4.0])
+        engine = SweepEngine(small_flow)
+        batched = engine.evaluate(requests)
+        for request, evaluation in zip(requests, batched):
+            direct = small_flow.run_thermal(
+                request.activity, power=request.power, zoom_oni=None
+            )
+            assert np.allclose(
+                evaluation.thermal_map.temperatures_c,
+                direct.thermal_map.temperatures_c,
+                atol=1e-9,
+            )
+
+    def test_cache_hits_across_calls(self, small_flow):
+        engine = SweepEngine(small_flow)
+        requests = request_grid(small_flow, [1.0, 2.0])
+        first = engine.evaluate(requests)
+        assert engine.stats.thermal_solves == 2
+        second = engine.evaluate(requests)
+        assert engine.stats.thermal_solves == 2
+        assert engine.stats.cache_hits == 2
+        for a, b in zip(first, second):
+            assert a is b
+
+    def test_duplicates_within_one_call_solved_once(self, small_flow):
+        engine = SweepEngine(small_flow)
+        request = request_grid(small_flow, [2.0])[0]
+        results = engine.evaluate([request, request, request])
+        assert engine.stats.thermal_solves == 1
+        assert results[0] is results[1] is results[2]
+
+    def test_batch_chunking(self, small_flow):
+        engine = SweepEngine(small_flow, batch_size=2)
+        engine.evaluate(request_grid(small_flow, [0.0, 1.0, 2.0, 3.0, 4.0]))
+        assert engine.stats.batches == 3
+        assert engine.stats.thermal_solves == 5
+
+    def test_cache_eviction_does_not_corrupt_results(self, small_flow):
+        engine = SweepEngine(small_flow, max_cache_entries=1)
+        requests = request_grid(small_flow, [0.0, 2.0, 4.0])
+        results = engine.evaluate(requests)
+        assert len(results) == 3
+        assert engine.cache_size == 1
+
+    def test_invalidate_caches_invalidates_engine_cache(self, coarse_architecture):
+        scenario = build_oni_ring_scenario(
+            coarse_architecture, 18.0, oni_count=4, name="invalidate"
+        )
+        flow = ThermalAwareDesignFlow(coarse_architecture, scenario)
+        engine = SweepEngine.shared(flow)
+        request = request_grid(flow, [2.0])[0]
+        engine.evaluate([request])
+        assert engine.stats.thermal_solves == 1
+        engine.evaluate([request])
+        assert engine.stats.thermal_solves == 1
+        flow.invalidate_caches()
+        # Pre-invalidation evaluations must not be served any more.
+        engine.evaluate([request])
+        assert engine.stats.thermal_solves == 2
+
+    def test_run_thermal_many_chunking_matches_single_batch(self, small_flow):
+        requests = request_grid(small_flow, [0.0, 1.0, 2.0])
+        chunked = small_flow.run_thermal_many(requests, batch_size=2)
+        single = small_flow.run_thermal_many(requests, batch_size=None)
+        for a, b in zip(chunked, single):
+            assert np.array_equal(
+                a.thermal_map.temperatures_c, b.thermal_map.temperatures_c
+            )
+        with pytest.raises(ConfigurationError):
+            small_flow.run_thermal_many(requests, batch_size=0)
+
+    def test_shared_engine_is_per_flow(self, small_flow, coarse_architecture):
+        assert SweepEngine.shared(small_flow) is SweepEngine.shared(small_flow)
+        other_scenario = build_oni_ring_scenario(
+            coarse_architecture, ring_length_mm=18.0, oni_count=4, name="other"
+        )
+        other_flow = ThermalAwareDesignFlow(coarse_architecture, other_scenario)
+        assert SweepEngine.shared(other_flow) is not SweepEngine.shared(small_flow)
+
+    def test_validation(self, small_flow):
+        with pytest.raises(ConfigurationError):
+            SweepEngine({})
+        with pytest.raises(ConfigurationError):
+            SweepEngine(small_flow, batch_size=0)
+        with pytest.raises(ConfigurationError):
+            SweepEngine(small_flow, workers=0)
+        with pytest.raises(ConfigurationError):
+            SweepEngine(small_flow, max_cache_entries=0)
+        engine = SweepEngine(small_flow)
+        request = request_grid(small_flow, [1.0])[0]
+        with pytest.raises(ConfigurationError):
+            engine.evaluate([SweepPoint(request=request, flow_key="missing")])
+        with pytest.raises(ConfigurationError):
+            engine.flow("missing")
+
+
+class TestWorkerPool:
+    def test_workers_match_serial_results(self, coarse_architecture):
+        scenarios = {
+            "short": build_oni_ring_scenario(
+                coarse_architecture, 18.0, oni_count=4, name="short"
+            ),
+            "long": build_oni_ring_scenario(
+                coarse_architecture, 46.8, oni_count=4, name="long"
+            ),
+        }
+        flows = {
+            name: ThermalAwareDesignFlow(coarse_architecture, scenario)
+            for name, scenario in scenarios.items()
+        }
+        activity = uniform_activity(coarse_architecture.floorplan, 20.0)
+        plan = [
+            SweepPoint(
+                request=ThermalRequest(activity=activity, zoom_oni=None),
+                flow_key=name,
+            )
+            for name in flows
+        ]
+        serial = SweepEngine(flows).evaluate(plan)
+        pooled_engine = SweepEngine(flows, workers=2)
+        pooled = pooled_engine.evaluate(plan)
+        assert pooled_engine.stats.worker_batches == 2
+        for serial_eval, pooled_eval in zip(serial, pooled):
+            assert np.allclose(
+                pooled_eval.thermal_map.temperatures_c,
+                serial_eval.thermal_map.temperatures_c,
+                atol=1e-9,
+            )
+
+    def test_single_flow_ignores_workers(self, small_flow):
+        engine = SweepEngine(small_flow, workers=4)
+        results = engine.evaluate(request_grid(small_flow, [1.0, 3.0]))
+        assert len(results) == 2
+        assert engine.stats.worker_batches == 0
+        assert engine.stats.batches == 1
+
+
+class TestHelpersRouteThroughEngine:
+    def test_sweeps_share_the_flow_engine(self, small_flow, uniform_25w):
+        engine = SweepEngine.shared(small_flow)
+        engine.clear_cache()
+        requested_before = engine.stats.points_requested
+        sweep_average_temperature(
+            small_flow, chip_powers_w=[12.5], vcsel_powers_mw=[0.0, 4.0], fast=True
+        )
+        assert engine.stats.points_requested == requested_before + 2
+        solves_after_first = engine.stats.thermal_solves
+        # Re-running the same grid is served from the evaluation cache.
+        sweep_average_temperature(
+            small_flow, chip_powers_w=[12.5], vcsel_powers_mw=[0.0, 4.0], fast=True
+        )
+        assert engine.stats.thermal_solves == solves_after_first
+
+    def test_heater_sweep_dedups_repeated_points(self, small_flow, uniform_25w):
+        engine = SweepEngine.shared(small_flow)
+        engine.clear_cache()
+        hits_before = engine.stats.cache_hits
+        sweep_heater_power(
+            small_flow, uniform_25w, vcsel_powers_mw=[4.0], heater_powers_mw=[0.0, 1.6]
+        )
+        sweep_heater_power(
+            small_flow, uniform_25w, vcsel_powers_mw=[4.0], heater_powers_mw=[1.6, 8.0]
+        )
+        # The (4.0, 1.6) point of the second sweep is a cache hit.
+        assert engine.stats.cache_hits > hits_before

@@ -181,6 +181,87 @@ class TestSteadyStateSolver:
             SteadyStateSolver(mesh, boundaries, rtol=0.0)
 
 
+class TestSolveMany:
+    def source_sets(self, footprint):
+        first = HeatSource.from_rect("a", Rect.from_size_mm(0.5, 0.5, 1.0, 1.0), 0.0, 50e-6, 2.0)
+        second = HeatSource.from_rect("b", Rect.from_size_mm(3.0, 3.0, 1.0, 1.0), 0.0, 50e-6, 3.0)
+        sheet = HeatSource.from_rect("sheet", footprint, 0.0, 10e-6, 5.0)
+        return [[first], [second], [first, second], [sheet]]
+
+    def test_batch_matches_sequential_solves(self):
+        mesh, boundaries, _, footprint = slab_problem()
+        sets = self.source_sets(footprint)
+        sequential = [
+            SteadyStateSolver(mesh, boundaries).solve(sources).temperatures_c
+            for sources in sets
+        ]
+        batch = SteadyStateSolver(mesh, boundaries).solve_many(sets)
+        assert len(batch) == len(sets)
+        for expected, thermal_map in zip(sequential, batch):
+            assert np.allclose(thermal_map.temperatures_c, expected, atol=1e-9)
+
+    def test_factorises_exactly_once(self, monkeypatch):
+        import repro.thermal.solver as solver_module
+
+        mesh, boundaries, _, footprint = slab_problem()
+        calls = []
+        original = solver_module.splu
+
+        def counting_splu(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(solver_module, "splu", counting_splu)
+        solver = SteadyStateSolver(mesh, boundaries)
+        solver.solve_many(self.source_sets(footprint))
+        assert len(calls) == 1
+
+    def test_diagnostics_per_column(self):
+        mesh, boundaries, _, footprint = slab_problem()
+        solver = SteadyStateSolver(mesh, boundaries)
+        sets = self.source_sets(footprint)
+        batch = solver.solve_many(sets)
+        assert len(batch.diagnostics) == len(sets)
+        expected_powers = [2.0, 3.0, 5.0, 5.0]
+        for column, (diag, power) in enumerate(zip(batch.diagnostics, expected_powers)):
+            assert diag.method == "direct"
+            assert diag.total_power_w == pytest.approx(power, rel=1e-9)
+            assert diag.residual_norm < 1e-6
+            assert diag.factorization_reused is (column > 0)
+            assert diag.max_temperature_c == pytest.approx(
+                batch.maps[column].global_max(), abs=1e-12
+            )
+        # A second batch reuses the factorisation from the first one.
+        again = solver.solve_many(sets[:1])
+        assert again.diagnostics[0].factorization_reused is True
+
+    def test_empty_batch(self):
+        mesh, boundaries, _, _ = slab_problem()
+        batch = SteadyStateSolver(mesh, boundaries).solve_many([])
+        assert len(batch) == 0 and batch.diagnostics == []
+
+    def test_iterative_fallback_matches_direct(self):
+        mesh, boundaries, _, footprint = slab_problem()
+        sets = self.source_sets(footprint)
+        direct = SteadyStateSolver(mesh, boundaries).solve_many(sets)
+        iterative_solver = SteadyStateSolver(mesh, boundaries, direct_cell_limit=1)
+        iterative = iterative_solver.solve_many(sets)
+        for diag in iterative.diagnostics:
+            assert diag.method == "ilu_cg"
+        for direct_map, iterative_map in zip(direct.maps, iterative.maps):
+            assert np.allclose(
+                iterative_map.temperatures_c, direct_map.temperatures_c, atol=1e-4
+            )
+
+    def test_solve_delegates_to_batch_path(self):
+        mesh, boundaries, source, _ = slab_problem()
+        solver = SteadyStateSolver(mesh, boundaries)
+        thermal_map = solver.solve([source])
+        assert solver.last_diagnostics.factorization_reused is False
+        batch_map = SteadyStateSolver(mesh, boundaries).solve_many([[source]]).maps[0]
+        assert np.array_equal(thermal_map.temperatures_c, batch_map.temperatures_c)
+
+
 class TestAnalyticValidation:
     def test_uniform_slab_matches_analytic(self):
         case = uniform_slab_case()

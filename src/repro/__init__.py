@@ -57,7 +57,7 @@ from .methodology import (
 )
 from .oni import OniPowerConfig, OpticalNetworkInterface, generate_chessboard_layout
 from .onoc import Communication, OrnocNetwork, RingTopology, opposite_traffic
-from .snr import LaserDriveConfig, OniThermalState, SnrAnalyzer
+from .snr import BatchSnrReport, LaserDriveConfig, OniThermalState, SnrAnalyzer
 from .thermal import (
     BoundaryConditions,
     HeatSource,
@@ -94,6 +94,7 @@ __all__ = [
     "RingTopology",
     "opposite_traffic",
     "SnrAnalyzer",
+    "BatchSnrReport",
     "OniThermalState",
     "LaserDriveConfig",
     "ActivityPattern",

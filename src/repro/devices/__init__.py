@@ -6,7 +6,12 @@ from .library import DEFAULT_DEVICE_LIBRARY, DeviceLibrary
 from .microring import MicroringModel, MicroringParameters
 from .photodetector import PhotodetectorModel, PhotodetectorParameters
 from .tsv import TsvModel, TsvParameters
-from .vcsel import VcselModel, VcselOperatingPoint, VcselParameters
+from .vcsel import (
+    VcselModel,
+    VcselOperatingPoint,
+    VcselOperatingPointBatch,
+    VcselParameters,
+)
 from .waveguide import WaveguideModel, WaveguideParameters
 
 __all__ = [
@@ -24,6 +29,7 @@ __all__ = [
     "TsvParameters",
     "VcselModel",
     "VcselOperatingPoint",
+    "VcselOperatingPointBatch",
     "VcselParameters",
     "WaveguideModel",
     "WaveguideParameters",

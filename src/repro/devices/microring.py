@@ -12,11 +12,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
+
+import numpy as np
 
 from .. import constants
 from ..errors import DeviceError
 from ..units import db_loss_to_transmission
+
+#: Scalar-or-array input accepted by the lineshape / detuning methods.
+ArrayLike = Union[float, np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -91,11 +96,17 @@ class MicroringModel:
 
     def detuning_nm(
         self,
-        signal_wavelength_nm: float,
-        temperature_c: float,
+        signal_wavelength_nm: ArrayLike,
+        temperature_c: ArrayLike,
         heater_shift_nm: float = 0.0,
-    ) -> float:
-        """Signed detuning ``lambda_MR - lambda_signal`` folded into one FSR [nm]."""
+    ) -> ArrayLike:
+        """Signed detuning ``lambda_MR - lambda_signal`` folded into one FSR [nm].
+
+        The folding maps any raw detuning into ``[-FSR/2, FSR/2)``, so a
+        signal drifting just past half a free spectral range re-enters from
+        the opposite side of the next resonance order.  Accepts scalars or
+        broadcastable NumPy arrays and returns the matching shape.
+        """
         detuning = (
             self.resonance_wavelength_nm(temperature_c, heater_shift_nm)
             - signal_wavelength_nm
@@ -106,23 +117,30 @@ class MicroringModel:
 
     # Transmission --------------------------------------------------------------
 
-    def lineshape(self, detuning_nm: float) -> float:
+    def lineshape(self, detuning_nm: ArrayLike) -> ArrayLike:
         """Normalised drop lineshape (1 at resonance, 0.5 at FWHM/2).
 
         A generalised Lorentzian ``1 / (1 + (detuning / half_width)^(2 n))``
-        where ``n`` is the configured roll-off order.
+        where ``n`` is the configured roll-off order.  Accepts scalars or
+        NumPy arrays of detunings and evaluates element-wise.
         """
         half_width = self._p.bandwidth_3db_nm / 2.0
         ratio = abs(detuning_nm) / half_width
         return 1.0 / (1.0 + ratio ** (2 * self._p.rolloff_order))
 
-    def drop_fraction(self, detuning_nm: float) -> float:
-        """Fraction of the incoming power dropped for a given detuning."""
+    def drop_fraction(self, detuning_nm: ArrayLike) -> ArrayLike:
+        """Fraction of the incoming power dropped for a given detuning.
+
+        Scalar or element-wise over an array of detunings.
+        """
         peak = db_loss_to_transmission(self._p.drop_loss_db)
         return peak * self.lineshape(detuning_nm)
 
-    def through_fraction(self, detuning_nm: float) -> float:
-        """Fraction of the incoming power continuing along the waveguide."""
+    def through_fraction(self, detuning_nm: ArrayLike) -> ArrayLike:
+        """Fraction of the incoming power continuing along the waveguide.
+
+        Scalar or element-wise over an array of detunings.
+        """
         passing = db_loss_to_transmission(self._p.through_loss_db)
         return passing * (1.0 - self.lineshape(detuning_nm))
 

@@ -19,12 +19,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Union
 
+import numpy as np
 from scipy import optimize
 
 from .. import constants
 from ..errors import DeviceError
+
+#: Scalar-or-array input accepted by the vectorized methods.
+ArrayLike = Union[float, np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -113,6 +117,37 @@ class VcselOperatingPoint:
     def is_lasing(self) -> bool:
         """Whether the device is above threshold (emits optical power)."""
         return self.optical_power_w > 0.0
+
+
+@dataclass(frozen=True)
+class VcselOperatingPointBatch:
+    """Self-consistent operating points of a VCSEL over an array of inputs.
+
+    Every field is an array of the common broadcast shape of the
+    ``current_a`` / ``base_temperature_c`` inputs; element ``i`` equals the
+    scalar :class:`VcselOperatingPoint` at ``(current_a[i],
+    base_temperature_c[i])``.
+    """
+
+    current_a: np.ndarray
+    base_temperature_c: np.ndarray
+    junction_temperature_c: np.ndarray
+    optical_power_w: np.ndarray
+    electrical_power_w: np.ndarray
+    dissipated_power_w: np.ndarray
+    wall_plug_efficiency: np.ndarray
+
+    def __getitem__(self, index) -> VcselOperatingPoint:
+        """Scalar operating point at ``index`` (for spot checks)."""
+        return VcselOperatingPoint(
+            current_a=float(self.current_a[index]),
+            base_temperature_c=float(self.base_temperature_c[index]),
+            junction_temperature_c=float(self.junction_temperature_c[index]),
+            optical_power_w=float(self.optical_power_w[index]),
+            electrical_power_w=float(self.electrical_power_w[index]),
+            dissipated_power_w=float(self.dissipated_power_w[index]),
+            wall_plug_efficiency=float(self.wall_plug_efficiency[index]),
+        )
 
 
 class VcselModel:
@@ -289,3 +324,136 @@ class VcselModel:
             dissipated_power_w, base_temperature_c
         )
         return self.operating_point(current, base_temperature_c).optical_power_w
+
+    # Batched evaluation ----------------------------------------------------------------
+
+    def _optical_power_at_junction_array(
+        self, current_a: np.ndarray, junction_c: np.ndarray
+    ) -> np.ndarray:
+        """Array version of :meth:`_optical_power_at_junction`."""
+        delta = junction_c - self._p.reference_temperature_c
+        threshold = self._p.threshold_current_a * np.exp(delta / self._p.threshold_t0_k)
+        slope = np.maximum(
+            0.0,
+            self._p.slope_efficiency_w_per_a * (1.0 - delta / self._p.slope_decay_span_k),
+        )
+        return np.maximum(0.0, slope * (current_a - threshold))
+
+    def operating_points(
+        self,
+        current_a: ArrayLike,
+        base_temperature_c: ArrayLike,
+        max_iterations: int = 200,
+        tolerance_c: float = 1.0e-6,
+    ) -> VcselOperatingPointBatch:
+        """Vectorized :meth:`operating_point` over broadcastable input arrays.
+
+        The damped self-heating fixed point runs element-wise: each element
+        is frozen as soon as its own junction temperature converges, so every
+        element follows exactly the iteration it would follow under the
+        scalar method, independent of the other batch elements.
+        """
+        current = np.asarray(current_a, dtype=float)
+        base = np.asarray(base_temperature_c, dtype=float)
+        current, base = np.broadcast_arrays(current, base)
+        current = np.ascontiguousarray(current)
+        base = np.ascontiguousarray(base)
+        if np.any(current < 0.0):
+            raise DeviceError("drive current must be >= 0")
+        if np.any(current > self._p.max_current_a):
+            worst = float(np.max(current))
+            raise DeviceError(
+                f"drive current {worst * 1e3:.2f} mA exceeds the device maximum "
+                f"of {self._p.max_current_a * 1e3:.2f} mA"
+            )
+        electrical = current * (
+            self._p.turn_on_voltage_v + self._p.series_resistance_ohm * current
+        )
+        junction = base.copy()
+        active = np.ones(junction.shape, dtype=bool)
+        damping = 0.5
+        for _ in range(max_iterations):
+            if not active.any():
+                break
+            optical = self._optical_power_at_junction_array(
+                current[active], junction[active]
+            )
+            dissipated = np.maximum(electrical[active] - optical, 0.0)
+            target = base[active] + self._p.thermal_resistance_k_per_w * dissipated
+            new_junction = junction[active] + damping * (target - junction[active])
+            converged = np.abs(new_junction - junction[active]) < tolerance_c
+            junction[active] = new_junction
+            flat_active = active.reshape(-1)
+            flat_active[np.flatnonzero(flat_active)[converged]] = False
+        if active.any():
+            raise DeviceError(
+                "VCSEL self-heating iteration did not converge; check the "
+                "thermal resistance and bias current"
+            )
+        optical = self._optical_power_at_junction_array(current, junction)
+        dissipated = np.maximum(electrical - optical, 0.0)
+        efficiency = np.divide(
+            optical,
+            electrical,
+            out=np.zeros_like(optical),
+            where=electrical > 0.0,
+        )
+        return VcselOperatingPointBatch(
+            current_a=current,
+            base_temperature_c=base,
+            junction_temperature_c=junction,
+            optical_power_w=optical,
+            electrical_power_w=electrical,
+            dissipated_power_w=dissipated,
+            wall_plug_efficiency=efficiency,
+        )
+
+    def currents_for_dissipated_power(
+        self,
+        dissipated_power_w: ArrayLike,
+        base_temperature_c: ArrayLike,
+        xtol_a: float = 1.0e-12,
+    ) -> np.ndarray:
+        """Vectorized :meth:`current_for_dissipated_power`.
+
+        Element-wise bisection on the (monotone) dissipated-power
+        characteristic down to an ``xtol_a`` current bracket; the result
+        matches the scalar ``brentq`` inversion to well below its own
+        ``1e-9`` A tolerance.
+        """
+        target = np.asarray(dissipated_power_w, dtype=float)
+        base = np.asarray(base_temperature_c, dtype=float)
+        target, base = np.broadcast_arrays(target, base)
+        target = np.ascontiguousarray(target)
+        base = np.ascontiguousarray(base)
+        if np.any(target < 0.0):
+            raise DeviceError("dissipated power must be >= 0")
+        maximum = self._p.max_current_a
+        top = self.operating_points(np.full_like(target, maximum), base).dissipated_power_w
+        unreachable = top < target
+        if np.any(unreachable):
+            worst = float(np.max(target[unreachable]))
+            raise DeviceError(
+                f"requested dissipated power {worst * 1e3:.2f} mW is not "
+                "reachable below the maximum drive current"
+            )
+        low = np.zeros_like(target)
+        high = np.full_like(target, maximum)
+        iterations = max(1, math.ceil(math.log2(maximum / xtol_a)))
+        for _ in range(iterations):
+            middle = 0.5 * (low + high)
+            dissipated = self.operating_points(middle, base).dissipated_power_w
+            above = dissipated >= target
+            high = np.where(above, middle, high)
+            low = np.where(above, low, middle)
+        return np.where(target == 0.0, 0.0, 0.5 * (low + high))
+
+    def optical_powers_from_dissipated(
+        self,
+        dissipated_power_w: ArrayLike,
+        base_temperature_c: ArrayLike,
+    ) -> np.ndarray:
+        """Vectorized :meth:`optical_power_from_dissipated`."""
+        base = np.asarray(base_temperature_c, dtype=float)
+        currents = self.currents_for_dissipated_power(dissipated_power_w, base)
+        return self.operating_points(currents, base).optical_power_w

@@ -9,11 +9,16 @@ compared against ORNoC on the same footing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
+
+import numpy as np
 
 from .. import constants
 from ..errors import DeviceError
 from ..units import db_loss_to_transmission
+
+#: Scalar-or-array input accepted by the loss / transmission methods.
+ArrayLike = Union[float, np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -51,16 +56,19 @@ class WaveguideModel:
         """Underlying parameter set."""
         return self._p
 
-    def propagation_loss_db(self, length_m: float) -> float:
-        """Propagation loss over ``length_m`` of waveguide [dB]."""
-        if length_m < 0.0:
+    def propagation_loss_db(self, length_m: ArrayLike) -> ArrayLike:
+        """Propagation loss over ``length_m`` of waveguide [dB].
+
+        Scalar or element-wise over an array of lengths.
+        """
+        if np.any(np.asarray(length_m) < 0.0):
             raise DeviceError("length must be >= 0")
         length_cm = length_m * 100.0
         return self._p.propagation_loss_db_per_cm * length_cm
 
     def path_loss_db(
-        self, length_m: float, crossings: int = 0, bends: int = 0
-    ) -> float:
+        self, length_m: ArrayLike, crossings: int = 0, bends: int = 0
+    ) -> ArrayLike:
         """Total loss along a path with the given crossings and bends [dB]."""
         if crossings < 0 or bends < 0:
             raise DeviceError("crossings and bends must be >= 0")
@@ -70,6 +78,11 @@ class WaveguideModel:
             + bends * self._p.bend_loss_db
         )
 
-    def transmission(self, length_m: float, crossings: int = 0, bends: int = 0) -> float:
-        """Linear power transmission along a path (1 = lossless)."""
+    def transmission(
+        self, length_m: ArrayLike, crossings: int = 0, bends: int = 0
+    ) -> ArrayLike:
+        """Linear power transmission along a path (1 = lossless).
+
+        Scalar or element-wise over an array of lengths.
+        """
         return db_loss_to_transmission(self.path_loss_db(length_m, crossings, bends))

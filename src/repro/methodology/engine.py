@@ -40,6 +40,7 @@ from math import ceil
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..errors import ConfigurationError
+from ..snr import LaserDriveConfig, SnrReport
 from .flow import ThermalAwareDesignFlow, ThermalEvaluation, ThermalRequest
 
 DEFAULT_FLOW_KEY = "default"
@@ -62,6 +63,14 @@ class EngineStats:
     thermal_solves: int = 0
     batches: int = 0
     worker_batches: int = 0
+    #: SNR points requested through :meth:`SweepEngine.evaluate_snr`.
+    snr_points_requested: int = 0
+    #: SNR points served from the SNR-report cache.
+    snr_cache_hits: int = 0
+    #: SNR points evaluated through the vectorized link engine.
+    snr_evaluations: int = 0
+    #: Batched ``run_snr_many`` calls issued (one per flow with misses).
+    snr_batches: int = 0
 
 
 def evaluation_key(flow_key: str, request: ThermalRequest) -> Tuple[Hashable, ...]:
@@ -147,6 +156,9 @@ class SweepEngine:
         self._cache: "OrderedDict[Tuple[Hashable, ...], ThermalEvaluation]" = (
             OrderedDict()
         )
+        self._snr_cache: "OrderedDict[Tuple[Hashable, ...], SnrReport]" = (
+            OrderedDict()
+        )
         self.stats = EngineStats()
 
     @classmethod
@@ -176,12 +188,18 @@ class SweepEngine:
 
     @property
     def cache_size(self) -> int:
-        """Number of evaluations currently cached."""
+        """Number of thermal evaluations currently cached."""
         return len(self._cache)
 
+    @property
+    def snr_cache_size(self) -> int:
+        """Number of SNR reports currently cached."""
+        return len(self._snr_cache)
+
     def clear_cache(self) -> None:
-        """Drop every cached evaluation."""
+        """Drop every cached thermal evaluation and SNR report."""
         self._cache.clear()
+        self._snr_cache.clear()
 
     # Execution ------------------------------------------------------------------
 
@@ -302,5 +320,99 @@ class SweepEngine:
                     self._cache_put(key, evaluation)
                 self.stats.batches += ceil(len(work) / self._batch_size)
                 self.stats.thermal_solves += len(work)
+
+        return [resolved[key] for key in keys]
+
+    # SNR execution ---------------------------------------------------------------
+
+    def _snr_point_key(
+        self, flow_key: str, request: ThermalRequest, drive: LaserDriveConfig
+    ) -> Tuple[Hashable, ...]:
+        """Cache key of one SNR point: thermal key + the laser drive policy.
+
+        The SNR of a design point is fully determined by its thermal
+        evaluation (same key as the thermal cache, including the flow's
+        cache generation) and the drive; the flow's default routed network
+        is part of the flow itself.
+        """
+        return (*self._point_key(flow_key, request), drive.current_a,
+                drive.dissipated_power_w)
+
+    def _snr_cache_get(self, key: Tuple[Hashable, ...]) -> Optional[SnrReport]:
+        report = self._snr_cache.get(key)
+        if report is not None:
+            self._snr_cache.move_to_end(key)
+        return report
+
+    def _snr_cache_put(self, key: Tuple[Hashable, ...], report: SnrReport) -> None:
+        self._snr_cache[key] = report
+        self._snr_cache.move_to_end(key)
+        while len(self._snr_cache) > self._max_cache_entries:
+            self._snr_cache.popitem(last=False)
+
+    def evaluate_snr(
+        self,
+        points: Iterable[Union[SweepPoint, ThermalRequest]],
+        drive: LaserDriveConfig,
+        workers: Optional[int] = None,
+    ) -> List[SnrReport]:
+        """Thermal + SNR evaluation of every point, in submission order.
+
+        The thermal half runs through :meth:`evaluate` (deduplicated,
+        multi-RHS batched, optionally pooled); the SNR half stacks each
+        flow's pending states into one vectorized
+        :meth:`~repro.methodology.flow.ThermalAwareDesignFlow.run_snr_many`
+        call on the flow's default routed network.  Reports are cached
+        behind the thermal content key plus the drive, so optimisers
+        revisiting a design point (or a sweep re-running a grid) skip both
+        halves entirely.
+        """
+        plan: List[SweepPoint] = [
+            point
+            if isinstance(point, SweepPoint)
+            else SweepPoint(request=point)
+            for point in points
+        ]
+        self.stats.snr_points_requested += len(plan)
+        keys: List[Tuple[Hashable, ...]] = []
+        resolved: Dict[Tuple[Hashable, ...], SnrReport] = {}
+        pending: "OrderedDict[str, OrderedDict[Tuple[Hashable, ...], SweepPoint]]" = (
+            OrderedDict()
+        )
+        for point in plan:
+            if point.flow_key not in self._flows:
+                raise ConfigurationError(f"unknown flow key {point.flow_key!r}")
+            key = self._snr_point_key(point.flow_key, point.request, drive)
+            keys.append(key)
+            if key in resolved:
+                self.stats.snr_cache_hits += 1
+                continue
+            cached = self._snr_cache_get(key)
+            if cached is not None:
+                resolved[key] = cached
+                self.stats.snr_cache_hits += 1
+                continue
+            group = pending.setdefault(point.flow_key, OrderedDict())
+            if key in group:
+                self.stats.snr_cache_hits += 1
+            else:
+                group[key] = point
+
+        # Thermal step for every miss at once (deduplicated / batched /
+        # pooled by the thermal machinery), then one batched SNR evaluation
+        # per flow with pending work.
+        miss_points = [point for group in pending.values() for point in group.values()]
+        evaluations = self.evaluate(miss_points, workers=workers)
+        cursor = 0
+        for flow_key, group in pending.items():
+            flow_evaluations = evaluations[cursor : cursor + len(group)]
+            cursor += len(group)
+            batch = self._flows[flow_key].run_snr_many(flow_evaluations, drive)
+            for index, key in enumerate(group):
+                report = batch.report(index)
+                resolved[key] = report
+                self._snr_cache_put(key, report)
+            self.stats.snr_evaluations += len(group)
+            self.stats.snr_batches += 1
 
         return [resolved[key] for key in keys]

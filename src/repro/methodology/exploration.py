@@ -281,12 +281,16 @@ def snr_across_scenarios(
                     flow_key=flow_key,
                 )
             )
+    # The thermal half is deduplicated/batched/pooled by the engine; the SNR
+    # half runs per scenario as one vectorized pass over all its activities
+    # (the second call's thermal work is served from the evaluation cache).
     evaluations = engine.evaluate(plan)
+    reports = engine.evaluate_snr(plan, operating_drive)
 
     points: List[ScenarioSnrPoint] = []
-    for (flow_key, scenario, activity_name), evaluation in zip(labels, evaluations):
-        flow = engine.flow(flow_key)
-        report = flow.run_snr(evaluation, operating_drive)
+    for (flow_key, scenario, activity_name), evaluation, report in zip(
+        labels, evaluations, reports
+    ):
         averages = [s.average_c for s in evaluation.oni_summaries.values()]
         points.append(
             ScenarioSnrPoint(

@@ -28,7 +28,13 @@ from ..devices import VcselModel
 from ..errors import AnalysisError, ConfigurationError
 from ..oni import OniPowerConfig, OpticalNetworkInterface
 from ..onoc import Communication, OrnocNetwork, shift_traffic
-from ..snr import LaserDriveConfig, OniThermalState, SnrAnalyzer, SnrReport
+from ..snr import (
+    BatchSnrReport,
+    LaserDriveConfig,
+    OniThermalState,
+    SnrAnalyzer,
+    SnrReport,
+)
 from ..thermal import (
     HeatSource,
     Mesh3D,
@@ -163,6 +169,7 @@ class ThermalAwareDesignFlow:
         self._mesh_cache: Optional[Mesh3D] = None
         self._solver_cache: Optional[SteadyStateSolver] = None
         self._zoom_solver: Optional[ZoomSolver] = None
+        self._snr_analyzer_cache: Optional[SnrAnalyzer] = None
         #: Bumped by :meth:`invalidate_caches`; folded into the sweep
         #: engine's cache keys so stale evaluations are never served.
         self._generation = 0
@@ -208,6 +215,7 @@ class ThermalAwareDesignFlow:
         self._mesh_cache = None
         self._solver_cache = None
         self._zoom_solver = None
+        self._snr_analyzer_cache = None
         self._generation += 1
 
     def __getstate__(self) -> dict:
@@ -219,6 +227,7 @@ class ThermalAwareDesignFlow:
         state["_mesh_cache"] = None
         state["_solver_cache"] = None
         state["_zoom_solver"] = None
+        state["_snr_analyzer_cache"] = None
         state.pop("_sweep_engine", None)
         return state
 
@@ -391,6 +400,30 @@ class ThermalAwareDesignFlow:
         network.assign_channels()
         return network
 
+    def snr_analyzer(
+        self,
+        communications: Optional[Sequence[Communication]] = None,
+        network: Optional[OrnocNetwork] = None,
+    ) -> SnrAnalyzer:
+        """Analyzer (with its compiled link engine) for the given network.
+
+        The default-traffic analyzer is cached on the flow, so the routed
+        network is compiled into the vectorized
+        :class:`~repro.snr.engine.OpticalLinkEngine` arrays exactly once and
+        every subsequent SNR evaluation reuses them.  Passing explicit
+        ``communications`` or a ``network`` builds a fresh analyzer.
+        """
+        if network is not None or communications is not None:
+            routed = network or self.build_network(communications)
+            return SnrAnalyzer(
+                routed, technology=self.technology, vcsel=self.vcsel
+            )
+        if self._snr_analyzer_cache is None:
+            self._snr_analyzer_cache = SnrAnalyzer(
+                self.build_network(), technology=self.technology, vcsel=self.vcsel
+            )
+        return self._snr_analyzer_cache
+
     def run_snr(
         self,
         evaluation: ThermalEvaluation,
@@ -399,13 +432,29 @@ class ThermalAwareDesignFlow:
         network: Optional[OrnocNetwork] = None,
     ) -> SnrReport:
         """SNR analysis of a thermally evaluated design point."""
-        routed = network or self.build_network(communications)
-        analyzer = SnrAnalyzer(
-            routed,
-            technology=self.technology,
-            vcsel=self.vcsel,
+        return self.run_snr_many(
+            [evaluation], drive, communications=communications, network=network
+        ).report(0)
+
+    def run_snr_many(
+        self,
+        evaluations: Sequence[ThermalEvaluation],
+        drive: LaserDriveConfig,
+        communications: Optional[Sequence[Communication]] = None,
+        network: Optional[OrnocNetwork] = None,
+    ) -> BatchSnrReport:
+        """Batched SNR analysis of several thermally evaluated design points.
+
+        The natural continuation of :meth:`run_thermal_many`: the per-ONI
+        states of every evaluation are stacked and pushed through the
+        compiled link engine in one vectorized pass
+        (:meth:`~repro.snr.analysis.SnrAnalyzer.analyze_many`).  Element
+        ``b`` of the result equals ``run_snr(evaluations[b], drive)``.
+        """
+        analyzer = self.snr_analyzer(communications=communications, network=network)
+        return analyzer.analyze_many(
+            [evaluation.states() for evaluation in evaluations], drive
         )
-        return analyzer.analyze(evaluation.states(), drive)
 
     # Combined ---------------------------------------------------------------------------------------
 

@@ -12,7 +12,8 @@ Both use scipy's scalar optimisers / root finders on top of
 evaluation goes through the flow's shared
 :class:`~repro.methodology.engine.SweepEngine`, so design points revisited by
 the optimiser (or already solved by a prior sweep on the same flow) are
-served from the evaluation cache instead of being re-simulated.
+served from the evaluation caches — both the thermal evaluations and the
+SNR reports (``evaluate_snr``) — instead of being re-simulated.
 """
 
 from __future__ import annotations
@@ -141,10 +142,10 @@ def find_minimum_vcsel_power(
             heater_ratio
         )
         drive = LaserDriveConfig(dissipated_power_w=power.vcsel_power_w)
-        thermal = engine.evaluate_one(
-            ThermalRequest(activity=activity, power=power, zoom_oni=None)
-        )
-        snr = flow.run_snr(thermal, drive).worst_case_snr_db
+        report = engine.evaluate_snr(
+            [ThermalRequest(activity=activity, power=power, zoom_oni=None)], drive
+        )[0]
+        snr = report.worst_case_snr_db
         evaluations.append((power_mw, snr))
         return snr
 

@@ -1,13 +1,18 @@
 """Worst-case SNR analysis of the optical interconnect."""
 
-from .analysis import LinkResult, SnrAnalyzer, SnrReport
+from .analysis import BatchSnrReport, LinkResult, SnrAnalyzer, SnrReport
+from .engine import OpticalLinkEngine, PropagationBatch, ThermalStateBatch
 from .state import LaserDriveConfig, OniThermalState, states_by_name
 from .transmission import PropagationTrace, WaveguidePropagator
 
 __all__ = [
+    "BatchSnrReport",
     "LinkResult",
     "SnrAnalyzer",
     "SnrReport",
+    "OpticalLinkEngine",
+    "PropagationBatch",
+    "ThermalStateBatch",
     "LaserDriveConfig",
     "OniThermalState",
     "states_by_name",

@@ -10,12 +10,22 @@ where ``OP_sd[sd]`` is the signal power actually dropped into the receiver
 because of their own misalignment.  The injected power of each signal comes
 from the VCSEL model evaluated at the source ONI's laser temperature, times
 the taper coupling efficiency — exactly the chain of Figure 2 of the paper.
+
+Evaluation runs on the vectorized :class:`~repro.snr.engine.OpticalLinkEngine`:
+the routed network is compiled into NumPy arrays once, then
+:meth:`SnrAnalyzer.analyze_many` evaluates a whole batch of thermal states in
+one array pass and :meth:`SnrAnalyzer.analyze` is the batch of one (so the
+two always agree exactly).  :meth:`SnrAnalyzer.analyze_scalar` keeps the
+original pure-Python walk as a validation reference.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..config import TechnologyParameters
 from ..devices import (
@@ -27,6 +37,7 @@ from ..devices import (
 from ..errors import AnalysisError
 from ..onoc import Communication, OrnocNetwork
 from ..units import safe_mw_to_dbm, w_to_mw
+from .engine import OpticalLinkEngine, PropagationBatch, ThermalStateBatch
 from .state import LaserDriveConfig, OniThermalState, states_by_name
 from .transmission import PropagationTrace, WaveguidePropagator
 
@@ -65,6 +76,7 @@ class SnrReport:
     def __post_init__(self) -> None:
         if not self.links:
             raise AnalysisError("an SNR report needs at least one link")
+        self._link_index: Optional[Dict[str, LinkResult]] = None
 
     def worst_case(self) -> LinkResult:
         """Link with the lowest SNR."""
@@ -96,14 +108,26 @@ class SnrReport:
         return all(link.detected for link in self.links)
 
     def link(self, name: str) -> LinkResult:
-        """Result of the communication called ``name``."""
-        for result in self.links:
-            if result.communication.name == name:
-                return result
-        raise AnalysisError(f"no link called {name!r} in this report")
+        """Result of the communication called ``name`` (O(1) via a cached index)."""
+        if self._link_index is None:
+            self._link_index = {
+                result.communication.name: result for result in self.links
+            }
+        try:
+            return self._link_index[name]
+        except KeyError:
+            raise AnalysisError(f"no link called {name!r} in this report") from None
 
     def as_rows(self) -> List[Dict[str, float | str | bool]]:
-        """Tabular view (one dict per link) for reports and benchmarks."""
+        """Tabular view (one dict per link) for reports and benchmarks.
+
+        Rows follow ``self.links`` order, which is guaranteed to be the
+        analyzer's canonical link order: ascending waveguide index, then
+        channel-assignment order within each waveguide.  The ordering is
+        stable across :meth:`SnrAnalyzer.analyze`,
+        :meth:`SnrAnalyzer.analyze_many` and repeated calls on the same
+        routed network.
+        """
         return [
             {
                 "communication": link.communication.name,
@@ -115,6 +139,123 @@ class SnrReport:
             }
             for link in self.links
         ]
+
+
+@dataclass
+class BatchSnrReport:
+    """SNR figures of a routed network under a batch of ``B`` thermal states.
+
+    Every per-link array is ``(B, S)`` with links in the canonical order
+    (ascending waveguide index, channel-assignment order within), matching
+    the ``links`` order of the scalar :class:`SnrReport`.  Aggregates return
+    one value per thermal state; :meth:`report` materialises the full scalar
+    report (links and traces) of one state.
+    """
+
+    communications: Tuple[Communication, ...]
+    injected_power_w: np.ndarray
+    signal_power_w: np.ndarray
+    crosstalk_power_w: np.ndarray
+    snr_db: np.ndarray
+    detected: np.ndarray
+    laser_temperature_c: np.ndarray
+    path_length_m: np.ndarray
+    noise_floor_w: float
+    propagation: PropagationBatch
+    engine: OpticalLinkEngine
+
+    @property
+    def batch_size(self) -> int:
+        """Number of thermal states evaluated."""
+        return int(self.signal_power_w.shape[0])
+
+    @property
+    def link_names(self) -> Tuple[str, ...]:
+        """Communication names in canonical link order."""
+        return self.engine.link_names
+
+    @property
+    def worst_case_snr_db(self) -> np.ndarray:
+        """Worst-case SNR of each thermal state [dB], ``(B,)``."""
+        return np.min(self.snr_db, axis=1)
+
+    @property
+    def average_snr_db(self) -> np.ndarray:
+        """Average SNR of each thermal state [dB], ``(B,)``."""
+        return np.mean(self.snr_db, axis=1)
+
+    @property
+    def min_signal_power_w(self) -> np.ndarray:
+        """Weakest received signal power of each thermal state [W], ``(B,)``."""
+        return np.min(self.signal_power_w, axis=1)
+
+    @property
+    def max_crosstalk_power_w(self) -> np.ndarray:
+        """Strongest received crosstalk of each thermal state [W], ``(B,)``."""
+        return np.max(self.crosstalk_power_w, axis=1)
+
+    @property
+    def all_detected(self) -> np.ndarray:
+        """Whether every link of each thermal state is detected, ``(B,)``."""
+        return np.all(self.detected, axis=1)
+
+    def worst_case_links(self) -> List[str]:
+        """Name of the worst-SNR link of each thermal state."""
+        indices = np.argmin(self.snr_db, axis=1)
+        return [self.link_names[index] for index in indices]
+
+    def report(self, index: int) -> SnrReport:
+        """Full scalar :class:`SnrReport` (links + traces) of one state.
+
+        Trace bookkeeping counts every compiled interaction event
+        (``rings_crossed`` is static per link); a fully extinguished signal
+        keeps its downstream events with zero dropped power rather than
+        stopping early as the pure-Python walk does.
+        """
+        if not -self.batch_size <= index < self.batch_size:
+            raise AnalysisError(
+                f"state index {index} outside batch of {self.batch_size}"
+            )
+        links: List[LinkResult] = []
+        traces: List[PropagationTrace] = []
+        engine = self.engine
+        dropped = self.propagation.event_dropped_w[index]
+        for s, communication in enumerate(self.communications):
+            links.append(
+                LinkResult(
+                    communication=communication,
+                    injected_power_w=float(self.injected_power_w[index, s]),
+                    signal_power_w=float(self.signal_power_w[index, s]),
+                    crosstalk_power_w=float(self.crosstalk_power_w[index, s]),
+                    snr_db=float(self.snr_db[index, s]),
+                    detected=bool(self.detected[index, s]),
+                    laser_temperature_c=float(self.laser_temperature_c[index, s]),
+                    path_length_m=float(self.path_length_m[s]),
+                )
+            )
+            trace = PropagationTrace(
+                communication=communication,
+                injected_power_w=float(self.injected_power_w[index, s]),
+                signal_power_w=float(self.signal_power_w[index, s]),
+                residual_power_w=float(
+                    self.propagation.residual_power_w[index, s]
+                ),
+                rings_crossed=int(engine.rings_crossed[s]),
+            )
+            own_name = communication.name
+            for k, victim in engine.event_receivers(s):
+                if victim == own_name:
+                    continue
+                trace.crosstalk_contributions_w[victim] = (
+                    trace.crosstalk_contributions_w.get(victim, 0.0)
+                    + float(dropped[s, k])
+                )
+            traces.append(trace)
+        return SnrReport(links=links, traces=traces)
+
+    def reports(self) -> List[SnrReport]:
+        """Scalar reports of every thermal state, in batch order."""
+        return [self.report(index) for index in range(self.batch_size)]
 
 
 class SnrAnalyzer:
@@ -145,11 +286,25 @@ class SnrAnalyzer:
             waveguide=waveguide,
             interaction_model=interaction_model,
         )
+        self._engine: Optional[OpticalLinkEngine] = None
 
     @property
     def propagator(self) -> WaveguidePropagator:
-        """Underlying propagation engine (useful for detailed inspection)."""
+        """Scalar propagation reference (useful for detailed inspection)."""
         return self._propagator
+
+    @property
+    def engine(self) -> OpticalLinkEngine:
+        """Compiled vectorized link engine (built lazily, then reused)."""
+        if self._engine is None:
+            self._engine = OpticalLinkEngine(
+                self._network,
+                technology=self._technology,
+                microring=self._propagator.microring,
+                waveguide=self._propagator.waveguide,
+                interaction_model=self._propagator.interaction_model,
+            )
+        return self._engine
 
     # Laser output ------------------------------------------------------------------
 
@@ -183,14 +338,100 @@ class SnrAnalyzer:
             powers[communication.name] = self.injected_power_w(communication, state, drive)
         return powers
 
+    def _injected_powers_many(
+        self, laser_c: np.ndarray, drive: LaserDriveConfig
+    ) -> np.ndarray:
+        """Injected power of every signal of every state [W], ``(B, S)``.
+
+        Vectorized counterpart of :meth:`injected_powers_w`: the VCSEL
+        operating points of all (state, signal) pairs are solved in one
+        batched call.
+        """
+        if drive.current_a is not None:
+            optical = self._vcsel.operating_points(
+                drive.current_a, laser_c
+            ).optical_power_w
+        else:
+            optical = self._vcsel.optical_powers_from_dissipated(
+                drive.dissipated_power_w, laser_c
+            )
+        return optical * self._technology.taper_coupling_efficiency
+
     # Analysis ------------------------------------------------------------------------
+
+    def analyze_many(
+        self,
+        states_batch: Sequence[Dict[str, OniThermalState] | List[OniThermalState]],
+        drive: LaserDriveConfig,
+    ) -> BatchSnrReport:
+        """SNR analysis of a whole batch of thermal states in one array pass.
+
+        ``states_batch[b]`` is the per-ONI thermal state of design point
+        ``b`` (any form :func:`~repro.snr.state.states_by_name` accepts).
+        Element ``b`` of the result equals ``analyze(states_batch[b],
+        drive)`` exactly — batching never changes the numbers.
+        """
+        engine = self.engine
+        if engine.signal_count == 0:
+            raise AnalysisError("an SNR report needs at least one link")
+        states = engine.states_batch(states_batch)
+        laser_c = engine.source_laser_c(states)
+        injected = self._injected_powers_many(laser_c, drive)
+        propagation = engine.propagate_many(states, injected)
+
+        signal = propagation.signal_power_w
+        noise = propagation.crosstalk_power_w + self._noise_floor_w
+        snr_db = np.full(signal.shape, -np.inf)
+        positive = signal > 0.0
+        finite = positive & (noise > 0.0)
+        with np.errstate(divide="ignore"):
+            snr_db[finite] = 10.0 * np.log10(signal[finite] / noise[finite])
+        snr_db[positive & ~(noise > 0.0)] = np.inf
+        detected = signal >= self._photodetector.sensitivity_w
+        return BatchSnrReport(
+            communications=engine.communications,
+            injected_power_w=injected,
+            signal_power_w=signal,
+            crosstalk_power_w=propagation.crosstalk_power_w,
+            snr_db=snr_db,
+            detected=detected,
+            laser_temperature_c=laser_c,
+            path_length_m=engine.path_length_m,
+            noise_floor_w=self._noise_floor_w,
+            propagation=propagation,
+            engine=engine,
+        )
 
     def analyze(
         self,
         states: Dict[str, OniThermalState] | List[OniThermalState],
         drive: LaserDriveConfig,
     ) -> SnrReport:
-        """Full SNR analysis under the given per-ONI temperatures and drive."""
+        """Full SNR analysis under the given per-ONI temperatures and drive.
+
+        This is :meth:`analyze_many` with a batch of one, so the scalar and
+        batched paths always agree exactly.
+        """
+        return self.analyze_many([states], drive).report(0)
+
+    def analyze_scalar(
+        self,
+        states: Dict[str, OniThermalState] | List[OniThermalState],
+        drive: LaserDriveConfig,
+    ) -> SnrReport:
+        """Pure-Python reference implementation of :meth:`analyze`.
+
+        Kept for validation and benchmarking: it walks the ring ONI-by-ONI
+        through :class:`~repro.snr.transmission.WaveguidePropagator` exactly
+        as the original model did.  It matches :meth:`analyze` to ~1e-6
+        relative (the scalar VCSEL inversion uses a looser root-finder
+        tolerance); everything else about the physics is identical.  One
+        trace-bookkeeping difference: when a signal is fully extinguished
+        mid-loop, this walk stops early (fewer ``rings_crossed``, no
+        zero-power crosstalk keys) while the engine records every
+        interaction event with a zero dropped power — all *powers* still
+        agree.
+        """
         state_map = states_by_name(states)
         injected = self.injected_powers_w(state_map, drive)
 
@@ -208,11 +449,6 @@ class SnrAnalyzer:
                 name = communication.name
                 signal_power = signal.get(name, 0.0)
                 crosstalk_power = crosstalk.get(name, 0.0)
-                noise = crosstalk_power + self._noise_floor_w
-                if signal_power <= 0.0:
-                    snr_db = float("-inf")
-                else:
-                    snr_db = 10.0 * _log10(signal_power / noise)
                 state = state_map[communication.source]
                 links.append(
                     LinkResult(
@@ -220,7 +456,9 @@ class SnrAnalyzer:
                         injected_power_w=injected[name],
                         signal_power_w=signal_power,
                         crosstalk_power_w=crosstalk_power,
-                        snr_db=snr_db,
+                        snr_db=_snr_db(
+                            signal_power, crosstalk_power + self._noise_floor_w
+                        ),
                         detected=self._photodetector.detects(signal_power),
                         laser_temperature_c=state.laser_c,
                         path_length_m=self._network.ring.path_length_m(
@@ -233,9 +471,15 @@ class SnrAnalyzer:
         return SnrReport(links=links, traces=traces)
 
 
-def _log10(value: float) -> float:
-    import math
+def _snr_db(signal_power_w: float, noise_power_w: float) -> float:
+    """SNR in dB with uniform edge handling.
 
-    if value <= 0.0:
-        raise AnalysisError(f"cannot take log10 of non-positive value {value!r}")
-    return math.log10(value)
+    A non-positive signal yields ``-inf`` (nothing received) and a positive
+    signal over zero noise yields ``+inf`` — neither raises, so one bad link
+    cannot abort a whole report.
+    """
+    if signal_power_w <= 0.0:
+        return float("-inf")
+    if noise_power_w <= 0.0:
+        return float("inf")
+    return 10.0 * math.log10(signal_power_w / noise_power_w)

@@ -74,6 +74,21 @@ class WaveguidePropagator:
             )
         )
 
+    @property
+    def microring(self) -> MicroringModel:
+        """Receiver microring model used for drop/through fractions."""
+        return self._microring
+
+    @property
+    def waveguide(self) -> WaveguideModel:
+        """Waveguide loss model used for propagation."""
+        return self._waveguide
+
+    @property
+    def interaction_model(self) -> str:
+        """Active receiver/signal interaction model."""
+        return self._interaction_model
+
     # Wavelength bookkeeping ------------------------------------------------------
 
     def signal_wavelength_nm(

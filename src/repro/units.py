@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 # ---------------------------------------------------------------------------
 # Length
 # ---------------------------------------------------------------------------
@@ -128,12 +130,13 @@ def ratio_to_db(ratio: float) -> float:
     return 10.0 * math.log10(ratio)
 
 
-def db_loss_to_transmission(loss_db: float) -> float:
+def db_loss_to_transmission(loss_db):
     """Convert a loss expressed in dB (positive number) to a transmission factor.
 
-    A loss of 3 dB corresponds to a transmission of ~0.5.
+    A loss of 3 dB corresponds to a transmission of ~0.5.  Accepts scalars
+    or NumPy arrays of losses and converts element-wise.
     """
-    if loss_db < 0.0:
+    if np.any(np.asarray(loss_db) < 0.0):
         raise ValueError(f"loss must be non-negative, got {loss_db!r}")
     return 10.0 ** (-loss_db / 10.0)
 

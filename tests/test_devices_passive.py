@@ -3,6 +3,7 @@ waveguide, heater, TSV, driver and the device library."""
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, settings as hyp_settings, strategies as st
 
@@ -73,6 +74,43 @@ class TestMicroring:
         ring = MicroringModel(MicroringParameters(free_spectral_range_nm=20.0))
         detuning = ring.detuning_nm(1550.0 - 19.0, 20.0)
         assert abs(detuning) <= 10.0
+
+    def test_detuning_folding_near_half_fsr(self):
+        """Detunings just past +-FSR/2 wrap to the opposite resonance order."""
+        ring = MicroringModel(MicroringParameters(free_spectral_range_nm=20.0))
+        # Raw detuning +9.5 nm: inside the fold window, unchanged.
+        assert ring.detuning_nm(1550.0 - 9.5, 20.0) == pytest.approx(9.5)
+        # Raw detuning +10.5 nm: folds to -9.5 nm.
+        assert ring.detuning_nm(1550.0 - 10.5, 20.0) == pytest.approx(-9.5)
+        # Raw detuning -10.5 nm: folds to +9.5 nm.
+        assert ring.detuning_nm(1550.0 + 10.5, 20.0) == pytest.approx(9.5)
+        # The fold window is [-FSR/2, FSR/2): exactly +FSR/2 maps to -FSR/2.
+        assert ring.detuning_nm(1550.0 - 10.0, 20.0) == pytest.approx(-10.0)
+        # Temperature drift pushing past the fold: 0.1 nm/degC x 110 degC
+        # over 20 degC reference = +11 nm raw -> -9 nm folded.
+        assert ring.detuning_nm(1550.0, 130.0) == pytest.approx(-9.0)
+
+    def test_detuning_folding_vectorized_matches_scalar(self):
+        ring = MicroringModel(MicroringParameters(free_spectral_range_nm=20.0))
+        signal_wavelengths = 1550.0 + np.array([-10.5, -10.0, -9.5, 0.0, 9.5, 10.5])
+        folded = ring.detuning_nm(signal_wavelengths, 20.0)
+        assert isinstance(folded, np.ndarray)
+        for wavelength, value in zip(signal_wavelengths, folded):
+            assert value == pytest.approx(ring.detuning_nm(float(wavelength), 20.0))
+        assert np.all(folded >= -10.0)
+        assert np.all(folded < 10.0)
+
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_lineshape_fractions_vectorized_match_scalar(self, order):
+        ring = MicroringModel(MicroringParameters(rolloff_order=order))
+        detunings = np.array([-3.2, -0.775, -0.1, 0.0, 0.4, 0.775, 5.0])
+        lineshape = ring.lineshape(detunings)
+        drop = ring.drop_fraction(detunings)
+        through = ring.through_fraction(detunings)
+        for index, detuning in enumerate(detunings):
+            assert lineshape[index] == ring.lineshape(float(detuning))
+            assert drop[index] == ring.drop_fraction(float(detuning))
+            assert through[index] == ring.through_fraction(float(detuning))
 
     def test_drop_fraction_for_temperatures(self):
         ring = MicroringModel()
@@ -151,6 +189,16 @@ class TestWaveguide:
         waveguide = WaveguideModel()
         assert 0.0 < waveguide.transmission(0.1) <= 1.0
         assert waveguide.transmission(0.0) == pytest.approx(1.0)
+
+    def test_transmission_vectorized_matches_scalar(self):
+        waveguide = WaveguideModel()
+        lengths = np.array([0.0, 1.0e-3, 5.0e-3, 46.8e-3])
+        transmissions = waveguide.transmission(lengths)
+        assert isinstance(transmissions, np.ndarray)
+        for index, length in enumerate(lengths):
+            assert transmissions[index] == waveguide.transmission(float(length))
+        with pytest.raises(DeviceError):
+            waveguide.transmission(np.array([1.0e-3, -1.0e-3]))
 
     def test_negative_inputs_rejected(self):
         waveguide = WaveguideModel()

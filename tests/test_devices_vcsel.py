@@ -1,5 +1,6 @@
 """Tests for the CMOS-compatible VCSEL model (paper Figure 8 anchors)."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings as hyp_settings, strategies as st
 
@@ -147,3 +148,60 @@ class TestInverseProblems:
         cold_current = vcsel.current_for_optical_power(target, 40.0)
         hot_current = vcsel.current_for_optical_power(target, 55.0)
         assert hot_current > cold_current
+
+
+class TestBatchedEvaluation:
+    """Vectorized operating points / inversions used by the SNR batch path."""
+
+    def test_operating_points_match_scalar_exactly(self, vcsel):
+        temperatures = np.array([20.0, 40.0, 45.0, 55.0, 60.0])
+        batch = vcsel.operating_points(6.0e-3, temperatures)
+        for index, temperature in enumerate(temperatures):
+            point = vcsel.operating_point(6.0e-3, float(temperature))
+            assert batch.optical_power_w[index] == point.optical_power_w
+            assert batch.junction_temperature_c[index] == point.junction_temperature_c
+            assert batch.dissipated_power_w[index] == point.dissipated_power_w
+            assert batch.wall_plug_efficiency[index] == point.wall_plug_efficiency
+        spot = batch[1]
+        assert spot.base_temperature_c == 40.0
+        assert spot.is_lasing
+
+    def test_operating_points_broadcast_currents_and_temperatures(self, vcsel):
+        currents = np.array([[2.0e-3], [6.0e-3]])
+        temperatures = np.array([40.0, 50.0, 60.0])
+        batch = vcsel.operating_points(currents, temperatures)
+        assert batch.optical_power_w.shape == (2, 3)
+        assert batch.optical_power_w[1, 0] == vcsel.operating_point(
+            6.0e-3, 40.0
+        ).optical_power_w
+
+    def test_operating_points_validation(self, vcsel):
+        with pytest.raises(DeviceError):
+            vcsel.operating_points(np.array([-1.0e-3]), np.array([40.0]))
+        with pytest.raises(DeviceError):
+            vcsel.operating_points(np.array([1.0]), np.array([40.0]))
+
+    def test_currents_for_dissipated_power_match_brentq(self, vcsel):
+        powers = np.array([0.0, 2.0e-3, 3.6e-3, 5.0e-3])
+        currents = vcsel.currents_for_dissipated_power(powers, 45.0)
+        assert currents[0] == 0.0
+        for index, power in enumerate(powers[1:], start=1):
+            reference = vcsel.current_for_dissipated_power(float(power), 45.0)
+            # brentq stops at xtol=1e-9 A; the vectorized bisection is tighter.
+            assert abs(currents[index] - reference) < 2.0e-9
+
+    def test_optical_powers_from_dissipated_match_scalar(self, vcsel):
+        powers = np.array([2.0e-3, 3.6e-3, 5.0e-3])
+        temperatures = np.array([40.0, 48.0, 56.0])
+        optical = vcsel.optical_powers_from_dissipated(powers, temperatures)
+        for index in range(len(powers)):
+            reference = vcsel.optical_power_from_dissipated(
+                float(powers[index]), float(temperatures[index])
+            )
+            assert optical[index] == pytest.approx(reference, rel=1.0e-6)
+
+    def test_unreachable_dissipated_power_rejected(self, vcsel):
+        with pytest.raises(DeviceError):
+            vcsel.currents_for_dissipated_power(np.array([1.0]), np.array([40.0]))
+        with pytest.raises(DeviceError):
+            vcsel.currents_for_dissipated_power(np.array([-1.0e-3]), np.array([40.0]))

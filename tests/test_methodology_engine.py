@@ -190,6 +190,73 @@ class TestWorkerPool:
         assert engine.stats.batches == 1
 
 
+class TestSnrEvaluation:
+    """evaluate_snr: thermal cache + batched SNR + report cache."""
+
+    def _drive(self):
+        from repro.snr import LaserDriveConfig
+
+        return LaserDriveConfig.from_dissipated_mw(3.6)
+
+    def test_matches_point_by_point_run_snr(self, small_flow):
+        engine = SweepEngine(small_flow)
+        requests = request_grid(small_flow, [2.0, 4.0])
+        reports = engine.evaluate_snr(requests, self._drive())
+        evaluations = engine.evaluate(requests)
+        for request, evaluation, report in zip(requests, evaluations, reports):
+            direct = small_flow.run_snr(evaluation, self._drive())
+            assert report.worst_case_snr_db == direct.worst_case_snr_db
+            assert [l.communication.name for l in report.links] == [
+                l.communication.name for l in direct.links
+            ]
+
+    def test_snr_reports_are_cached(self, small_flow):
+        engine = SweepEngine(small_flow)
+        requests = request_grid(small_flow, [1.0, 3.0])
+        drive = self._drive()
+        first = engine.evaluate_snr(requests, drive)
+        assert engine.stats.snr_evaluations == 2
+        assert engine.stats.snr_batches == 1
+        second = engine.evaluate_snr(requests, drive)
+        assert engine.stats.snr_evaluations == 2
+        assert engine.stats.snr_cache_hits == 2
+        for a, b in zip(first, second):
+            assert a is b
+
+    def test_drive_is_part_of_the_key(self, small_flow):
+        from repro.snr import LaserDriveConfig
+
+        engine = SweepEngine(small_flow)
+        request = request_grid(small_flow, [2.0])[0]
+        engine.evaluate_snr([request], LaserDriveConfig.from_dissipated_mw(3.6))
+        engine.evaluate_snr([request], LaserDriveConfig.from_dissipated_mw(2.0))
+        # Different drives are distinct SNR evaluations on one thermal solve.
+        assert engine.stats.snr_evaluations == 2
+        assert engine.stats.thermal_solves == 1
+
+    def test_duplicates_within_one_call_evaluated_once(self, small_flow):
+        engine = SweepEngine(small_flow)
+        request = request_grid(small_flow, [2.0])[0]
+        reports = engine.evaluate_snr([request, request], self._drive())
+        assert engine.stats.snr_evaluations == 1
+        assert reports[0] is reports[1]
+
+    def test_unknown_flow_key_rejected(self, small_flow):
+        engine = SweepEngine(small_flow)
+        request = request_grid(small_flow, [2.0])[0]
+        with pytest.raises(ConfigurationError):
+            engine.evaluate_snr(
+                [SweepPoint(request=request, flow_key="missing")], self._drive()
+            )
+
+    def test_clear_cache_drops_snr_reports(self, small_flow):
+        engine = SweepEngine(small_flow)
+        engine.evaluate_snr(request_grid(small_flow, [2.0]), self._drive())
+        assert engine.snr_cache_size == 1
+        engine.clear_cache()
+        assert engine.snr_cache_size == 0
+
+
 class TestHelpersRouteThroughEngine:
     def test_sweeps_share_the_flow_engine(self, small_flow, uniform_25w):
         engine = SweepEngine.shared(small_flow)

@@ -102,6 +102,32 @@ class TestNetworkAndSnrStep:
         assert report.worst_case_snr_db > 0.0
         assert report.all_detected
 
+    def test_run_snr_many_matches_per_point_run_snr(self, small_flow, uniform_25w):
+        drive = LaserDriveConfig.from_dissipated_mw(3.6)
+        evaluations = [
+            small_flow.run_thermal(uniform_25w, power=PAPER_POWER, zoom_oni=None),
+            small_flow.run_thermal(
+                diagonal_activity(small_flow.architecture.floorplan, 25.0),
+                power=PAPER_POWER,
+                zoom_oni=None,
+            ),
+        ]
+        batch = small_flow.run_snr_many(evaluations, drive)
+        assert batch.batch_size == 2
+        for index, evaluation in enumerate(evaluations):
+            report = small_flow.run_snr(evaluation, drive)
+            assert batch.worst_case_snr_db[index] == report.worst_case_snr_db
+            assert batch.average_snr_db[index] == report.average_snr_db
+
+    def test_default_snr_analyzer_is_cached(self, small_flow):
+        analyzer = small_flow.snr_analyzer()
+        assert small_flow.snr_analyzer() is analyzer
+        # Explicit traffic bypasses the cache.
+        traffic = opposite_traffic(small_flow.scenario.ring)
+        assert small_flow.snr_analyzer(communications=traffic) is not analyzer
+        small_flow.invalidate_caches()
+        assert small_flow.snr_analyzer() is not analyzer
+
     def test_evaluate_design_point_combines_both(self, small_flow, uniform_25w):
         result = small_flow.evaluate_design_point(uniform_25w, PAPER_POWER)
         assert result.worst_case_snr_db > 0.0

@@ -1,15 +1,18 @@
 """Tests for the SNR analysis (paper Section IV.C)."""
 
+import numpy as np
 import pytest
 
 from repro.config import TechnologyParameters
 from repro.devices import VcselModel
 from repro.errors import AnalysisError
-from repro.onoc import OrnocNetwork, RingTopology, opposite_traffic, shift_traffic
+from repro.onoc import Communication, OrnocNetwork, RingTopology, opposite_traffic, shift_traffic
 from repro.snr import (
     LaserDriveConfig,
     OniThermalState,
+    OpticalLinkEngine,
     SnrAnalyzer,
+    ThermalStateBatch,
     WaveguidePropagator,
     states_by_name,
 )
@@ -30,6 +33,20 @@ def make_network(oni_count=6, length_mm=18.0, traffic="shift"):
 def uniform_states(ring, temperature_c):
     return {
         name: OniThermalState(name=name, average_temperature_c=temperature_c)
+        for name in ring.node_names
+    }
+
+
+def random_states(ring, seed, base_c=45.0, spread_c=12.0):
+    """Reproducible random per-ONI states with distinct laser / MR temperatures."""
+    rng = np.random.default_rng(seed)
+    return {
+        name: OniThermalState(
+            name=name,
+            average_temperature_c=base_c + spread_c * rng.random(),
+            laser_temperature_c=base_c + spread_c * rng.random(),
+            microring_temperature_c=base_c + spread_c * rng.random(),
+        )
         for name in ring.node_names
     }
 
@@ -242,3 +259,192 @@ class TestSnrAnalyzer:
         _, network = make_network()
         with pytest.raises(AnalysisError):
             SnrAnalyzer(network, noise_floor_w=-1.0)
+
+    def test_report_link_lookup_uses_cached_index(self):
+        ring, network = make_network()
+        analyzer = SnrAnalyzer(network)
+        report = analyzer.analyze(
+            uniform_states(ring, 45.0), LaserDriveConfig.from_dissipated_mw(3.6)
+        )
+        name = report.links[0].communication.name
+        first = report.link(name)
+        assert report._link_index is not None
+        assert report.link(name) is first
+
+    def test_zero_injected_power_reports_minus_inf_snr(self):
+        # A dissipated power of zero emits no light: every link must report
+        # -inf SNR and not-detected, without raising mid-report.
+        ring, network = make_network()
+        analyzer = SnrAnalyzer(network)
+        report = analyzer.analyze(
+            uniform_states(ring, 45.0), LaserDriveConfig.from_dissipated_mw(0.0)
+        )
+        assert all(link.snr_db == float("-inf") for link in report.links)
+        assert not report.all_detected
+        scalar = analyzer.analyze_scalar(
+            uniform_states(ring, 45.0), LaserDriveConfig.from_dissipated_mw(0.0)
+        )
+        assert all(link.snr_db == float("-inf") for link in scalar.links)
+
+    def test_zero_noise_floor_without_crosstalk_reports_inf_snr(self):
+        # A single communication has no same-channel neighbours, so its
+        # crosstalk is exactly zero; with a zero noise floor the SNR is +inf
+        # (previously this raised a ZeroDivisionError mid-report).
+        names = ["a", "b", "c", "d"]
+        ring = RingTopology.evenly_spaced(names, 8.0e-3)
+        network = OrnocNetwork(ring, [Communication(source="a", destination="c")])
+        network.assign_channels()
+        analyzer = SnrAnalyzer(network, noise_floor_w=0.0)
+        states = uniform_states(ring, 45.0)
+        drive = LaserDriveConfig.from_dissipated_mw(3.6)
+        report = analyzer.analyze(states, drive)
+        assert report.links[0].snr_db == float("inf")
+        scalar = analyzer.analyze_scalar(states, drive)
+        assert scalar.links[0].snr_db == float("inf")
+
+
+class TestBatchAnalyzer:
+    """The vectorized analyze_many path (paper Fig. 12 at batch scale)."""
+
+    @pytest.mark.parametrize("interaction_model", ["same_channel", "lineshape"])
+    @pytest.mark.parametrize(
+        "drive",
+        [LaserDriveConfig.from_dissipated_mw(3.6), LaserDriveConfig.from_current_ma(6.0)],
+    )
+    def test_analyze_many_matches_sequential_analyze(self, interaction_model, drive):
+        # Acceptance property: a batch of B states returns the same numbers
+        # as B sequential analyze() calls (to well within 1e-9 relative —
+        # the two paths share every array operation, so they agree exactly).
+        ring, network = make_network(oni_count=8)
+        analyzer = SnrAnalyzer(network, interaction_model=interaction_model)
+        batch = [random_states(ring, seed) for seed in range(6)]
+        many = analyzer.analyze_many(batch, drive)
+        assert many.batch_size == 6
+        for index, states in enumerate(batch):
+            report = analyzer.analyze(states, drive)
+            for s, link in enumerate(report.links):
+                assert link.communication.name == many.link_names[s]
+                np.testing.assert_allclose(
+                    many.signal_power_w[index, s], link.signal_power_w, rtol=1e-9
+                )
+                np.testing.assert_allclose(
+                    many.crosstalk_power_w[index, s], link.crosstalk_power_w, rtol=1e-9
+                )
+                np.testing.assert_allclose(
+                    many.injected_power_w[index, s], link.injected_power_w, rtol=1e-9
+                )
+                np.testing.assert_allclose(
+                    many.snr_db[index, s], link.snr_db, rtol=1e-9
+                )
+                assert bool(many.detected[index, s]) == link.detected
+            np.testing.assert_allclose(
+                many.worst_case_snr_db[index], report.worst_case_snr_db, rtol=1e-9
+            )
+            np.testing.assert_allclose(
+                many.average_snr_db[index], report.average_snr_db, rtol=1e-9
+            )
+            np.testing.assert_allclose(
+                many.min_signal_power_w[index], report.min_signal_power_w, rtol=1e-9
+            )
+            np.testing.assert_allclose(
+                many.max_crosstalk_power_w[index], report.max_crosstalk_power_w, rtol=1e-9
+            )
+            assert bool(many.all_detected[index]) == report.all_detected
+
+    @pytest.mark.parametrize("interaction_model", ["same_channel", "lineshape"])
+    def test_vectorized_path_matches_scalar_reference(self, interaction_model):
+        # The compiled engine must reproduce the original pure-Python walk.
+        # The only tolerated difference is the VCSEL inversion tolerance
+        # (scalar brentq xtol=1e-9 A) and float association order.
+        ring, network = make_network(oni_count=8)
+        analyzer = SnrAnalyzer(network, interaction_model=interaction_model)
+        drive = LaserDriveConfig.from_dissipated_mw(3.6)
+        states = random_states(ring, 7)
+        vectorized = analyzer.analyze(states, drive)
+        scalar = analyzer.analyze_scalar(states, drive)
+        assert [l.communication.name for l in vectorized.links] == [
+            l.communication.name for l in scalar.links
+        ]
+        for fast, reference in zip(vectorized.links, scalar.links):
+            np.testing.assert_allclose(
+                fast.signal_power_w, reference.signal_power_w, rtol=1e-6
+            )
+            np.testing.assert_allclose(
+                fast.crosstalk_power_w, reference.crosstalk_power_w, rtol=1e-6
+            )
+            np.testing.assert_allclose(fast.snr_db, reference.snr_db, rtol=0, atol=1e-5)
+        for fast, reference in zip(vectorized.traces, scalar.traces):
+            assert fast.communication.name == reference.communication.name
+            assert fast.rings_crossed == reference.rings_crossed
+            assert set(fast.crosstalk_contributions_w) == set(
+                reference.crosstalk_contributions_w
+            )
+            np.testing.assert_allclose(
+                fast.residual_power_w, reference.residual_power_w, rtol=1e-6
+            )
+
+    def test_batch_report_materialization_round_trips(self):
+        ring, network = make_network()
+        analyzer = SnrAnalyzer(network)
+        drive = LaserDriveConfig.from_dissipated_mw(3.6)
+        batch = [random_states(ring, seed) for seed in (3, 4)]
+        many = analyzer.analyze_many(batch, drive)
+        for index in range(many.batch_size):
+            report = many.report(index)
+            assert len(report.links) == len(many.communications)
+            assert report.worst_case_snr_db == many.worst_case_snr_db[index]
+            assert len(report.traces) == len(report.links)
+        with pytest.raises(AnalysisError):
+            many.report(many.batch_size)
+        assert len(many.reports()) == many.batch_size
+        assert many.worst_case_links()[0] in many.link_names
+
+    def test_empty_batch_is_allowed(self):
+        ring, network = make_network()
+        analyzer = SnrAnalyzer(network)
+        many = analyzer.analyze_many([], LaserDriveConfig.from_dissipated_mw(3.6))
+        assert many.batch_size == 0
+        assert many.worst_case_snr_db.shape == (0,)
+
+    def test_missing_state_raises(self):
+        ring, network = make_network()
+        analyzer = SnrAnalyzer(network)
+        good = random_states(ring, 1)
+        bad = dict(good)
+        bad.pop("oni_00")
+        with pytest.raises(AnalysisError, match="no thermal state"):
+            analyzer.analyze_many([good, bad], LaserDriveConfig.from_dissipated_mw(3.6))
+
+    def test_engine_compiled_once_and_reused(self):
+        ring, network = make_network()
+        analyzer = SnrAnalyzer(network)
+        engine = analyzer.engine
+        assert analyzer.engine is engine
+        drive = LaserDriveConfig.from_dissipated_mw(3.6)
+        analyzer.analyze(uniform_states(ring, 45.0), drive)
+        assert analyzer.engine is engine
+
+    def test_invalid_interaction_model_rejected(self):
+        _, network = make_network()
+        with pytest.raises(AnalysisError):
+            OpticalLinkEngine(network, interaction_model="psychic")
+
+    def test_state_batch_shape_validation(self):
+        with pytest.raises(AnalysisError):
+            ThermalStateBatch(
+                oni_names=("a", "b"),
+                laser_c=np.zeros((2, 3)),
+                microring_c=np.zeros((2, 2)),
+            )
+
+    def test_injected_power_shape_validation(self):
+        ring, network = make_network()
+        analyzer = SnrAnalyzer(network)
+        engine = analyzer.engine
+        states = engine.states_batch([uniform_states(ring, 45.0)])
+        with pytest.raises(AnalysisError, match="shape"):
+            engine.propagate_many(states, np.zeros((2, engine.signal_count)))
+        with pytest.raises(AnalysisError, match=">= 0"):
+            engine.propagate_many(
+                states, np.full((1, engine.signal_count), -1.0)
+            )

@@ -1,0 +1,198 @@
+"""Transient engine bench — factorize-once stepping versus naive per-step solves.
+
+The transient subsystem's performance claim is that integrating an activity
+trace costs *one* LU factorisation plus one pair of triangular solves per
+step, instead of a full sparse solve per step.  This bench measures that at
+paper scale: the 24-ONI / 32.4 mm reference package under an 8-phase
+migration trace integrated in 64 backward-Euler steps.
+
+Three executions are timed:
+
+* **naive**   — the same θ-method recurrence, but every step goes through
+  ``scipy.sparse.linalg.spsolve`` (refactorising the unchanged iteration
+  matrix each time), which is what a straightforward implementation would do;
+* **cold**    — :meth:`TransientSolver.solve` on a fresh solver, paying the
+  one-off assembly + factorisation;
+* **warm**    — a second trace on the same solver, the steady-state cost of
+  sweeping many traces over one mesh.
+
+The chained time-resolved SNR evaluation (65 thermal states through the
+vectorized link engine in one call) is timed as well.  The record is written
+to ``BENCH_transient.json`` at the repository root; the acceptance gate —
+factorize-once at least 3x faster than naive per-step solves — is asserted
+here.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from scipy import sparse
+from scipy.sparse.linalg import spsolve
+
+from repro.activity import SyntheticTraceGenerator
+from repro.casestudy import build_oni_ring_scenario, build_scc_architecture
+from repro.config import SimulationSettings
+from repro.methodology import ThermalAwareDesignFlow
+from repro.oni import OniPowerConfig
+from repro.snr import LaserDriveConfig
+from repro.thermal.assembly import assemble_operator, boundary_rhs
+from repro.thermal.sources import power_density_field
+
+ONI_COUNT = 24
+RING_LENGTH_MM = 32.4
+PHASES = 8
+PHASE_DURATION_S = 2.0
+DT_S = 0.25  # 8 steps per phase -> 64 steps in total
+PAPER_DRIVE = LaserDriveConfig.from_dissipated_mw(3.6)
+BENCH_RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_transient.json"
+
+#: Coarser than the steady-state benches: the comparison needs 64 *naive*
+#: full sparse solves, which is exactly the cost this subsystem removes (at
+#: the fig9 bench resolution the naive path alone takes >3 minutes).  The
+#: mesh still resolves all 24 ONIs individually.
+TRANSIENT_BENCH_SETTINGS = SimulationSettings(
+    oni_cell_size_um=800.0,
+    die_cell_size_um=4000.0,
+    zoom_cell_size_um=15.0,
+    ambient_temperature_c=35.0,
+)
+
+
+@pytest.fixture(scope="module")
+def transient_flow():
+    architecture = build_scc_architecture(settings=TRANSIENT_BENCH_SETTINGS)
+    scenario = build_oni_ring_scenario(
+        architecture, ring_length_mm=RING_LENGTH_MM, oni_count=ONI_COUNT
+    )
+    return ThermalAwareDesignFlow(architecture, scenario)
+
+
+def naive_per_step_solve(flow, schedule, dt_s):
+    """Reference integrator: identical recurrence, ``spsolve`` every step."""
+    mesh = flow._mesh()
+    boundaries = flow.architecture.boundary_conditions()
+    operator = assemble_operator(mesh, boundaries)
+    rhs_boundary = boundary_rhs(operator, boundaries)
+    capacitance = mesh.capacitance_vector()
+    temperatures = np.full(mesh.n_cells, TRANSIENT_BENCH_SETTINGS.ambient_temperature_c)
+    for segment in schedule:
+        steps = max(1, int(round(segment.duration_s / dt_s)))
+        dt_eff = segment.duration_s / steps
+        implicit = (
+            sparse.diags(capacitance / dt_eff) + operator.matrix
+        ).tocsc()
+        power = power_density_field(mesh, segment.sources).ravel()
+        for _ in range(steps):
+            rhs = capacitance / dt_eff * temperatures + power + rhs_boundary
+            temperatures = spsolve(implicit, rhs)
+    return temperatures
+
+
+def test_transient_factorize_once_vs_naive(benchmark, transient_flow):
+    flow = transient_flow
+    generator = SyntheticTraceGenerator(flow.architecture.floorplan, seed=4)
+    trace = generator.migration_trace(
+        total_power_w=25.0, phases=PHASES, phase_duration_s=PHASE_DURATION_S
+    )
+    power = OniPowerConfig(vcsel_power_w=3.6e-3).with_heater_ratio(0.3)
+    schedule = flow.build_schedule(trace, power)
+    total_steps = int(round(trace.total_duration_s / DT_S))
+    assert total_steps >= 64
+
+    # Naive reference: one full sparse solve per step.  Measured once — noise
+    # can only inflate it, and the gate must not pass because of noise on the
+    # fast side.
+    start = time.perf_counter()
+    naive_temperatures = naive_per_step_solve(flow, schedule, DT_S)
+    naive_s = time.perf_counter() - start
+
+    # Cold factorize-once run: assembly + one LU + 64 triangular solves,
+    # plus the per-ONI probes the flow records at every step.
+    start = time.perf_counter()
+    cold = flow.run_transient(trace, power, dt_s=DT_S)
+    cold_s = time.perf_counter() - start
+
+    # Warm runs reuse the cached factorisation; best of three.
+    warm_samples = []
+    for _ in range(3):
+        start = time.perf_counter()
+        warm = flow.run_transient(trace, power, dt_s=DT_S)
+        warm_samples.append(time.perf_counter() - start)
+    warm_s = min(warm_samples)
+    benchmark.pedantic(
+        flow.run_transient,
+        args=(trace, power),
+        kwargs={"dt_s": DT_S},
+        rounds=3,
+        iterations=1,
+    )
+
+    # Identical recurrence => identical final fields (both direct solves).
+    np.testing.assert_allclose(
+        cold.result.final_map.temperatures_c.ravel(),
+        naive_temperatures,
+        rtol=1e-8,
+        atol=1e-8,
+    )
+    assert cold.result.diagnostics.steps == total_steps
+    assert cold.result.diagnostics.factorizations_computed == 1
+    assert warm.result.diagnostics.factorizations_computed == 0
+
+    # Chained time-resolved SNR: all recorded states in one vectorized pass.
+    start = time.perf_counter()
+    series = flow.run_transient_snr(cold, PAPER_DRIVE)
+    snr_s = time.perf_counter() - start
+    assert series.times_s.size == total_steps + 1
+    assert np.all(np.isfinite(series.worst_case_snr_db))
+
+    record = {
+        "benchmark": "transient_factorize_once",
+        "onis": ONI_COUNT,
+        "ring_length_mm": RING_LENGTH_MM,
+        "n_cells": cold.result.diagnostics.n_cells,
+        "steps": total_steps,
+        "phases": PHASES,
+        "dt_s": DT_S,
+        "naive_per_step_s": round(naive_s, 6),
+        "cold_factorized_s": round(cold_s, 6),
+        "warm_factorized_s": round(warm_s, 6),
+        "speedup_cold": round(naive_s / cold_s, 2),
+        "speedup_warm": round(naive_s / warm_s, 2),
+        "snr_time_series_s": round(snr_s, 6),
+        "snr_states": int(series.times_s.size),
+    }
+    BENCH_RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+    print()
+    print(
+        f"Transient {total_steps}-step trace on {record['n_cells']} cells: "
+        f"naive {naive_s:.2f} s, cold factorized {cold_s:.2f} s "
+        f"({record['speedup_cold']:.1f}x), warm {warm_s:.2f} s "
+        f"({record['speedup_warm']:.1f}x); time-resolved SNR of "
+        f"{record['snr_states']} states in {snr_s * 1e3:.0f} ms"
+    )
+
+    # Acceptance gate: factorize-once >= 3x over per-step spsolve.
+    assert naive_s / cold_s >= 3.0
+    assert naive_s / warm_s >= 3.0
+
+
+def test_transient_settles_on_steady_state(transient_flow):
+    """Paper-scale sanity: a long uniform hold lands on the steady solution."""
+    from repro.activity import ActivityTrace, uniform_activity
+
+    flow = transient_flow
+    activity = uniform_activity(flow.architecture.floorplan, 25.0)
+    power = OniPowerConfig(vcsel_power_w=3.6e-3).with_heater_ratio(0.3)
+    trace = ActivityTrace(name="hold")
+    trace.add_phase(activity, 400.0)
+    evaluation = flow.run_transient(trace, power, dt_s=10.0)
+    reference = flow.run_thermal(activity, power=power, zoom_oni=None)
+    for name, summary in reference.oni_summaries.items():
+        final = evaluation.oni_series[name].final_average_c
+        assert final == pytest.approx(summary.average_c, abs=0.05)

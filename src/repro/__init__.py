@@ -20,6 +20,8 @@ The package is organised as the paper's methodology (Figure 3):
 
 from .activity import (
     ActivityPattern,
+    ActivityTrace,
+    SyntheticTraceGenerator,
     diagonal_activity,
     random_activity,
     standard_activities,
@@ -44,9 +46,12 @@ from .devices import (
 )
 from .errors import ReproError
 from .methodology import (
+    SnrTimeSeries,
     SweepEngine,
     ThermalAwareDesignFlow,
     ThermalRequest,
+    TransientEvaluation,
+    TransientRequest,
     compare_heater_options,
     find_minimum_vcsel_power,
     find_optimal_heater_ratio,
@@ -62,8 +67,11 @@ from .thermal import (
     BoundaryConditions,
     HeatSource,
     MeshBuilder,
+    SourceSchedule,
     SteadyStateSolver,
     ThermalMap,
+    TransientResult,
+    TransientSolver,
     ZoomSolver,
 )
 
@@ -79,6 +87,9 @@ __all__ = [
     "BoundaryConditions",
     "HeatSource",
     "ThermalMap",
+    "SourceSchedule",
+    "TransientSolver",
+    "TransientResult",
     "ZoomSolver",
     "VcselModel",
     "VcselParameters",
@@ -98,6 +109,8 @@ __all__ = [
     "OniThermalState",
     "LaserDriveConfig",
     "ActivityPattern",
+    "ActivityTrace",
+    "SyntheticTraceGenerator",
     "uniform_activity",
     "diagonal_activity",
     "random_activity",
@@ -110,6 +123,9 @@ __all__ = [
     "OniRingScenario",
     "ThermalAwareDesignFlow",
     "ThermalRequest",
+    "TransientRequest",
+    "TransientEvaluation",
+    "SnrTimeSeries",
     "SweepEngine",
     "sweep_average_temperature",
     "sweep_heater_power",

@@ -11,12 +11,15 @@ activity.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..geometry import Floorplan
+from ..thermal import HeatSource, SourceSchedule
+from ..thermal.transient import piecewise_segment_index
 from .patterns import ActivityPattern, from_mapping, uniform_activity
 
 
@@ -28,8 +31,15 @@ class TracePhase:
     duration_s: float
 
     def __post_init__(self) -> None:
-        if self.duration_s <= 0.0:
-            raise ConfigurationError("phase duration must be positive")
+        if not isinstance(self.activity, ActivityPattern):
+            raise ConfigurationError(
+                f"phase activity must be an ActivityPattern, got {self.activity!r}"
+            )
+        if not math.isfinite(self.duration_s) or self.duration_s <= 0.0:
+            raise ConfigurationError(
+                "phase duration must be a positive finite number, got "
+                f"{self.duration_s!r}"
+            )
 
 
 @dataclass
@@ -44,7 +54,11 @@ class ActivityTrace:
             raise ConfigurationError("trace name must be non-empty")
 
     def add_phase(self, activity: ActivityPattern, duration_s: float) -> None:
-        """Append a phase to the trace."""
+        """Append a phase to the trace.
+
+        ``duration_s`` must be a positive finite number (NaN, infinities and
+        non-positive values are rejected).
+        """
         self.phases.append(TracePhase(activity=activity, duration_s=duration_s))
 
     def __len__(self) -> int:
@@ -57,6 +71,68 @@ class ActivityTrace:
     def total_duration_s(self) -> float:
         """Total trace duration [s]."""
         return sum(phase.duration_s for phase in self.phases)
+
+    @property
+    def phase_boundaries_s(self) -> List[float]:
+        """Cumulative end time of every phase [s]."""
+        boundaries: List[float] = []
+        elapsed = 0.0
+        for phase in self.phases:
+            elapsed += phase.duration_s
+            boundaries.append(elapsed)
+        return boundaries
+
+    def phase_at(self, t: float) -> TracePhase:
+        """Phase active at time ``t`` (phases own ``[start, end)``).
+
+        ``t`` equal to the total duration maps to the last phase, so the
+        trace's endpoint is always queryable.  The boundary semantics are
+        shared with :meth:`~repro.thermal.SourceSchedule.segment_at` through
+        :func:`repro.thermal.transient.piecewise_segment_index`, which the
+        transient scheduler uses to align steps with phase boundaries.
+        """
+        if not self.phases:
+            raise ConfigurationError("the trace has no phases")
+        try:
+            index = piecewise_segment_index(
+                [phase.duration_s for phase in self.phases], t
+            )
+        except ValueError as error:
+            raise ConfigurationError(str(error)) from None
+        return self.phases[index]
+
+    def power_at(self, t: float) -> float:
+        """Total instantaneous power dissipated at time ``t`` [W]."""
+        return self.phase_at(t).activity.total_power_w
+
+    def to_schedule(
+        self,
+        floorplan: Floorplan,
+        z_min: float,
+        z_max: float,
+        static_sources: Sequence[HeatSource] = (),
+        group: str = "chip",
+    ) -> SourceSchedule:
+        """Piecewise-constant :class:`~repro.thermal.SourceSchedule` of the trace.
+
+        Each phase becomes one segment: the phase's activity projected onto
+        ``floorplan`` in the ``[z_min, z_max]`` layer, plus ``static_sources``
+        (e.g. the constant ONI devices) repeated in every segment.  Segment
+        boundaries land exactly on the phase boundaries, so the transient
+        solver represents the trace's power exactly.
+        """
+        if not self.phases:
+            raise ConfigurationError("the trace has no phases")
+        static = list(static_sources)
+        schedule = SourceSchedule()
+        for phase in self.phases:
+            sources = phase.activity.heat_sources(
+                floorplan, z_min, z_max, group=group
+            )
+            schedule.add_segment(
+                phase.duration_s, sources + static, label=phase.activity.name
+            )
+        return schedule
 
     def peak_power_w(self) -> float:
         """Maximum instantaneous total power over the trace [W]."""
@@ -93,12 +169,42 @@ class ActivityTrace:
 
 
 class SyntheticTraceGenerator:
-    """Generates reproducible synthetic multi-phase traces."""
+    """Generates reproducible synthetic multi-phase traces.
+
+    Seed contract
+    -------------
+    Every generator method draws from its own random stream, derived from
+    ``(seed, method name)``.  Consequently:
+
+    * the same ``(floorplan, seed, method, arguments)`` always produces the
+      identical trace — across processes, Python versions and releases of
+      this library that keep the same drawing logic;
+    * calls are *order independent*: invoking other methods on the same
+      generator instance (in any order, any number of times) never changes
+      what a method returns;
+    * different methods with the same seed use *distinct* streams, so e.g. a
+      random-walk trace and a migration trace built from seed 0 are not
+      correlated through shared draws.
+    """
 
     def __init__(self, floorplan: Floorplan, seed: int = 0, kind: Optional[str] = "tile") -> None:
         self._floorplan = floorplan
         self._seed = seed
         self._kind = kind
+
+    @property
+    def seed(self) -> int:
+        """Seed every per-method random stream is derived from."""
+        return self._seed
+
+    def _rng(self, method: str) -> random.Random:
+        """Fresh random stream for one generator method (see class docstring).
+
+        Seeding with a string routes through :mod:`random`'s stable SHA-512
+        path, so the stream depends only on ``(seed, method)`` — never on
+        hash randomisation or on previous calls.
+        """
+        return random.Random(f"{self._seed}:{method}")
 
     def _tile_names(self) -> List[str]:
         instances = (
@@ -124,7 +230,7 @@ class SyntheticTraceGenerator:
             raise ConfigurationError("mean power must be positive")
         if not 0.0 <= volatility <= 1.0:
             raise ConfigurationError("volatility must be within [0, 1]")
-        generator = random.Random(self._seed)
+        generator = self._rng("random_walk")
         tiles = self._tile_names()
         per_tile = mean_power_w / len(tiles)
         current = {name: per_tile for name in tiles}
@@ -154,7 +260,7 @@ class SyntheticTraceGenerator:
             raise ConfigurationError("active_fraction must be in (0, 1]")
         tiles = self._tile_names()
         active_count = max(1, int(round(active_fraction * len(tiles))))
-        generator = random.Random(self._seed)
+        generator = self._rng("migration")
         trace = ActivityTrace(name=f"migration_seed{self._seed}")
         background = 0.1 * total_power_w / len(tiles)
         for phase_index in range(phases):

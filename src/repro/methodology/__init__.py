@@ -20,6 +20,13 @@ from .flow import (
     ThermalRequest,
 )
 from .power import NetworkPowerModel, NetworkPowerReport
+from .transient import (
+    OniTemperatureSeries,
+    SnrTimeSeries,
+    TransientEvaluation,
+    TransientRequest,
+    transient_request_key,
+)
 from .optimization import (
     HeaterOptimizationResult,
     PowerMinimizationResult,
@@ -50,6 +57,11 @@ __all__ = [
     "snr_across_scenarios",
     "NetworkPowerModel",
     "NetworkPowerReport",
+    "OniTemperatureSeries",
+    "SnrTimeSeries",
+    "TransientEvaluation",
+    "TransientRequest",
+    "transient_request_key",
     "HeaterOptimizationResult",
     "PowerMinimizationResult",
     "find_optimal_heater_ratio",

@@ -39,9 +39,11 @@ from dataclasses import dataclass
 from math import ceil
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple, Union
 
+from ..caching import LruCache
 from ..errors import ConfigurationError
 from ..snr import LaserDriveConfig, SnrReport
 from .flow import ThermalAwareDesignFlow, ThermalEvaluation, ThermalRequest
+from .transient import TransientEvaluation, TransientRequest, transient_request_key
 
 DEFAULT_FLOW_KEY = "default"
 
@@ -71,6 +73,12 @@ class EngineStats:
     snr_evaluations: int = 0
     #: Batched ``run_snr_many`` calls issued (one per flow with misses).
     snr_batches: int = 0
+    #: Transient points requested through :meth:`SweepEngine.evaluate_transient`.
+    transient_points_requested: int = 0
+    #: Transient points served from the transient-evaluation cache.
+    transient_cache_hits: int = 0
+    #: Transient traces actually integrated.
+    transient_solves: int = 0
 
 
 def evaluation_key(flow_key: str, request: ThermalRequest) -> Tuple[Hashable, ...]:
@@ -152,12 +160,10 @@ class SweepEngine:
         self._flows: Dict[str, ThermalAwareDesignFlow] = dict(flows)
         self._batch_size = batch_size
         self._workers = workers
-        self._max_cache_entries = max_cache_entries
-        self._cache: "OrderedDict[Tuple[Hashable, ...], ThermalEvaluation]" = (
-            OrderedDict()
-        )
-        self._snr_cache: "OrderedDict[Tuple[Hashable, ...], SnrReport]" = (
-            OrderedDict()
+        self._cache: LruCache[ThermalEvaluation] = LruCache(max_cache_entries)
+        self._snr_cache: LruCache[SnrReport] = LruCache(max_cache_entries)
+        self._transient_cache: LruCache[TransientEvaluation] = LruCache(
+            max_cache_entries
         )
         self.stats = EngineStats()
 
@@ -196,10 +202,16 @@ class SweepEngine:
         """Number of SNR reports currently cached."""
         return len(self._snr_cache)
 
+    @property
+    def transient_cache_size(self) -> int:
+        """Number of transient evaluations currently cached."""
+        return len(self._transient_cache)
+
     def clear_cache(self) -> None:
-        """Drop every cached thermal evaluation and SNR report."""
+        """Drop every cached thermal, SNR and transient evaluation."""
         self._cache.clear()
         self._snr_cache.clear()
+        self._transient_cache.clear()
 
     # Execution ------------------------------------------------------------------
 
@@ -212,20 +224,6 @@ class SweepEngine:
         """
         generation = getattr(self._flows[flow_key], "_generation", 0)
         return (*evaluation_key(flow_key, request), generation)
-
-    def _cache_get(self, key: Tuple[Hashable, ...]) -> Optional[ThermalEvaluation]:
-        evaluation = self._cache.get(key)
-        if evaluation is not None:
-            self._cache.move_to_end(key)
-        return evaluation
-
-    def _cache_put(
-        self, key: Tuple[Hashable, ...], evaluation: ThermalEvaluation
-    ) -> None:
-        self._cache[key] = evaluation
-        self._cache.move_to_end(key)
-        while len(self._cache) > self._max_cache_entries:
-            self._cache.popitem(last=False)
 
     def evaluate_one(
         self,
@@ -269,7 +267,7 @@ class SweepEngine:
             if key in resolved:
                 self.stats.cache_hits += 1
                 continue
-            cached = self._cache_get(key)
+            cached = self._cache.get(key)
             if cached is not None:
                 resolved[key] = cached
                 self.stats.cache_hits += 1
@@ -306,7 +304,7 @@ class SweepEngine:
                     evaluations = future.result()
                     for (key, _), evaluation in zip(work, evaluations):
                         resolved[key] = evaluation
-                        self._cache_put(key, evaluation)
+                        self._cache.put(key, evaluation)
                     self.stats.worker_batches += 1
                     self.stats.thermal_solves += len(work)
         else:
@@ -317,11 +315,60 @@ class SweepEngine:
                 )
                 for (key, _), evaluation in zip(work, evaluations):
                     resolved[key] = evaluation
-                    self._cache_put(key, evaluation)
+                    self._cache.put(key, evaluation)
                 self.stats.batches += ceil(len(work) / self._batch_size)
                 self.stats.thermal_solves += len(work)
 
         return [resolved[key] for key in keys]
+
+    # Transient execution ---------------------------------------------------------
+
+    def _transient_point_key(
+        self, flow_key: str, request: TransientRequest
+    ) -> Tuple[Hashable, ...]:
+        """Cache key of a transient point (content key + cache generation)."""
+        generation = getattr(self._flows[flow_key], "_generation", 0)
+        return (flow_key, *transient_request_key(request), generation)
+
+    def evaluate_transient(
+        self,
+        requests: Iterable[TransientRequest],
+        flow_key: str = DEFAULT_FLOW_KEY,
+    ) -> List[TransientEvaluation]:
+        """Evaluate transient design points, in submission order.
+
+        Evaluations are cached behind a content-derived key (trace phases,
+        ONI operating point, integrator settings), so re-running a sweep —
+        or an optimiser revisiting a trace — integrates each distinct trace
+        once.  Cache misses run sequentially on the flow's cached
+        :class:`~repro.thermal.TransientSolver`, whose per-step-size LU
+        factorisations are shared across every trace of the batch.
+        """
+        if flow_key not in self._flows:
+            raise ConfigurationError(f"unknown flow key {flow_key!r}")
+        flow = self._flows[flow_key]
+        results: List[TransientEvaluation] = []
+        for request in requests:
+            self.stats.transient_points_requested += 1
+            key = self._transient_point_key(flow_key, request)
+            cached = self._transient_cache.get(key)
+            if cached is not None:
+                self.stats.transient_cache_hits += 1
+                results.append(cached)
+                continue
+            evaluation = flow.run_transient(request)
+            self.stats.transient_solves += 1
+            self._transient_cache.put(key, evaluation)
+            results.append(evaluation)
+        return results
+
+    def evaluate_transient_one(
+        self,
+        request: TransientRequest,
+        flow_key: str = DEFAULT_FLOW_KEY,
+    ) -> TransientEvaluation:
+        """Evaluate a single transient point (through the cache)."""
+        return self.evaluate_transient([request], flow_key=flow_key)[0]
 
     # SNR execution ---------------------------------------------------------------
 
@@ -337,18 +384,6 @@ class SweepEngine:
         """
         return (*self._point_key(flow_key, request), drive.current_a,
                 drive.dissipated_power_w)
-
-    def _snr_cache_get(self, key: Tuple[Hashable, ...]) -> Optional[SnrReport]:
-        report = self._snr_cache.get(key)
-        if report is not None:
-            self._snr_cache.move_to_end(key)
-        return report
-
-    def _snr_cache_put(self, key: Tuple[Hashable, ...], report: SnrReport) -> None:
-        self._snr_cache[key] = report
-        self._snr_cache.move_to_end(key)
-        while len(self._snr_cache) > self._max_cache_entries:
-            self._snr_cache.popitem(last=False)
 
     def evaluate_snr(
         self,
@@ -387,7 +422,7 @@ class SweepEngine:
             if key in resolved:
                 self.stats.snr_cache_hits += 1
                 continue
-            cached = self._snr_cache_get(key)
+            cached = self._snr_cache.get(key)
             if cached is not None:
                 resolved[key] = cached
                 self.stats.snr_cache_hits += 1
@@ -411,7 +446,7 @@ class SweepEngine:
             for index, key in enumerate(group):
                 report = batch.report(index)
                 resolved[key] = report
-                self._snr_cache_put(key, report)
+                self._snr_cache.put(key, report)
             self.stats.snr_evaluations += len(group)
             self.stats.snr_batches += 1
 

@@ -19,9 +19,11 @@ re-doing unnecessary work (the mesh is cached across sweeps).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..activity import ActivityPattern
+import numpy as np
+
+from ..activity import ActivityPattern, ActivityTrace
 from ..casestudy import OniRingScenario, SccArchitecture
 from ..config import SimulationSettings, TechnologyParameters
 from ..devices import VcselModel
@@ -38,9 +40,17 @@ from ..snr import (
 from ..thermal import (
     HeatSource,
     Mesh3D,
+    SourceSchedule,
     SteadyStateSolver,
     ThermalMap,
+    TransientSolver,
     ZoomSolver,
+)
+from .transient import (
+    OniTemperatureSeries,
+    SnrTimeSeries,
+    TransientEvaluation,
+    TransientRequest,
 )
 
 
@@ -170,6 +180,9 @@ class ThermalAwareDesignFlow:
         self._solver_cache: Optional[SteadyStateSolver] = None
         self._zoom_solver: Optional[ZoomSolver] = None
         self._snr_analyzer_cache: Optional[SnrAnalyzer] = None
+        #: Transient solvers keyed by θ; each caches LU factorisations per
+        #: step size, shared by every trace run on this flow.
+        self._transient_solvers: Dict[float, TransientSolver] = {}
         #: Bumped by :meth:`invalidate_caches`; folded into the sweep
         #: engine's cache keys so stale evaluations are never served.
         self._generation = 0
@@ -216,6 +229,7 @@ class ThermalAwareDesignFlow:
         self._solver_cache = None
         self._zoom_solver = None
         self._snr_analyzer_cache = None
+        self._transient_solvers = {}
         self._generation += 1
 
     def __getstate__(self) -> dict:
@@ -228,6 +242,7 @@ class ThermalAwareDesignFlow:
         state["_solver_cache"] = None
         state["_zoom_solver"] = None
         state["_snr_analyzer_cache"] = None
+        state["_transient_solvers"] = {}
         state.pop("_sweep_engine", None)
         return state
 
@@ -365,6 +380,166 @@ class ThermalAwareDesignFlow:
             oni_summaries=summaries,
             zoomed_oni=zoom_name,
             zoom_map=zoom_map,
+        )
+
+    # Transient step ---------------------------------------------------------------------------
+
+    def transient_solver(self, theta: float = 1.0) -> TransientSolver:
+        """Transient solver on the flow's mesh (cached per θ).
+
+        The solver keeps one LU factorisation per distinct step size, so
+        every trace run through this flow — whatever its phase structure —
+        reuses the factorisations of the traces before it.
+        """
+        solver = self._transient_solvers.get(theta)
+        if solver is None:
+            solver = TransientSolver(
+                self._mesh(),
+                self.architecture.boundary_conditions(),
+                theta=theta,
+            )
+            self._transient_solvers[theta] = solver
+        return solver
+
+    def build_schedule(
+        self, trace: ActivityTrace, power: Optional[OniPowerConfig] = None
+    ) -> SourceSchedule:
+        """Piecewise-constant source schedule of a trace.
+
+        Each phase contributes one segment: the phase's chip activity plus
+        the (constant) ONI heat sources, aligned to the phase boundaries.
+        The ONI sources are built once and repeated per segment by
+        :meth:`~repro.activity.ActivityTrace.to_schedule`.
+        """
+        if len(trace) == 0:
+            raise ConfigurationError(f"trace {trace.name!r} has no phases")
+        electrical_z = self.architecture.electrical_z_range()
+        optical_z = self.architecture.optical_z_range()
+        oni_sources: List[HeatSource] = []
+        for oni in self.scenario.onis:
+            configured = oni if power is None else oni.with_power(power)
+            oni_sources.extend(
+                configured.heat_sources(optical_z, driver_z_range=electrical_z)
+            )
+        return trace.to_schedule(
+            self.architecture.floorplan,
+            electrical_z[0],
+            electrical_z[1],
+            static_sources=oni_sources,
+        )
+
+    def oni_probes(self) -> Dict[str, object]:
+        """Per-ONI probe boxes for the transient solver.
+
+        Three probes per ONI: ``<name>:avg`` (footprint average on the
+        optical layer), ``<name>:laser`` (mean over the VCSEL cluster) and
+        ``<name>:mr`` (mean over the microrings) — exactly the quantities
+        the SNR analysis consumes.  ONIs without devices of a kind fall back
+        to the footprint box.
+        """
+        optical_z = self.architecture.optical_z_range()
+        probes: Dict[str, object] = {}
+        for oni in self.scenario.onis:
+            region = oni.region_box(optical_z)
+            probes[f"{oni.name}:avg"] = region
+            vcsels = oni.device_boxes("vcsel", optical_z)
+            microrings = oni.device_boxes("microring", optical_z)
+            probes[f"{oni.name}:laser"] = vcsels or region
+            probes[f"{oni.name}:mr"] = microrings or region
+        return probes
+
+    def run_transient(
+        self,
+        trace: Union[ActivityTrace, TransientRequest],
+        power: Optional[OniPowerConfig] = None,
+        dt_s: float = 0.1,
+        theta: float = 1.0,
+        initial: Union[str, float] = "ambient",
+        snapshot_times_s: Sequence[float] = (),
+    ) -> TransientEvaluation:
+        """Transient thermal analysis of one design point over a trace.
+
+        ``initial`` follows :class:`~repro.methodology.transient.
+        TransientRequest`: ``"ambient"`` starts uniform at the convective
+        ambient, ``"steady"`` from the steady state of the first phase
+        (reusing the flow's cached steady factorisation), a float from that
+        uniform temperature.  A :class:`TransientRequest` may be passed in
+        place of the trace, in which case the remaining arguments are
+        ignored.
+        """
+        if isinstance(trace, TransientRequest):
+            request = trace
+        else:
+            request = TransientRequest(
+                trace=trace,
+                power=power,
+                dt_s=dt_s,
+                theta=theta,
+                initial=initial,
+                snapshot_times_s=tuple(snapshot_times_s),
+            )
+        schedule = self.build_schedule(request.trace, request.power)
+        solver = self.transient_solver(request.theta)
+        if request.initial == "steady":
+            first_sources = schedule.segments[0].sources
+            initial_field = self._solver().solve(first_sources)
+        elif request.initial == "ambient":
+            initial_field = None
+        else:
+            initial_field = float(request.initial)
+        result = solver.solve(
+            schedule,
+            dt_s=request.dt_s,
+            initial_temperature_c=initial_field,
+            snapshot_times_s=request.snapshot_times_s,
+            probes=self.oni_probes(),
+        )
+        series: Dict[str, OniTemperatureSeries] = {}
+        for oni in self.scenario.onis:
+            series[oni.name] = OniTemperatureSeries(
+                name=oni.name,
+                times_s=result.times_s,
+                average_c=result.probe(f"{oni.name}:avg").temperatures_c,
+                laser_c=result.probe(f"{oni.name}:laser").temperatures_c,
+                microring_c=result.probe(f"{oni.name}:mr").temperatures_c,
+            )
+        effective_power = request.power or self.scenario.onis[0].power
+        return TransientEvaluation(
+            trace=request.trace,
+            power=effective_power,
+            result=result,
+            oni_series=series,
+        )
+
+    def run_transient_snr(
+        self,
+        evaluation: TransientEvaluation,
+        drive: LaserDriveConfig,
+        stride: int = 1,
+        communications: Optional[Sequence[Communication]] = None,
+        network: Optional[OrnocNetwork] = None,
+    ) -> SnrTimeSeries:
+        """Time-resolved SNR along a transient evaluation.
+
+        The per-ONI temperature series are sampled every ``stride`` steps
+        (the final step is always included) and stacked into one vectorized
+        :meth:`~repro.snr.analysis.SnrAnalyzer.analyze_many` call, so the
+        whole time axis costs a single pass through the compiled link
+        engine.
+        """
+        if stride < 1:
+            raise ConfigurationError("stride must be >= 1")
+        sample_count = evaluation.times_s.size
+        indices = list(range(0, sample_count, stride))
+        if indices[-1] != sample_count - 1:
+            indices.append(sample_count - 1)
+        analyzer = self.snr_analyzer(communications=communications, network=network)
+        batch = analyzer.analyze_many(
+            [evaluation.states_at(index) for index in indices], drive
+        )
+        return SnrTimeSeries(
+            times_s=evaluation.times_s[np.asarray(indices, dtype=int)],
+            batch=batch,
         )
 
     # Network / SNR step -----------------------------------------------------------------------

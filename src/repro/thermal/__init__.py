@@ -14,6 +14,15 @@ from .mesh import Mesh3D, MeshBuilder, RefinementRegion, build_ticks, merge_clos
 from .solver import BatchSolveResult, SolverDiagnostics, SteadyStateSolver
 from .sources import HeatSource, HeatSourceSet, power_density_field
 from .thermal_map import ThermalMap
+from .transient import (
+    ProbeSeries,
+    ScheduleSegment,
+    SourceSchedule,
+    TransientDiagnostics,
+    TransientResult,
+    TransientSnapshot,
+    TransientSolver,
+)
 from .zoom import ZoomResult, ZoomSolver, clip_sources_to_window
 
 __all__ = [
@@ -40,6 +49,13 @@ __all__ = [
     "HeatSourceSet",
     "power_density_field",
     "ThermalMap",
+    "ProbeSeries",
+    "ScheduleSegment",
+    "SourceSchedule",
+    "TransientDiagnostics",
+    "TransientResult",
+    "TransientSnapshot",
+    "TransientSolver",
     "ZoomResult",
     "ZoomSolver",
     "clip_sources_to_window",

@@ -149,7 +149,10 @@ class Mesh3D:
     """Rectilinear mesh with per-cell anisotropic conductivities.
 
     The conductivity arrays have shape ``(nx, ny, nz)``; ``k_lateral`` is used
-    for heat flow along x and y, ``k_vertical`` along z.
+    for heat flow along x and y, ``k_vertical`` along z.  The optional
+    ``c_volumetric`` array carries the per-cell volumetric heat capacity
+    (rho * c_p, [J/(m^3 K)]) consumed by the transient solver; steady-state
+    solves ignore it, so meshes built without it remain fully usable.
     """
 
     def __init__(
@@ -159,6 +162,7 @@ class Mesh3D:
         z_ticks: np.ndarray,
         k_lateral: np.ndarray,
         k_vertical: np.ndarray,
+        c_volumetric: Optional[np.ndarray] = None,
     ) -> None:
         for name, ticks in (("x", x_ticks), ("y", y_ticks), ("z", z_ticks)):
             if ticks.ndim != 1 or ticks.size < 2:
@@ -178,6 +182,40 @@ class Mesh3D:
             raise MeshError("cell conductivities must be strictly positive")
         self.k_lateral = np.asarray(k_lateral, dtype=float)
         self.k_vertical = np.asarray(k_vertical, dtype=float)
+        if c_volumetric is not None:
+            c_volumetric = np.asarray(c_volumetric, dtype=float)
+            if c_volumetric.shape != expected_shape:
+                raise MeshError(
+                    f"heat capacity array must have shape {expected_shape}, got "
+                    f"{c_volumetric.shape}"
+                )
+            if not np.all(np.isfinite(c_volumetric)) or not np.all(
+                c_volumetric > 0.0
+            ):
+                raise MeshError(
+                    "cell heat capacities must be strictly positive and finite"
+                )
+        self.c_volumetric = c_volumetric
+
+    @property
+    def has_heat_capacity(self) -> bool:
+        """Whether the mesh carries per-cell volumetric heat capacities."""
+        return self.c_volumetric is not None
+
+    def capacitance_vector(self) -> np.ndarray:
+        """Per-cell lumped thermal capacitance [J/K], flattened row-major.
+
+        ``C_i = volume_i * (rho c_p)_i`` — the diagonal of the transient
+        system's capacitance matrix.  Requires the mesh to have been built
+        with heat capacities (:class:`MeshBuilder` fills them from the layer
+        materials); hand-built meshes can pass ``c_volumetric`` explicitly.
+        """
+        if self.c_volumetric is None:
+            raise MeshError(
+                "the mesh has no heat-capacity data; build it with MeshBuilder "
+                "or construct Mesh3D with an explicit c_volumetric array"
+            )
+        return (self.cell_volumes() * self.c_volumetric).ravel()
 
     # Shape ----------------------------------------------------------------
 
@@ -453,21 +491,22 @@ class MeshBuilder:
         )
         return merge_close_ticks(x_ticks), merge_close_ticks(y_ticks)
 
-    def _fill_conductivities(
+    def _fill_cell_properties(
         self,
         x_centers: np.ndarray,
         y_centers: np.ndarray,
         z_centers: np.ndarray,
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         nx, ny, nz = x_centers.size, y_centers.size, z_centers.size
         k_lateral = np.empty((nx, ny, nz), dtype=float)
         k_vertical = np.empty((nx, ny, nz), dtype=float)
-        stack_footprint = self._stack.footprint
+        c_volumetric = np.empty((nx, ny, nz), dtype=float)
         for k_index, z in enumerate(z_centers):
             layer = self._stack.layer_at(z)
             default = layer.material
             k_lateral[:, :, k_index] = default.lateral_conductivity
             k_vertical[:, :, k_index] = default.vertical_conductivity
+            c_volumetric[:, :, k_index] = default.volumetric_heat_capacity_j_m3k()
             if layer.footprint is not None:
                 padding = layer.padding_material or self._padding_material
                 inside_x = (x_centers >= layer.footprint.x_min) & (
@@ -479,6 +518,9 @@ class MeshBuilder:
                 outside = ~(inside_x[:, None] & inside_y[None, :])
                 k_lateral[:, :, k_index][outside] = padding.lateral_conductivity
                 k_vertical[:, :, k_index][outside] = padding.vertical_conductivity
+                c_volumetric[:, :, k_index][outside] = (
+                    padding.volumetric_heat_capacity_j_m3k()
+                )
             for block in layer.blocks:
                 in_x = (x_centers >= block.footprint.x_min) & (
                     x_centers <= block.footprint.x_max
@@ -489,7 +531,10 @@ class MeshBuilder:
                 region = in_x[:, None] & in_y[None, :]
                 k_lateral[:, :, k_index][region] = block.material.lateral_conductivity
                 k_vertical[:, :, k_index][region] = block.material.vertical_conductivity
-        return k_lateral, k_vertical
+                c_volumetric[:, :, k_index][region] = (
+                    block.material.volumetric_heat_capacity_j_m3k()
+                )
+        return k_lateral, k_vertical, c_volumetric
 
     # Public API ---------------------------------------------------------------
 
@@ -506,7 +551,9 @@ class MeshBuilder:
         x_centers = 0.5 * (x_ticks[:-1] + x_ticks[1:])
         y_centers = 0.5 * (y_ticks[:-1] + y_ticks[1:])
         z_centers = 0.5 * (z_ticks[:-1] + z_ticks[1:])
-        k_lateral, k_vertical = self._fill_conductivities(
+        k_lateral, k_vertical, c_volumetric = self._fill_cell_properties(
             x_centers, y_centers, z_centers
         )
-        return Mesh3D(x_ticks, y_ticks, z_ticks, k_lateral, k_vertical)
+        return Mesh3D(
+            x_ticks, y_ticks, z_ticks, k_lateral, k_vertical, c_volumetric
+        )

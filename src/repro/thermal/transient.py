@@ -1,0 +1,653 @@
+"""Transient thermal engine: time-stepped finite-volume solves.
+
+The steady-state machinery answers "where does the package settle?"; this
+module answers "how does it get there, and what happens while the workload
+changes?".  The semi-discrete heat equation on the existing finite-volume
+mesh is
+
+``C dT/dt = -K T + q(t) + b``
+
+where ``K`` is the conductance matrix of :func:`repro.thermal.assembly.
+assemble_operator`, ``b`` the boundary right-hand side, ``q(t)`` the
+time-varying power field and ``C`` the diagonal lumped capacitance (cell
+volume times the material's volumetric heat capacity, filled by
+:class:`~repro.thermal.mesh.MeshBuilder` from the layer stack).
+
+Time integration uses the one-parameter θ-method
+
+``(C/dt + θ K) T_{n+1} = (C/dt - (1-θ) K) T_n + q_n + b``
+
+with backward Euler (θ = 1) as the robust default and Crank–Nicolson
+(θ = 0.5) as the second-order option.  Power is piecewise constant per
+schedule segment and steps are aligned to segment boundaries, so for a fixed
+step the iteration matrix ``A = C/dt + θK`` never changes: it is factorised
+**once** (sparse LU, same ``MMD_AT_PLUS_A`` ordering as the steady solver)
+and every step of every trace sharing the mesh reuses the factorisation —
+the transient analogue of the steady solver's multi-RHS batching.
+
+Temperatures of regions of interest (ONI footprints, device clusters) are
+recorded at every step through *probes* — volume-weighted box averages
+compiled once into sparse weight vectors — while full-field snapshots are
+kept only at explicitly requested times, so long traces stay cheap in
+memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import splu
+
+from ..caching import LruCache
+from ..errors import SolverError
+from ..geometry import Box
+from .assembly import AssembledOperator, assemble_operator, boundary_rhs
+from .boundary import FACES, BoundaryConditions
+from .mesh import Mesh3D
+from .sources import HeatSource, power_density_field
+from .thermal_map import ThermalMap
+
+#: A probe is one box (volume-weighted average) or several boxes (mean of
+#: the per-box averages, e.g. "all VCSELs of one ONI").
+ProbeSpec = Union[Box, Sequence[Box]]
+
+
+def piecewise_segment_index(durations: Sequence[float], t: float) -> int:
+    """Index of the piecewise segment owning time ``t``.
+
+    Segments own ``[start, end)``; ``t`` equal to the total duration (within
+    a relative tolerance of 1e-12) maps to the last segment so the endpoint
+    is always queryable.  This is the single definition of the boundary
+    semantics shared by :meth:`SourceSchedule.segment_at` and
+    :meth:`repro.activity.ActivityTrace.phase_at`.  Raises :class:`ValueError`
+    for an empty sequence, a non-finite / negative ``t`` or one beyond the
+    total duration.
+    """
+    if not durations:
+        raise ValueError("there are no segments")
+    if not math.isfinite(t) or t < 0.0:
+        raise ValueError(f"time must be >= 0 and finite, got {t!r}")
+    elapsed = 0.0
+    for index, duration in enumerate(durations):
+        elapsed += duration
+        if t < elapsed:
+            return index
+    if t <= elapsed * (1.0 + 1.0e-12):
+        return len(durations) - 1
+    raise ValueError(f"time {t!r} beyond the total duration {elapsed!r}")
+
+
+@dataclass(frozen=True)
+class ScheduleSegment:
+    """One segment of a power schedule: sources held for a duration."""
+
+    duration_s: float
+    sources: Tuple[HeatSource, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.duration_s) or self.duration_s <= 0.0:
+            raise SolverError(
+                f"schedule segment duration must be a positive finite number, "
+                f"got {self.duration_s!r}"
+            )
+
+
+class SourceSchedule:
+    """A piecewise-constant heat-source schedule (the solver's input).
+
+    The schedule is the thermal-layer view of an activity trace: a sequence
+    of (duration, heat sources) segments.  Segment boundaries become step
+    boundaries during integration, so the piecewise-constant power is
+    represented exactly.
+    """
+
+    def __init__(self, segments: Iterable[ScheduleSegment] = ()) -> None:
+        self._segments: List[ScheduleSegment] = list(segments)
+
+    def add_segment(
+        self,
+        duration_s: float,
+        sources: Iterable[HeatSource],
+        label: str = "",
+    ) -> None:
+        """Append a segment holding ``sources`` for ``duration_s`` seconds."""
+        self._segments.append(
+            ScheduleSegment(
+                duration_s=duration_s, sources=tuple(sources), label=label
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self):
+        return iter(self._segments)
+
+    @property
+    def segments(self) -> List[ScheduleSegment]:
+        """Segments in schedule order."""
+        return list(self._segments)
+
+    @property
+    def total_duration_s(self) -> float:
+        """Total schedule duration [s]."""
+        return sum(segment.duration_s for segment in self._segments)
+
+    def segment_at(self, t: float) -> ScheduleSegment:
+        """Segment active at time ``t`` (segments own ``[start, end)``)."""
+        try:
+            index = piecewise_segment_index(
+                [segment.duration_s for segment in self._segments], t
+            )
+        except ValueError as error:
+            raise SolverError(str(error)) from None
+        return self._segments[index]
+
+
+@dataclass(frozen=True)
+class ProbeSeries:
+    """Temperature of one probed region at every time step."""
+
+    name: str
+    times_s: np.ndarray
+    temperatures_c: np.ndarray
+
+    @property
+    def max_c(self) -> float:
+        """Maximum probe temperature over the trace [degC]."""
+        return float(self.temperatures_c.max())
+
+    @property
+    def min_c(self) -> float:
+        """Minimum probe temperature over the trace [degC]."""
+        return float(self.temperatures_c.min())
+
+    @property
+    def final_c(self) -> float:
+        """Probe temperature at the end of the trace [degC]."""
+        return float(self.temperatures_c[-1])
+
+    def time_above_c(self, threshold_c: float) -> float:
+        """Total time spent above ``threshold_c`` [s].
+
+        Each step interval counts fully when the temperature at its *end*
+        exceeds the threshold (the implicit method's representative value);
+        the initial condition carries no duration.
+        """
+        durations = np.diff(self.times_s)
+        return float(durations[self.temperatures_c[1:] > threshold_c].sum())
+
+    def settling_time_s(
+        self, tolerance_c: float, reference_c: Optional[float] = None
+    ) -> Optional[float]:
+        """First time after which the probe stays within ``tolerance_c`` of
+        ``reference_c`` (default: the final recorded value).
+
+        Returns ``None`` when settling cannot be confirmed: against an
+        explicit reference, when the last sample is still outside the band;
+        against the default (final-value) reference — which the last sample
+        trivially satisfies — when the second-to-last sample is still
+        outside, i.e. the trace only "arrived" on its very last step and may
+        well still be moving.  Returns ``0.0`` when the probe never leaves
+        the band.
+        """
+        if tolerance_c <= 0.0:
+            raise SolverError("settling tolerance must be positive")
+        reference = self.final_c if reference_c is None else reference_c
+        outside = np.abs(self.temperatures_c - reference) > tolerance_c
+        if not outside.any():
+            return float(self.times_s[0])
+        last_outside = int(np.flatnonzero(outside)[-1])
+        unsettled_from = (
+            self.times_s.size - 2 if reference_c is None else self.times_s.size - 1
+        )
+        if last_outside >= unsettled_from:
+            return None
+        return float(self.times_s[last_outside + 1])
+
+
+@dataclass(frozen=True)
+class TransientSnapshot:
+    """Full-field temperature snapshot at one step of the integration."""
+
+    time_s: float
+    requested_time_s: float
+    thermal_map: ThermalMap
+
+
+@dataclass(frozen=True)
+class TransientDiagnostics:
+    """Numerical diagnostics of one transient solve."""
+
+    n_cells: int
+    steps: int
+    theta: float
+    dt_s: float
+    total_duration_s: float
+    #: Number of LU factorisations computed *during this solve* (0 when
+    #: every distinct step size was already cached from earlier traces).
+    factorizations_computed: int
+    #: Distinct effective step sizes encountered (one factorisation each).
+    distinct_steps: int
+
+    @property
+    def method(self) -> str:
+        """Human-readable integrator name."""
+        if self.theta == 1.0:
+            return "backward_euler"
+        if self.theta == 0.5:
+            return "crank_nicolson"
+        return f"theta({self.theta:g})"
+
+    def summary(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"{self.method} over {self.total_duration_s:g} s in {self.steps} "
+            f"steps of ~{self.dt_s:g} s on {self.n_cells} cells "
+            f"({self.factorizations_computed} new factorisation(s))"
+        )
+
+
+@dataclass
+class TransientResult:
+    """Output of a transient solve: probe series, snapshots, final field."""
+
+    times_s: np.ndarray
+    probes: Dict[str, ProbeSeries]
+    snapshots: List[TransientSnapshot]
+    final_map: ThermalMap
+    diagnostics: TransientDiagnostics
+    segment_boundaries_s: Tuple[float, ...] = field(default_factory=tuple)
+
+    def probe(self, name: str) -> ProbeSeries:
+        """Series of the probe called ``name``."""
+        try:
+            return self.probes[name]
+        except KeyError:
+            raise SolverError(f"no probe called {name!r} in this result") from None
+
+    def probe_names(self) -> List[str]:
+        """Names of every recorded probe."""
+        return list(self.probes)
+
+    def snapshot_nearest(self, time_s: float) -> TransientSnapshot:
+        """Snapshot whose time is closest to ``time_s``."""
+        if not self.snapshots:
+            raise SolverError("the solve recorded no snapshots")
+        return min(self.snapshots, key=lambda snap: abs(snap.time_s - time_s))
+
+    def max_over_probes_c(self) -> float:
+        """Hottest probe temperature seen at any time."""
+        if not self.probes:
+            raise SolverError("the solve recorded no probes")
+        return max(series.max_c for series in self.probes.values())
+
+
+def _probe_cache_key(spec: ProbeSpec) -> tuple:
+    """Value-based key of a probe spec (boxes are compared by coordinates)."""
+    boxes = [spec] if isinstance(spec, Box) else list(spec)
+    return tuple(
+        (box.x_min, box.y_min, box.z_min, box.x_max, box.y_max, box.z_max)
+        for box in boxes
+    )
+
+
+class _ProbeFunctional:
+    """A probe compiled into flat cell indices and normalised weights."""
+
+    __slots__ = ("indices", "weights")
+
+    def __init__(self, mesh: Mesh3D, name: str, spec: ProbeSpec) -> None:
+        boxes = [spec] if isinstance(spec, Box) else list(spec)
+        if not boxes:
+            raise SolverError(f"probe {name!r} has no boxes")
+        ny, nz = mesh.ny, mesh.nz
+        index_parts: List[np.ndarray] = []
+        weight_parts: List[np.ndarray] = []
+        for box in boxes:
+            profile = mesh.box_overlap_profile(box)
+            if profile is None or profile.total_volume <= 0.0:
+                raise SolverError(
+                    f"probe {name!r}: box {box!r} does not overlap the mesh"
+                )
+            i = np.arange(profile.x_slice.start, profile.x_slice.stop)
+            j = np.arange(profile.y_slice.start, profile.y_slice.stop)
+            k = np.arange(profile.z_slice.start, profile.z_slice.stop)
+            cells = (
+                (i[:, None, None] * ny + j[None, :, None]) * nz + k[None, None, :]
+            )
+            index_parts.append(cells.ravel())
+            # Mean of per-box averages: each box contributes weights that
+            # sum to 1/len(boxes).
+            weight_parts.append(
+                profile.volumes().ravel() / (profile.total_volume * len(boxes))
+            )
+        indices = np.concatenate(index_parts)
+        weights = np.concatenate(weight_parts)
+        # Merge cells shared by several boxes into one weight each.
+        self.indices, inverse = np.unique(indices, return_inverse=True)
+        self.weights = np.zeros(self.indices.size, dtype=float)
+        np.add.at(self.weights, inverse, weights)
+
+    def value(self, flat_temperatures: np.ndarray) -> float:
+        return float(self.weights @ flat_temperatures[self.indices])
+
+
+class TransientSolver:
+    """θ-method time integrator on the finite-volume conduction system.
+
+    Parameters
+    ----------
+    mesh:
+        Mesh to solve on.  Meshes produced by :class:`~repro.thermal.mesh.
+        MeshBuilder` carry per-cell heat capacities; hand-built meshes must
+        either include ``c_volumetric`` or pass ``volumetric_heat_capacity``
+        here (a scalar [J/(m^3 K)] applied to every cell).
+    boundaries:
+        Boundary conditions; like the steady solver, at least one face must
+        pin the temperature.
+    theta:
+        Implicitness of the θ-method; ``1.0`` is backward Euler (default),
+        ``0.5`` Crank–Nicolson.  Values in ``[0.5, 1]`` are unconditionally
+        stable.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh3D,
+        boundaries: BoundaryConditions,
+        theta: float = 1.0,
+        volumetric_heat_capacity: Optional[float] = None,
+    ) -> None:
+        if not 0.5 <= theta <= 1.0:
+            raise SolverError(
+                f"theta must be within [0.5, 1] for unconditional stability, "
+                f"got {theta!r}"
+            )
+        self._mesh = mesh
+        self._boundaries = boundaries
+        self._theta = float(theta)
+        if volumetric_heat_capacity is not None:
+            if volumetric_heat_capacity <= 0.0:
+                raise SolverError("volumetric_heat_capacity must be positive")
+            self._capacitance = (
+                mesh.cell_volumes().ravel() * float(volumetric_heat_capacity)
+            )
+        else:
+            self._capacitance = mesh.capacitance_vector()
+        self._operator: Optional[AssembledOperator] = None
+        self._boundary_rhs: Optional[np.ndarray] = None
+        #: dt -> (LU of A = C/dt + theta K, explicit matrix M = C/dt - (1-theta) K).
+        #: Bounded LRU: each entry holds a full LU of the mesh, so sweeps
+        #: varying dt must not accumulate them forever.
+        self._steppers: LruCache[Tuple[object, sparse.csr_matrix]] = LruCache(
+            max_entries=8
+        )
+        #: Lifetime count of LU factorisations (monotone; unaffected by
+        #: cache eviction), used for the per-solve diagnostics.
+        self._factorizations_total = 0
+        #: (name, box coordinates) -> compiled probe weight vector, so sweeps
+        #: re-running the same probes (e.g. the flow's per-ONI set) compile
+        #: each exactly once.  Bounded LRU so sweeps varying probe windows
+        #: cannot accumulate weight vectors without limit.
+        self._probe_functionals: LruCache[_ProbeFunctional] = LruCache(
+            max_entries=512
+        )
+
+    # Properties -----------------------------------------------------------------
+
+    @property
+    def mesh(self) -> Mesh3D:
+        """Mesh the solver operates on."""
+        return self._mesh
+
+    @property
+    def theta(self) -> float:
+        """Implicitness parameter of the θ-method."""
+        return self._theta
+
+    @property
+    def cached_factorizations(self) -> int:
+        """Number of step sizes with a cached LU factorisation."""
+        return len(self._steppers)
+
+    # Internal -------------------------------------------------------------------
+
+    def _ensure_operator(self) -> AssembledOperator:
+        if self._operator is None:
+            self._operator = assemble_operator(self._mesh, self._boundaries)
+            self._boundary_rhs = boundary_rhs(self._operator, self._boundaries)
+        return self._operator
+
+    def _stepper(self, dt: float) -> Tuple[object, sparse.csr_matrix]:
+        """LU of the implicit matrix and the explicit matrix for step ``dt``.
+
+        Cached per distinct step size (bounded LRU), so a whole trace with
+        equal segment durations — and any number of further traces on the
+        same mesh — pay for exactly one factorisation.
+        """
+        cached = self._steppers.get(dt)
+        if cached is not None:
+            return cached
+        operator = self._ensure_operator()
+        capacitance_over_dt = sparse.diags(self._capacitance / dt)
+        implicit = (capacitance_over_dt + self._theta * operator.matrix).tocsc()
+        explicit = (
+            capacitance_over_dt - (1.0 - self._theta) * operator.matrix
+        ).tocsr()
+        # For backward Euler the K term multiplies to exact zeros that would
+        # otherwise stay stored and cost a full stencil matvec per step.
+        explicit.eliminate_zeros()
+        factorization = splu(implicit, permc_spec="MMD_AT_PLUS_A")
+        stepper = (factorization, explicit)
+        self._steppers.put(dt, stepper)
+        self._factorizations_total += 1
+        return stepper
+
+    def _initial_field(
+        self,
+        initial_temperature_c: Union[float, np.ndarray, ThermalMap, None],
+    ) -> np.ndarray:
+        if initial_temperature_c is None:
+            ambient = self._ambient_reference_c()
+            return np.full(self._mesh.n_cells, ambient, dtype=float)
+        if isinstance(initial_temperature_c, ThermalMap):
+            values = initial_temperature_c.temperatures_c
+        elif isinstance(initial_temperature_c, np.ndarray):
+            values = initial_temperature_c
+        else:
+            return np.full(
+                self._mesh.n_cells, float(initial_temperature_c), dtype=float
+            )
+        if values.shape != self._mesh.shape:
+            raise SolverError(
+                f"initial temperature field shape {values.shape} does not "
+                f"match mesh shape {self._mesh.shape}"
+            )
+        return np.asarray(values, dtype=float).ravel().copy()
+
+    def _ambient_reference_c(self) -> float:
+        """Default initial temperature: mean ambient of the convective faces."""
+        ambients = [
+            condition.ambient_c
+            for condition in (self._boundaries.face(face) for face in FACES)
+            if condition.kind == "convective"
+        ]
+        if not ambients:
+            raise SolverError(
+                "no convective face to infer an initial temperature from; "
+                "pass initial_temperature_c explicitly"
+            )
+        return sum(ambients) / len(ambients)
+
+    def _segment_steps(self, schedule: SourceSchedule, dt_s: float) -> List[
+        Tuple[ScheduleSegment, int, float]
+    ]:
+        """Per-segment (segment, step count, effective dt) plan.
+
+        ``dt_s`` is the *maximum* step: each segment is divided into the
+        smallest number of equal steps not exceeding it, so steps align with
+        segment boundaries and the piecewise-constant power is exact.
+        Segments of equal duration share the same effective dt — and hence
+        the same cached factorisation.
+        """
+        plan = []
+        for segment in schedule:
+            count = max(1, int(math.ceil(segment.duration_s / dt_s - 1.0e-9)))
+            plan.append((segment, count, segment.duration_s / count))
+        return plan
+
+    # Public API ------------------------------------------------------------------
+
+    def solve(
+        self,
+        schedule: SourceSchedule,
+        dt_s: float,
+        initial_temperature_c: Union[float, np.ndarray, ThermalMap, None] = None,
+        snapshot_times_s: Sequence[float] = (),
+        probes: Optional[Mapping[str, ProbeSpec]] = None,
+    ) -> TransientResult:
+        """Integrate the schedule and record probes / snapshots.
+
+        Parameters
+        ----------
+        schedule:
+            Piecewise-constant source schedule (built from an activity trace
+            by the methodology layer, or by hand).
+        dt_s:
+            Maximum time step [s]; segments are subdivided into equal steps
+            no longer than this, aligned to segment boundaries.
+        initial_temperature_c:
+            Starting field: a uniform value, a full array / ThermalMap, or
+            ``None`` for the mean convective ambient.
+        snapshot_times_s:
+            Times at which the full field is kept; each is snapped to the
+            end of the first step at or after it.  The final field is always
+            available as :attr:`TransientResult.final_map`.
+        probes:
+            Named regions recorded at *every* step: a ``Box`` (volume
+            average) or a sequence of boxes (mean of per-box averages).
+        """
+        if len(schedule) == 0:
+            raise SolverError("the schedule has no segments")
+        if not math.isfinite(dt_s) or dt_s <= 0.0:
+            raise SolverError(f"dt_s must be a positive finite number, got {dt_s!r}")
+        total_duration = schedule.total_duration_s
+        snapshot_targets = sorted(float(t) for t in snapshot_times_s)
+        if snapshot_targets and (
+            snapshot_targets[0] < 0.0
+            or snapshot_targets[-1] > total_duration * (1.0 + 1.0e-9)
+        ):
+            raise SolverError(
+                "snapshot times must lie within the schedule duration "
+                f"[0, {total_duration!r}]"
+            )
+
+        operator = self._ensure_operator()
+        assert self._boundary_rhs is not None
+        functionals: Dict[str, _ProbeFunctional] = {}
+        for name, spec in (probes or {}).items():
+            cache_key = (name, _probe_cache_key(spec))
+            functional = self._probe_functionals.get(cache_key)
+            if functional is None:
+                functional = _ProbeFunctional(self._mesh, name, spec)
+                self._probe_functionals.put(cache_key, functional)
+            functionals[name] = functional
+
+        plan = self._segment_steps(schedule, dt_s)
+        total_steps = sum(count for _, count, _ in plan)
+        factorizations_before = self._factorizations_total
+
+        temperatures = self._initial_field(initial_temperature_c)
+        times = np.empty(total_steps + 1, dtype=float)
+        times[0] = 0.0
+        probe_values = {
+            name: np.empty(total_steps + 1, dtype=float) for name in functionals
+        }
+        for name, functional in functionals.items():
+            probe_values[name][0] = functional.value(temperatures)
+
+        snapshots: List[TransientSnapshot] = []
+        target_cursor = 0
+
+        def record_snapshots(now: float, flush: bool = False) -> None:
+            nonlocal target_cursor
+            while target_cursor < len(snapshot_targets) and (
+                flush
+                or snapshot_targets[target_cursor] <= now * (1.0 + 1.0e-12)
+            ):
+                snapshots.append(
+                    TransientSnapshot(
+                        time_s=now,
+                        requested_time_s=snapshot_targets[target_cursor],
+                        thermal_map=ThermalMap(
+                            self._mesh,
+                            temperatures.reshape(self._mesh.shape).copy(),
+                        ),
+                    )
+                )
+                target_cursor += 1
+
+        record_snapshots(0.0)
+
+        step_index = 0
+        now = 0.0
+        boundaries: List[float] = []
+        distinct_dts = set()
+        for segment, count, dt_eff in plan:
+            distinct_dts.add(dt_eff)
+            factorization, explicit = self._stepper(dt_eff)
+            power = power_density_field(self._mesh, segment.sources).ravel()
+            constant_rhs = power + self._boundary_rhs
+            for _ in range(count):
+                rhs = explicit @ temperatures + constant_rhs
+                temperatures = factorization.solve(rhs)
+                step_index += 1
+                now += dt_eff
+                times[step_index] = now
+                for name, functional in functionals.items():
+                    probe_values[name][step_index] = functional.value(temperatures)
+                record_snapshots(now)
+            if not np.all(np.isfinite(temperatures)):
+                raise SolverError(
+                    f"transient solve produced non-finite temperatures in "
+                    f"segment {segment.label or len(boundaries)}"
+                )
+            boundaries.append(now)
+        # Targets within the validation tolerance of the schedule end may
+        # still be (marginally) beyond the last step time; record them from
+        # the final field so every accepted request yields a snapshot.
+        record_snapshots(now, flush=True)
+
+        final_map = ThermalMap(
+            self._mesh, temperatures.reshape(self._mesh.shape).copy()
+        )
+        diagnostics = TransientDiagnostics(
+            n_cells=operator.n_cells,
+            steps=total_steps,
+            theta=self._theta,
+            dt_s=dt_s,
+            total_duration_s=total_duration,
+            factorizations_computed=self._factorizations_total
+            - factorizations_before,
+            distinct_steps=len(distinct_dts),
+        )
+        probe_series = {
+            name: ProbeSeries(
+                name=name, times_s=times, temperatures_c=probe_values[name]
+            )
+            for name in functionals
+        }
+        return TransientResult(
+            times_s=times,
+            probes=probe_series,
+            snapshots=snapshots,
+            final_map=final_map,
+            diagnostics=diagnostics,
+            segment_boundaries_s=tuple(boundaries),
+        )

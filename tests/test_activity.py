@@ -5,6 +5,7 @@ from hypothesis import given, settings as hyp_settings, strategies as st
 
 from repro.activity import (
     ActivityPattern,
+    ActivityTrace,
     SyntheticTraceGenerator,
     checkerboard_activity,
     diagonal_activity,
@@ -200,3 +201,135 @@ class TestTraces:
             generator.ramp_trace(10.0, 5.0)
         with pytest.raises(ConfigurationError):
             generator.migration_trace(10.0, phases=0)
+
+
+class TestPatternQueries:
+    def test_imbalance_of_empty_and_zero_patterns(self):
+        assert from_mapping("empty", {}).imbalance() == 0.0
+        assert from_mapping("zero", {"a": 0.0, "b": 0.0}).imbalance() == 0.0
+
+    def test_imbalance_of_skewed_pattern(self):
+        pattern = from_mapping("skew", {"a": 3.0, "b": 1.0})
+        assert pattern.imbalance() == pytest.approx(1.5)
+
+    def test_merged_with_keeps_first_name_by_default(self):
+        first = from_mapping("base", {"x": 1.0})
+        merged = first.merged_with(from_mapping("other", {"y": 2.0}))
+        assert merged.name == "base"
+        assert merged.total_power_w == pytest.approx(3.0)
+
+    def test_scaled_to_preserves_relative_distribution(self):
+        pattern = from_mapping("p", {"a": 1.0, "b": 3.0})
+        scaled = pattern.scaled_to(2.0)
+        assert scaled.power_of("b") / scaled.power_of("a") == pytest.approx(3.0)
+        assert scaled.name == pattern.name
+
+
+class TestTraceHelpers:
+    def make_trace(self):
+        trace = ActivityTrace(name="t")
+        trace.add_phase(from_mapping("low", {"a": 1.0}), 2.0)
+        trace.add_phase(from_mapping("high", {"a": 3.0}), 1.0)
+        return trace
+
+    def test_add_phase_rejects_bad_durations(self):
+        trace = ActivityTrace(name="t")
+        activity = from_mapping("a", {"x": 1.0})
+        for duration in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ConfigurationError):
+                trace.add_phase(activity, duration)
+        assert len(trace) == 0
+
+    def test_add_phase_rejects_non_pattern_activity(self):
+        trace = ActivityTrace(name="t")
+        with pytest.raises(ConfigurationError):
+            trace.add_phase({"a": 1.0}, 1.0)
+
+    def test_phase_boundaries(self):
+        trace = self.make_trace()
+        assert trace.phase_boundaries_s == pytest.approx([2.0, 3.0])
+
+    def test_phase_at_and_power_at(self):
+        trace = self.make_trace()
+        assert trace.phase_at(0.0).activity.name == "low"
+        assert trace.phase_at(1.999).activity.name == "low"
+        assert trace.phase_at(2.0).activity.name == "high"
+        assert trace.phase_at(3.0).activity.name == "high"
+        assert trace.power_at(0.5) == pytest.approx(1.0)
+        assert trace.power_at(2.5) == pytest.approx(3.0)
+
+    def test_phase_at_rejects_out_of_range(self):
+        trace = self.make_trace()
+        with pytest.raises(ConfigurationError):
+            trace.phase_at(-0.1)
+        with pytest.raises(ConfigurationError):
+            trace.phase_at(3.5)
+        with pytest.raises(ConfigurationError):
+            trace.phase_at(float("nan"))
+        with pytest.raises(ConfigurationError):
+            ActivityTrace(name="empty").phase_at(0.0)
+
+    def test_aggregates_on_empty_trace_raise(self):
+        empty = ActivityTrace(name="empty")
+        for method in ("peak_power_w", "average_power_w", "time_averaged_activity", "worst_phase"):
+            with pytest.raises(ConfigurationError):
+                getattr(empty, method)()
+
+    def test_to_schedule_includes_static_sources(self, floorplan):
+        from repro.thermal import HeatSource
+        from repro.geometry import Rect as GeomRect
+
+        trace = SyntheticTraceGenerator(floorplan).ramp_trace(5.0, 10.0, phases=2)
+        static = [
+            HeatSource.from_rect(
+                "static", GeomRect.from_size_mm(0.0, 0.0, 1.0, 1.0), 0.0, 1e-5, 0.5, group="vcsel"
+            )
+        ]
+        schedule = trace.to_schedule(floorplan, 0.0, 1e-5, static_sources=static)
+        assert len(schedule) == 2
+        for segment, phase in zip(schedule, trace):
+            total = sum(source.power_w for source in segment.sources)
+            assert total == pytest.approx(phase.activity.total_power_w + 0.5)
+
+
+class TestGeneratorSeedContract:
+    def test_same_seed_same_trace_per_method(self, floorplan):
+        for method, kwargs in (
+            ("random_walk_trace", dict(phases=4, mean_power_w=10.0)),
+            ("migration_trace", dict(total_power_w=10.0, phases=3)),
+        ):
+            first = getattr(SyntheticTraceGenerator(floorplan, seed=5), method)(**kwargs)
+            second = getattr(SyntheticTraceGenerator(floorplan, seed=5), method)(**kwargs)
+            for a, b in zip(first, second):
+                assert a.activity.tile_powers_w == b.activity.tile_powers_w
+
+    def test_call_order_does_not_change_results(self, floorplan):
+        lone = SyntheticTraceGenerator(floorplan, seed=9).migration_trace(10.0, phases=3)
+        generator = SyntheticTraceGenerator(floorplan, seed=9)
+        generator.random_walk_trace(4, 10.0)
+        generator.ramp_trace(1.0, 2.0)
+        interleaved = generator.migration_trace(10.0, phases=3)
+        for a, b in zip(lone, interleaved):
+            assert a.activity.tile_powers_w == b.activity.tile_powers_w
+
+    def test_methods_use_distinct_streams(self, floorplan):
+        generator = SyntheticTraceGenerator(floorplan, seed=0)
+        walk = generator.random_walk_trace(1, 10.0, volatility=1.0)
+        migration = generator.migration_trace(10.0, phases=1)
+        # Same seed, different methods: the first draws must differ (the
+        # streams are derived from (seed, method), not from the seed alone).
+        assert (
+            walk.phases[0].activity.tile_powers_w
+            != migration.phases[0].activity.tile_powers_w
+        )
+
+    def test_different_seeds_differ(self, floorplan):
+        first = SyntheticTraceGenerator(floorplan, seed=0).migration_trace(10.0, phases=2)
+        second = SyntheticTraceGenerator(floorplan, seed=1).migration_trace(10.0, phases=2)
+        assert any(
+            a.activity.tile_powers_w != b.activity.tile_powers_w
+            for a, b in zip(first, second)
+        )
+
+    def test_seed_property_exposed(self, floorplan):
+        assert SyntheticTraceGenerator(floorplan, seed=7).seed == 7

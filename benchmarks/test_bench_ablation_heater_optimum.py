@@ -13,6 +13,7 @@ from repro.methodology import find_optimal_heater_ratio, format_table
 from repro.oni import OniPowerConfig
 
 
+@pytest.mark.slow
 def test_ablation_heater_ratio_optimizer(benchmark, reference_flow, uniform_activity_25w):
     result = benchmark.pedantic(
         find_optimal_heater_ratio,

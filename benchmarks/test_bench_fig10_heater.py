@@ -21,6 +21,7 @@ VCSEL_POWERS_MW = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
 HEATER_RATIO = 0.3
 
 
+@pytest.mark.slow
 def test_fig10_heater_comparison(benchmark, reference_flow, uniform_activity_25w):
     points = benchmark.pedantic(
         compare_heater_options,

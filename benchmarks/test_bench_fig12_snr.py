@@ -50,6 +50,7 @@ def test_fig11_scenario_geometry(benchmark, scenarios, architecture):
         assert die.contains_rect(scenario.ring_rect)
 
 
+@pytest.mark.slow
 def test_fig12_snr_across_scenarios_and_activities(
     benchmark, architecture, scenarios, paper_activities
 ):

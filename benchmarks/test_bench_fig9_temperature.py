@@ -69,6 +69,7 @@ def test_fig9a_average_temperature_vs_powers(benchmark, reference_flow):
     assert per_mw > per_w_chip
 
 
+@pytest.mark.slow
 def test_fig9b_gradient_vs_heater_power(benchmark, reference_flow, uniform_activity_25w):
     points = benchmark.pedantic(
         sweep_heater_power,

@@ -93,6 +93,7 @@ def naive_per_step_solve(flow, schedule, dt_s):
     return temperatures
 
 
+@pytest.mark.slow
 def test_transient_factorize_once_vs_naive(benchmark, transient_flow):
     flow = transient_flow
     generator = SyntheticTraceGenerator(flow.architecture.floorplan, seed=4)

@@ -1,0 +1,29 @@
+"""Repository-level pytest configuration.
+
+Adds the ``--update-golden`` option used by the scenario golden-regression
+harness (``tests/test_golden_scenarios.py``): running
+
+    PYTHONPATH=src python -m pytest tests/test_golden_scenarios.py --update-golden
+
+replays every registered scenario and rewrites the reference artifacts under
+``tests/golden/``.  Regeneration is deterministic — running it twice in a row
+produces byte-identical files — so a quiet ``git diff`` after an update means
+nothing drifted.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden scenario artifacts under tests/golden/",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """Whether this run should rewrite golden artifacts instead of comparing."""
+    return request.config.getoption("--update-golden")

@@ -1,62 +1,106 @@
-"""Quickstart: evaluate one thermally-aware ONoC design point.
+"""Quickstart: run a registered scenario end to end.
 
-Builds the Intel-SCC-like case study, places 12 ONIs on an 18 mm ORNoC ring,
-runs the steady-state thermal simulation plus the device-scale zoom around
-the hottest interface, and evaluates the worst-case SNR of the interconnect
-at the paper's operating point (PVCSEL = 3.6 mW, Pheater = 0.3 x PVCSEL).
+The scenario subsystem defines complete chip / ORNoC / workload
+configurations declaratively (see ``repro.scenarios``): each registered
+:class:`~repro.scenarios.ScenarioSpec` is plain JSON-serialisable data, and
+the :class:`~repro.scenarios.ScenarioRunner` replays it through every engine
+of the library — steady-state thermal (with the device-scale zoom), a PVCSEL
+sweep, the batched SNR analysis and the transient thermal + time-resolved
+SNR chain.
 
-Run with:  python examples/quickstart.py
+This quickstart lists the built-in catalogue, runs one SCC scenario through
+all four paths and prints the resulting artifact — the same structured
+document the golden regression tests pin under ``tests/golden/``.
+
+Run with:  python examples/quickstart.py [scenario_name]
 """
 
 from __future__ import annotations
 
-from repro import (
-    LaserDriveConfig,
-    OniPowerConfig,
-    SimulationSettings,
-    ThermalAwareDesignFlow,
-    build_oni_ring_scenario,
-    build_scc_architecture,
-    format_table,
-    uniform_activity,
-)
+import sys
+
+from repro import ScenarioRunner, default_registry, format_table
 
 
-def main() -> None:
-    # Moderate mesh resolutions keep this example under a minute; tighten
-    # them (e.g. oni_cell_size_um=100, zoom_cell_size_um=5) for paper-grade
-    # resolution.
-    settings = SimulationSettings(
-        oni_cell_size_um=300.0, die_cell_size_um=2000.0, zoom_cell_size_um=15.0
-    )
-    architecture = build_scc_architecture(settings=settings)
-    scenario = build_oni_ring_scenario(architecture, ring_length_mm=18.0, oni_count=12)
-    flow = ThermalAwareDesignFlow(architecture, scenario)
+def main(name: str = "scc_uniform_18mm") -> None:
+    registry = default_registry()
 
-    activity = uniform_activity(architecture.floorplan, total_power_w=25.0)
-    power = OniPowerConfig(vcsel_power_w=3.6e-3).with_heater_ratio(0.3)
-    drive = LaserDriveConfig.from_dissipated_mw(3.6)
+    print("=== Registered scenarios ===")
+    rows = [
+        {
+            "scenario": spec.name,
+            "onis": spec.network.oni_count,
+            "ring_mm": spec.network.ring_length_mm,
+            "workload": spec.workload.kind,
+            "trace": "-" if spec.trace is None else spec.trace.kind,
+            "hash": spec.short_hash(),
+        }
+        for spec in registry
+    ]
+    print(format_table(rows))
 
-    result = flow.evaluate_design_point(activity, power, drive=drive)
+    spec = registry.get(name)
+    print(f"\n=== Running {spec.name!r} (spec hash {spec.short_hash()}) ===")
+    print(spec.description)
+    artifact = ScenarioRunner(spec).run()
 
-    thermal = result.thermal
-    print("=== Thermal summary ===")
-    print(f"chip activity:            {activity.total_power_w:.1f} W")
-    print(f"ONI average temperature:  {thermal.average_oni_temperature_c:.2f} degC")
-    print(f"hottest ONI:              {thermal.max_oni_temperature_c:.2f} degC")
-    print(f"inter-ONI spread:         {thermal.oni_temperature_spread_c:.2f} degC")
+    steady = artifact.section("steady")
+    print("\n--- Steady state ---")
+    print(f"average ONI temperature:  {steady['average_oni_temperature_c']:.2f} degC")
+    print(f"hottest ONI:              {steady['max_oni_temperature_c']:.2f} degC")
+    print(f"inter-ONI spread:         {steady['oni_temperature_spread_c']:.2f} degC")
     print(
-        f"intra-ONI gradient ({thermal.zoomed_oni}): {thermal.gradient_c:.2f} degC "
-        f"(constraint: {flow.technology.max_oni_gradient_c:.1f} degC, "
-        f"met: {thermal.meets_gradient_constraint(flow.technology.max_oni_gradient_c)})"
+        f"intra-ONI gradient:       {steady['gradient_c']:.2f} degC "
+        f"(zoomed: {steady['zoomed_oni']})"
     )
 
-    print("\n=== Worst-case SNR per communication ===")
-    rows = result.snr.as_rows()
-    print(format_table(rows, float_format=".4f"))
-    print(f"\nworst-case SNR: {result.worst_case_snr_db:.1f} dB")
-    print(f"all links above photodetector sensitivity: {result.snr.all_detected}")
+    sweep = artifact.section("sweep")
+    snr = artifact.section("snr")
+    print("\n--- PVCSEL sweep + batched SNR ---")
+    sweep_rows = [
+        {
+            "PVCSEL_mW": power_mw,
+            "avg_T_C": avg,
+            "worst_SNR_dB": point["worst_case_snr_db"],
+            "detected": point["all_detected"],
+        }
+        for power_mw, avg, point in zip(
+            sweep["vcsel_power_mw"],
+            sweep["average_oni_temperature_c"],
+            snr["per_point"],
+        )
+    ]
+    print(format_table(sweep_rows, float_format=".2f"))
+    nominal = snr["nominal"]
+    print(
+        f"nominal worst link: {nominal['worst_link']} at "
+        f"{nominal['worst_case_snr_db']:.2f} dB"
+    )
+
+    transient = artifact.section("transient")
+    print("\n--- Transient trace ---")
+    print(
+        f"trace {transient['trace']!r}: {transient['duration_s']:.1f} s in "
+        f"{transient['recorded_steps']} steps"
+    )
+    print(f"peak ONI temperature:     {transient['max_oni_temperature_c']:.2f} degC")
+    print(f"final inter-ONI spread:   {transient['final_oni_spread_c']:.2f} degC")
+    series = transient["snr"]
+    worst = series["worst_sample"]
+    print(
+        f"worst SNR over time:      {series['overall_worst_snr_db']:.2f} dB "
+        f"({worst['link']} at t = {worst['time_s']:.1f} s)"
+    )
+    print(
+        f"time below {series['floor_db']:.0f} dB floor:   "
+        f"{series['any_time_below_floor_s']:.1f} s"
+    )
+
+    print(
+        "\nThe full artifact is JSON (artifact.to_json()); the golden "
+        "regression tests pin exactly this document per scenario."
+    )
 
 
 if __name__ == "__main__":
-    main()
+    main(*sys.argv[1:2])

@@ -61,6 +61,14 @@ from .methodology import (
     sweep_heater_power,
 )
 from .oni import OniPowerConfig, OpticalNetworkInterface, generate_chessboard_layout
+from .scenarios import (
+    ScenarioArtifact,
+    ScenarioRegistry,
+    ScenarioRunner,
+    ScenarioSpec,
+    default_registry,
+    run_scenario,
+)
 from .onoc import Communication, OrnocNetwork, RingTopology, opposite_traffic
 from .snr import BatchSnrReport, LaserDriveConfig, OniThermalState, SnrAnalyzer
 from .thermal import (
@@ -120,6 +128,12 @@ __all__ = [
     "build_scc_architecture",
     "build_oni_ring_scenario",
     "build_standard_scenarios",
+    "ScenarioSpec",
+    "ScenarioRegistry",
+    "ScenarioRunner",
+    "ScenarioArtifact",
+    "default_registry",
+    "run_scenario",
     "OniRingScenario",
     "ThermalAwareDesignFlow",
     "ThermalRequest",

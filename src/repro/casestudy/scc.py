@@ -11,7 +11,7 @@ a heat sink modelled as a convective boundary on top of the lid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
 from .. import constants
@@ -84,6 +84,27 @@ class SccPackageParameters:
     def tile_count(self) -> int:
         """Number of tiles of the floorplan."""
         return self.tile_columns * self.tile_rows
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict view of every parameter (scenario specs, reports)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SccPackageParameters":
+        """Build parameters from a plain dict, rejecting unknown fields.
+
+        The usual validation of ``__post_init__`` applies; this is the entry
+        point the scenario subsystem uses to materialise a declarative chip
+        spec (including its ``package_overrides``).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown package parameters {unknown}; known fields: "
+                f"{sorted(known)}"
+            )
+        return cls(**data)
 
 
 @dataclass

@@ -114,13 +114,20 @@ def grid_floorplan(
     if margin < 0.0 or 2.0 * margin >= min(cell_width, cell_height):
         if margin != 0.0:
             raise GeometryError("margin too large for the grid cell size")
+    # Cell edges are computed once per axis with the outline's own bounds as
+    # the final edge, so the last row/column can never overshoot the outline
+    # by a rounding ulp (e.g. a 14 mm die split into 3 columns).
+    x_edges = [outline.x_min + column * cell_width for column in range(columns)]
+    x_edges.append(outline.x_max)
+    y_edges = [outline.y_min + row * cell_height for row in range(rows)]
+    y_edges.append(outline.y_max)
     for row in range(rows):
         for column in range(columns):
-            rect = Rect.from_size(
-                outline.x_min + column * cell_width + margin,
-                outline.y_min + row * cell_height + margin,
-                cell_width - 2.0 * margin,
-                cell_height - 2.0 * margin,
+            rect = Rect(
+                x_edges[column] + margin,
+                y_edges[row] + margin,
+                x_edges[column + 1] - margin,
+                y_edges[row + 1] - margin,
             )
             floorplan.add_rect(
                 name_format.format(column=column, row=row), rect, kind=kind

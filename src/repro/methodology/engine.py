@@ -379,11 +379,16 @@ class SweepEngine:
 
         The SNR of a design point is fully determined by its thermal
         evaluation (same key as the thermal cache, including the flow's
-        cache generation) and the drive; the flow's default routed network
-        is part of the flow itself.
+        cache generation), the drive, and the flow's default routed network
+        — the latter folded in through the flow's network generation, which
+        :meth:`~repro.methodology.flow.ThermalAwareDesignFlow.
+        set_default_network` bumps on every reconfiguration.
         """
-        return (*self._point_key(flow_key, request), drive.current_a,
-                drive.dissipated_power_w)
+        network_generation = getattr(
+            self._flows[flow_key], "_network_generation", 0
+        )
+        return (*self._point_key(flow_key, request), network_generation,
+                drive.current_a, drive.dissipated_power_w)
 
     def evaluate_snr(
         self,

@@ -131,6 +131,31 @@ class ThermalEvaluation:
         """Per-ONI states for the SNR analysis."""
         return [summary.to_state() for summary in self.oni_summaries.values()]
 
+    def summary_dict(self) -> Dict[str, object]:
+        """Plain-dict summary of the thermal step (scenario artifacts, reports).
+
+        Aggregates plus the per-ONI temperatures; the zoomed ONI's gradient is
+        included when a zoom solve ran.  Every value is a JSON-serialisable
+        primitive.
+        """
+        data: Dict[str, object] = {
+            "activity": self.activity.name,
+            "average_oni_temperature_c": self.average_oni_temperature_c,
+            "max_oni_temperature_c": self.max_oni_temperature_c,
+            "oni_temperature_spread_c": self.oni_temperature_spread_c,
+            "zoomed_oni": self.zoomed_oni,
+            "gradient_c": None if self.zoomed_oni is None else self.gradient_c,
+            "oni": {
+                name: {
+                    "average_c": summary.average_c,
+                    "laser_c": summary.laser_c,
+                    "microring_c": summary.microring_c,
+                }
+                for name, summary in self.oni_summaries.items()
+            },
+        }
+        return data
+
     def meets_gradient_constraint(self, max_gradient_c: float) -> bool:
         """Whether the zoomed ONI satisfies the intra-ONI gradient constraint."""
         return self.gradient_c <= max_gradient_c
@@ -186,6 +211,10 @@ class ThermalAwareDesignFlow:
         #: Bumped by :meth:`invalidate_caches`; folded into the sweep
         #: engine's cache keys so stale evaluations are never served.
         self._generation = 0
+        #: Bumped by :meth:`set_default_network`; folded into the sweep
+        #: engine's *SNR* cache keys, so reports computed on a previous
+        #: default network are never served after a reconfiguration.
+        self._network_generation = 0
 
     # Mesh / solver infrastructure ----------------------------------------------------
 
@@ -574,6 +603,39 @@ class ThermalAwareDesignFlow:
         )
         network.assign_channels()
         return network
+
+    def set_default_network(
+        self,
+        communications: Optional[Sequence[Communication]] = None,
+        waveguide_count: Optional[int] = None,
+        channels_per_waveguide: Optional[int] = None,
+        shift_hops: Optional[int] = None,
+    ) -> SnrAnalyzer:
+        """(Re)configure the flow's default routed network and cached analyzer.
+
+        Every subsequent default-traffic SNR call (``run_snr`` /
+        ``run_snr_many`` / ``run_transient_snr`` without explicit
+        communications, and the sweep engine's batched-SNR path) evaluates on
+        this network.  ``shift_hops`` rebuilds the default shift traffic with
+        a different hop count; an explicit ``communications`` list wins over
+        it.  Returns the freshly compiled analyzer.
+        """
+        if communications is None and shift_hops is not None:
+            if shift_hops < 1:
+                raise ConfigurationError("shift_hops must be >= 1")
+            communications = shift_traffic(self.scenario.ring, shift_hops)
+        network = self.build_network(
+            communications,
+            waveguide_count=waveguide_count,
+            channels_per_waveguide=channels_per_waveguide,
+        )
+        self._snr_analyzer_cache = SnrAnalyzer(
+            network, technology=self.technology, vcsel=self.vcsel
+        )
+        # SNR reports cached by an attached sweep engine were computed on
+        # the previous default network; retire them.
+        self._network_generation += 1
+        return self._snr_analyzer_cache
 
     def snr_analyzer(
         self,

@@ -137,6 +137,28 @@ class TransientEvaluation:
         :meth:`~repro.thermal.ProbeSeries.settling_time_s`)."""
         return self.result.probe(f"{oni_name}:avg").settling_time_s(tolerance_c)
 
+    def summary_dict(self) -> Dict[str, object]:
+        """Plain-dict summary of the transient step (scenario artifacts).
+
+        Trace-level aggregates plus the per-ONI peak and final footprint
+        averages; every value is a JSON-serialisable primitive.
+        """
+        times = self.times_s
+        return {
+            "trace": self.trace.name,
+            "duration_s": float(times[-1]),
+            "recorded_steps": int(times.size - 1),
+            "max_oni_temperature_c": self.max_oni_temperature_c,
+            "final_oni_spread_c": self.final_oni_spread_c,
+            "oni": {
+                name: {
+                    "max_average_c": series.max_average_c,
+                    "final_average_c": series.final_average_c,
+                }
+                for name, series in self.oni_series.items()
+            },
+        }
+
 
 @dataclass
 class SnrTimeSeries:
@@ -203,6 +225,22 @@ class SnrTimeSeries:
         durations = np.diff(self.times_s)
         below_any = (self.batch.snr_db[1:, :] < floor_db).any(axis=1)
         return float(durations[below_any].sum())
+
+    def summary_dict(self, floor_db: float) -> Dict[str, object]:
+        """Plain-dict summary of the time-resolved SNR (scenario artifacts)."""
+        worst_time, worst_link, worst_db = self.worst_sample()
+        return {
+            "samples": int(self.times_s.size),
+            "overall_worst_snr_db": self.overall_worst_snr_db,
+            "final_worst_case_snr_db": float(self.worst_case_snr_db[-1]),
+            "worst_sample": {
+                "time_s": worst_time,
+                "link": worst_link,
+                "snr_db": worst_db,
+            },
+            "floor_db": floor_db,
+            "any_time_below_floor_s": self.any_time_below_floor_s(floor_db),
+        }
 
     def worst_sample(self) -> Tuple[float, str, float]:
         """(time, link name, SNR) of the globally worst sample."""

@@ -1,0 +1,237 @@
+"""Named scenario registry and the built-in scenario catalogue.
+
+The :class:`ScenarioRegistry` maps names to
+:class:`~repro.scenarios.spec.ScenarioSpec` objects; :func:`default_registry`
+returns the shared catalogue of built-ins spanning the paper's design space:
+
+============================  ======================================================
+name                          what it covers
+============================  ======================================================
+``small_die_uniform``         scaled-down 4-tile die, short ring, uniform workload
+``small_die_hotspot``         same die, concentrated hotspot + ramp trace
+``scc_uniform_18mm``          SCC die, shortest paper ring, uniform + infrastructure
+``scc_diagonal_32mm``         SCC die, mid paper ring, the paper's diagonal split
+``scc_random_46mm``           SCC die, longest paper ring, random workload / walk
+``scc_case_study``            the paper's Section V case study: 24 ONIs on the
+                              32.4 mm ring, diagonal activity, migration trace
+============================  ======================================================
+
+Every built-in declares an activity trace, so each one exercises all four
+analysis paths (steady, sweep, batched SNR, transient); mesh resolutions are
+chosen so the whole catalogue replays in tens of seconds — the golden
+regression tests run it on every CI push.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import ConfigurationError
+from .spec import (
+    ChipSpec,
+    MeshSpec,
+    NetworkSpec,
+    PowerSpec,
+    ScenarioSpec,
+    TraceSpec,
+    WorkloadSpec,
+)
+
+
+class ScenarioRegistry:
+    """Mutable name → spec mapping with registration checks."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ScenarioSpec] = {}
+
+    def register(self, spec: ScenarioSpec, overwrite: bool = False) -> ScenarioSpec:
+        """Register a spec under its own name (rejects silent redefinition)."""
+        if not overwrite and spec.name in self._specs:
+            existing = self._specs[spec.name]
+            if existing.content_hash() != spec.content_hash():
+                raise ConfigurationError(
+                    f"scenario {spec.name!r} is already registered with "
+                    "different content; pass overwrite=True to replace it"
+                )
+            return existing
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> ScenarioSpec:
+        """Spec registered under ``name``."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown scenario {name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Registered scenario names, in registration order."""
+        return list(self._specs)
+
+    def specs(self) -> List[ScenarioSpec]:
+        """Registered specs, in registration order."""
+        return list(self._specs.values())
+
+    def to_dict(self) -> Dict[str, dict]:
+        """Plain-dict view of the whole catalogue (name → spec dict)."""
+        return {name: spec.to_dict() for name, spec in self._specs.items()}
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+# --------------------------------------------------------------------------
+# Built-in catalogue
+# --------------------------------------------------------------------------
+
+#: Small accelerator-class die used by the two ``small_die_*`` built-ins.
+_SMALL_CHIP = ChipSpec(
+    die_width_mm=14.0,
+    die_height_mm=11.0,
+    tile_columns=3,
+    tile_rows=2,
+    include_infrastructure=False,
+)
+
+#: Coarse-but-honest resolutions for the small die.
+_SMALL_MESH = MeshSpec(
+    oni_cell_size_um=400.0,
+    die_cell_size_um=2000.0,
+    zoom_cell_size_um=25.0,
+)
+
+#: Coarse resolutions for the full SCC die (same family as the test meshes).
+_SCC_MESH = MeshSpec(
+    oni_cell_size_um=400.0,
+    die_cell_size_um=3000.0,
+    zoom_cell_size_um=25.0,
+)
+
+
+def builtin_scenarios() -> List[ScenarioSpec]:
+    """The built-in scenario catalogue (fresh spec objects on every call)."""
+    return [
+        ScenarioSpec(
+            name="small_die_uniform",
+            description=(
+                "Scaled-down 4-ONI sanity scenario: a 14 x 11 mm 6-tile die "
+                "without infrastructure, uniform 8 W activity, idle/burst "
+                "two-phase trace."
+            ),
+            chip=_SMALL_CHIP,
+            mesh=_SMALL_MESH,
+            network=NetworkSpec(ring_length_mm=9.0, oni_count=4),
+            workload=WorkloadSpec(kind="uniform", total_power_w=8.0),
+            trace=TraceSpec(kind="two_phase", phases=4, phase_duration_s=2.0),
+        ),
+        ScenarioSpec(
+            name="small_die_hotspot",
+            description=(
+                "Small die with 60% of 10 W concentrated on one central "
+                "tile, ramped from 40% to full power."
+            ),
+            chip=_SMALL_CHIP,
+            mesh=_SMALL_MESH,
+            network=NetworkSpec(ring_length_mm=9.0, oni_count=4),
+            workload=WorkloadSpec(
+                kind="hotspot",
+                total_power_w=10.0,
+                params={"hotspot_fraction": 0.6, "hotspot_tiles": 1},
+            ),
+            trace=TraceSpec(kind="ramp", phases=4, phase_duration_s=1.5),
+        ),
+        ScenarioSpec(
+            name="scc_uniform_18mm",
+            description=(
+                "SCC die on the paper's shortest (18 mm) ring with 6 ONIs, "
+                "uniform 25 W activity with the SCC infrastructure share, "
+                "seeded migration trace."
+            ),
+            mesh=_SCC_MESH,
+            network=NetworkSpec(ring_length_mm=18.0, oni_count=6),
+            workload=WorkloadSpec(
+                kind="uniform", total_power_w=25.0, infrastructure_fraction=0.35
+            ),
+            trace=TraceSpec(
+                kind="migration", phases=4, phase_duration_s=2.0, seed=7
+            ),
+        ),
+        ScenarioSpec(
+            name="scc_diagonal_32mm",
+            description=(
+                "SCC die on the 32.4 mm ring with 8 ONIs under the paper's "
+                "diagonal quadrant split (Section V.C), idle/burst trace."
+            ),
+            mesh=_SCC_MESH,
+            network=NetworkSpec(ring_length_mm=32.4, oni_count=8),
+            workload=WorkloadSpec(
+                kind="diagonal", total_power_w=25.0, infrastructure_fraction=0.35
+            ),
+            trace=TraceSpec(kind="two_phase", phases=4, phase_duration_s=2.0),
+        ),
+        ScenarioSpec(
+            name="scc_random_46mm",
+            description=(
+                "SCC die on the longest (46.8 mm) paper ring with 10 ONIs, "
+                "seeded random activity and a random-walk trace."
+            ),
+            mesh=_SCC_MESH,
+            network=NetworkSpec(ring_length_mm=46.8, oni_count=10),
+            workload=WorkloadSpec(
+                kind="random",
+                total_power_w=25.0,
+                seed=3,
+                infrastructure_fraction=0.35,
+            ),
+            trace=TraceSpec(
+                kind="random_walk", phases=4, phase_duration_s=1.5, seed=3
+            ),
+        ),
+        ScenarioSpec(
+            name="scc_case_study",
+            description=(
+                "The paper's Section V case study as a declarative spec: "
+                "24 ONIs on the 32.4 mm ring, diagonal activity with the "
+                "infrastructure share, seeded migration trace."
+            ),
+            mesh=MeshSpec(
+                oni_cell_size_um=500.0,
+                die_cell_size_um=3000.0,
+                zoom_cell_size_um=30.0,
+            ),
+            network=NetworkSpec(ring_length_mm=32.4, oni_count=24),
+            workload=WorkloadSpec(
+                kind="diagonal", total_power_w=25.0, infrastructure_fraction=0.35
+            ),
+            trace=TraceSpec(
+                kind="migration", phases=3, phase_duration_s=2.0, seed=0
+            ),
+        ),
+    ]
+
+
+_DEFAULT_REGISTRY: Optional[ScenarioRegistry] = None
+
+
+def default_registry() -> ScenarioRegistry:
+    """The shared registry of built-in scenarios (built once, then reused).
+
+    Callers may register additional scenarios on the returned object; the
+    built-ins themselves are immutable specs and cannot be silently
+    redefined (see :meth:`ScenarioRegistry.register`).
+    """
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        registry = ScenarioRegistry()
+        for spec in builtin_scenarios():
+            registry.register(spec)
+        _DEFAULT_REGISTRY = registry
+    return _DEFAULT_REGISTRY

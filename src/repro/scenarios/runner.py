@@ -1,0 +1,474 @@
+"""Execute declarative scenarios through every engine of the library.
+
+The :class:`ScenarioRunner` materialises a
+:class:`~repro.scenarios.spec.ScenarioSpec` into the concrete objects of the
+repository (architecture, placement scenario, design flow) and replays it
+through the four analysis paths:
+
+* ``steady`` — one zoomed steady-state evaluation at the nominal operating
+  point (:meth:`~repro.methodology.SweepEngine.evaluate_one`);
+* ``sweep`` — a PVCSEL sweep over ``spec.sweep_scales``, deduplicated and
+  multi-RHS-batched by the shared :class:`~repro.methodology.SweepEngine`;
+* ``snr`` — the batched-SNR evaluation of the same sweep points (thermal
+  results served from the engine cache, SNR in one vectorized pass);
+* ``transient`` — the spec's activity trace integrated by the transient
+  solver and chained into the time-resolved SNR series.
+
+The result is a :class:`ScenarioArtifact`: a plain JSON document of key
+temperatures, per-link SNR statistics and time-series summaries, pinned to
+the spec's content hash.  Artifacts are byte-deterministic — running the
+same spec twice produces the identical JSON — which is what the golden
+regression harness in ``tests/golden/`` relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..activity import (
+    ActivityPattern,
+    ActivityTrace,
+    SyntheticTraceGenerator,
+)
+from ..activity.patterns import (
+    checkerboard_activity,
+    diagonal_activity,
+    gradient_activity,
+    hotspot_activity,
+    infrastructure_activity,
+    random_activity,
+    uniform_activity,
+)
+from ..casestudy import (
+    OniRingScenario,
+    SccArchitecture,
+    SccPackageParameters,
+    build_oni_ring_scenario,
+    build_scc_architecture,
+)
+from ..config import SimulationSettings
+from ..errors import ConfigurationError
+from ..methodology import (
+    SweepEngine,
+    ThermalAwareDesignFlow,
+    ThermalRequest,
+    TransientRequest,
+)
+from ..oni import OniPowerConfig
+from ..snr import LaserDriveConfig
+from .spec import SCHEMA_VERSION, ScenarioSpec, TraceSpec, WorkloadSpec
+
+#: Analysis paths a runner can execute, in canonical order.
+ALL_PATHS: Tuple[str, ...] = ("steady", "sweep", "snr", "transient")
+
+
+@dataclass
+class ScenarioArtifact:
+    """Structured, JSON-serialisable result of one scenario run."""
+
+    scenario: str
+    spec_hash: str
+    schema_version: int
+    results: Dict[str, Any]
+
+    def section(self, path: str) -> Any:
+        """Result section of one analysis path (raises on unknown path)."""
+        try:
+            return self.results[path]
+        except KeyError:
+            raise ConfigurationError(
+                f"artifact of {self.scenario!r} has no {path!r} section "
+                f"(available: {sorted(self.results)})"
+            ) from None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict view of the artifact."""
+        return {
+            "scenario": self.scenario,
+            "spec_hash": self.spec_hash,
+            "schema_version": self.schema_version,
+            "results": self.results,
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON document (sorted keys, fixed layout).
+
+        Running the same spec twice yields the identical byte sequence, so
+        golden files regenerate reproducibly and ``git diff`` stays quiet
+        when nothing changed.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioArtifact":
+        """Rebuild an artifact from its plain-dict form."""
+        try:
+            return cls(
+                scenario=data["scenario"],
+                spec_hash=data["spec_hash"],
+                schema_version=data["schema_version"],
+                results=dict(data["results"]),
+            )
+        except KeyError as error:
+            raise ConfigurationError(
+                f"artifact document misses the {error.args[0]!r} field"
+            ) from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioArtifact":
+        """Parse an artifact JSON document."""
+        return cls.from_dict(json.loads(text))
+
+
+def build_workload(
+    floorplan, workload: WorkloadSpec
+) -> ActivityPattern:
+    """Materialise a workload spec into an :class:`ActivityPattern`.
+
+    ``infrastructure_fraction`` of the total power is spread over the
+    floorplan's infrastructure blocks (memory controllers, system interface)
+    when it has any — matching the paper's observation that the SCC die is
+    thermally asymmetric even under uniform tile activity.  The remainder
+    goes to the tiles through the requested pattern family.
+    """
+    params = workload.params
+    fraction = workload.infrastructure_fraction
+    static = infrastructure_activity(floorplan, workload.total_power_w * fraction)
+    if not static.tile_powers_w:
+        fraction = 0.0
+    tile_power = workload.total_power_w * (1.0 - fraction)
+
+    kind = workload.kind
+    if kind == "uniform":
+        pattern = uniform_activity(floorplan, tile_power)
+    elif kind == "diagonal":
+        pattern = diagonal_activity(floorplan).scaled_to(tile_power)
+    elif kind == "random":
+        pattern = random_activity(floorplan, tile_power, seed=workload.seed)
+    elif kind == "hotspot":
+        pattern = hotspot_activity(
+            floorplan,
+            tile_power,
+            hotspot_fraction=float(params.get("hotspot_fraction", 0.5)),
+            hotspot_tiles=int(params.get("hotspot_tiles", 2)),
+        )
+    elif kind == "checkerboard":
+        pattern = checkerboard_activity(
+            floorplan, tile_power, contrast=float(params.get("contrast", 3.0))
+        )
+    elif kind == "gradient":
+        pattern = gradient_activity(
+            floorplan, tile_power, axis=str(params.get("axis", "x"))
+        )
+    else:  # pragma: no cover - the spec schema rejects unknown kinds
+        raise ConfigurationError(f"unknown workload kind {kind!r}")
+
+    if fraction > 0.0:
+        pattern = pattern.merged_with(static, name=pattern.name)
+    return pattern
+
+
+def build_trace(
+    floorplan,
+    trace: TraceSpec,
+    workload: WorkloadSpec,
+    base_activity: ActivityPattern,
+) -> ActivityTrace:
+    """Materialise a trace spec into an :class:`ActivityTrace`.
+
+    Randomised families (``migration``, ``ramp``, ``random_walk``) run on the
+    seeded per-method streams of :class:`SyntheticTraceGenerator`, so equal
+    specs always produce the identical trace.  ``two_phase`` alternates the
+    scenario's own workload between a low-power and the full-power level —
+    the canonical "idle / burst" pattern.
+    """
+    params = trace.params
+    total = workload.total_power_w
+    generator = SyntheticTraceGenerator(floorplan, seed=trace.seed)
+    if trace.kind == "migration":
+        return generator.migration_trace(
+            total_power_w=total,
+            phases=trace.phases,
+            phase_duration_s=trace.phase_duration_s,
+            active_fraction=float(params.get("active_fraction", 0.25)),
+        )
+    if trace.kind == "ramp":
+        low_fraction = float(params.get("low_fraction", 0.4))
+        return generator.ramp_trace(
+            floor_power_w=low_fraction * total,
+            peak_power_w=total,
+            phases=trace.phases,
+            phase_duration_s=trace.phase_duration_s,
+        )
+    if trace.kind == "random_walk":
+        return generator.random_walk_trace(
+            phases=trace.phases,
+            mean_power_w=total,
+            phase_duration_s=trace.phase_duration_s,
+            volatility=float(params.get("volatility", 0.2)),
+        )
+    if trace.kind == "two_phase":
+        low_fraction = float(params.get("low_fraction", 0.4))
+        low = base_activity.scaled_to(low_fraction * total)
+        result = ActivityTrace(name=f"two_phase_{base_activity.name}")
+        for index in range(trace.phases):
+            phase_activity = base_activity if index % 2 else low
+            result.add_phase(phase_activity, trace.phase_duration_s)
+        return result
+    raise ConfigurationError(  # pragma: no cover - schema rejects unknown kinds
+        f"unknown trace kind {trace.kind!r}"
+    )
+
+
+class ScenarioRunner:
+    """Builds and executes one declarative scenario end to end.
+
+    Construction is lazy and cached: the architecture, placement scenario,
+    flow and shared sweep engine are materialised on first use and reused by
+    every path, so the thermal mesh is built and factorised exactly once per
+    runner regardless of how many paths run.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self._architecture: Optional[SccArchitecture] = None
+        self._scenario: Optional[OniRingScenario] = None
+        self._flow: Optional[ThermalAwareDesignFlow] = None
+        self._activity: Optional[ActivityPattern] = None
+        self._network_configured = False
+
+    # Materialisation -------------------------------------------------------
+
+    def architecture(self) -> SccArchitecture:
+        """Case-study architecture of the spec (cached)."""
+        if self._architecture is None:
+            chip = self.spec.chip
+            parameters = SccPackageParameters.from_dict(
+                {
+                    "die_width_mm": chip.die_width_mm,
+                    "die_height_mm": chip.die_height_mm,
+                    "tile_columns": chip.tile_columns,
+                    "tile_rows": chip.tile_rows,
+                    "include_infrastructure": chip.include_infrastructure,
+                    **chip.package_overrides,
+                }
+            )
+            mesh = self.spec.mesh
+            settings = SimulationSettings(
+                oni_cell_size_um=mesh.oni_cell_size_um,
+                die_cell_size_um=mesh.die_cell_size_um,
+                zoom_cell_size_um=mesh.zoom_cell_size_um,
+                ambient_temperature_c=mesh.ambient_c,
+            )
+            self._architecture = build_scc_architecture(
+                parameters=parameters, settings=settings
+            )
+        return self._architecture
+
+    def scenario(self) -> OniRingScenario:
+        """ONI placement scenario of the spec (cached)."""
+        if self._scenario is None:
+            network = self.spec.network
+            self._scenario = build_oni_ring_scenario(
+                self.architecture(),
+                ring_length_mm=network.ring_length_mm,
+                oni_count=network.oni_count,
+                name=self.spec.name,
+                power=self.power_config(),
+            )
+        return self._scenario
+
+    def flow(self) -> ThermalAwareDesignFlow:
+        """Design flow over the scenario (cached; carries the shared engine)."""
+        if self._flow is None:
+            self._flow = ThermalAwareDesignFlow(
+                self.architecture(), self.scenario()
+            )
+        return self._flow
+
+    def engine(self) -> SweepEngine:
+        """Sweep engine shared by every path of this runner."""
+        return SweepEngine.shared(self.flow())
+
+    def power_config(self) -> OniPowerConfig:
+        """Nominal ONI operating point of the spec."""
+        power = self.spec.power
+        driver = (
+            None
+            if power.driver_power_mw is None
+            else power.driver_power_mw * 1.0e-3
+        )
+        return OniPowerConfig(
+            vcsel_power_w=power.vcsel_power_mw * 1.0e-3,
+            heater_power_w=power.heater_ratio * power.vcsel_power_mw * 1.0e-3,
+            driver_power_w=driver,
+        )
+
+    def drive(self) -> LaserDriveConfig:
+        """Laser drive policy of the SNR analyses."""
+        power = self.spec.power
+        drive_mw = (
+            power.vcsel_power_mw
+            if power.drive_power_mw is None
+            else power.drive_power_mw
+        )
+        return LaserDriveConfig.from_dissipated_mw(drive_mw)
+
+    def activity(self) -> ActivityPattern:
+        """Chip activity of the spec's workload (cached)."""
+        if self._activity is None:
+            self._activity = build_workload(
+                self.architecture().floorplan, self.spec.workload
+            )
+        return self._activity
+
+    def trace(self) -> ActivityTrace:
+        """Activity trace of the spec (raises when the spec has none)."""
+        if self.spec.trace is None:
+            raise ConfigurationError(
+                f"scenario {self.spec.name!r} declares no trace; the "
+                "transient path cannot run"
+            )
+        return build_trace(
+            self.architecture().floorplan,
+            self.spec.trace,
+            self.spec.workload,
+            self.activity(),
+        )
+
+    # Execution -------------------------------------------------------------
+
+    def _configure_network(self, flow: ThermalAwareDesignFlow) -> None:
+        """Point the flow's default analyzer at the spec's network shape."""
+        network = self.spec.network
+        if self._network_configured or (
+            network.shift_hops is None
+            and network.waveguide_count is None
+            and network.channels_per_waveguide is None
+        ):
+            return
+        self._network_configured = True
+        flow.set_default_network(
+            waveguide_count=network.waveguide_count,
+            channels_per_waveguide=network.channels_per_waveguide,
+            shift_hops=network.shift_hops,
+        )
+
+    def _sweep_requests(self) -> List[ThermalRequest]:
+        """One zoom-less thermal request per sweep scale, in spec order."""
+        activity = self.activity()
+        base = self.power_config()
+        return [
+            ThermalRequest(
+                activity=activity,
+                power=base.with_vcsel_power(scale * base.vcsel_power_w)
+                .with_heater_ratio(self.spec.power.heater_ratio),
+                zoom_oni=None,
+            )
+            for scale in self.spec.sweep_scales
+        ]
+
+    def run(self, paths: Sequence[str] = ALL_PATHS) -> ScenarioArtifact:
+        """Execute the requested analysis paths and assemble the artifact."""
+        requested = list(paths)
+        unknown = sorted(set(requested) - set(ALL_PATHS))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown analysis paths {unknown}; available: {list(ALL_PATHS)}"
+            )
+        flow = self.flow()
+        engine = self.engine()
+        self._configure_network(flow)
+        results: Dict[str, Any] = {}
+
+        if "steady" in requested:
+            evaluation = engine.evaluate_one(
+                ThermalRequest(
+                    activity=self.activity(),
+                    power=self.power_config(),
+                    zoom_oni="auto",
+                )
+            )
+            results["steady"] = evaluation.summary_dict()
+
+        if "sweep" in requested or "snr" in requested:
+            requests = self._sweep_requests()
+            powers_mw = [
+                self.spec.power.vcsel_power_mw * scale
+                for scale in self.spec.sweep_scales
+            ]
+            if "sweep" in requested:
+                evaluations = engine.evaluate(requests)
+                results["sweep"] = {
+                    "vcsel_power_mw": powers_mw,
+                    "average_oni_temperature_c": [
+                        evaluation.average_oni_temperature_c
+                        for evaluation in evaluations
+                    ],
+                    "max_oni_temperature_c": [
+                        evaluation.max_oni_temperature_c
+                        for evaluation in evaluations
+                    ],
+                    "oni_temperature_spread_c": [
+                        evaluation.oni_temperature_spread_c
+                        for evaluation in evaluations
+                    ],
+                }
+            if "snr" in requested:
+                # The nominal report always runs at the spec's true operating
+                # point (scale 1.0), whether or not the sweep grid contains
+                # it; when it does, the engine serves it from the cache.
+                nominal_request = ThermalRequest(
+                    activity=self.activity(),
+                    power=self.power_config(),
+                    zoom_oni=None,
+                )
+                reports = engine.evaluate_snr(
+                    requests + [nominal_request], self.drive()
+                )
+                results["snr"] = {
+                    "per_point": [
+                        {
+                            "vcsel_power_mw": power_mw,
+                            "worst_case_snr_db": report.worst_case_snr_db,
+                            "average_snr_db": report.average_snr_db,
+                            "all_detected": report.all_detected,
+                        }
+                        for power_mw, report in zip(powers_mw, reports)
+                    ],
+                    "nominal": reports[-1].summary_dict(),
+                }
+
+        if "transient" in requested:
+            trace_spec = self.spec.trace
+            if trace_spec is None:
+                results["transient"] = None
+            else:
+                request = TransientRequest(
+                    trace=self.trace(),
+                    power=self.power_config(),
+                    dt_s=trace_spec.dt_s,
+                    initial=trace_spec.initial,
+                )
+                evaluation = engine.evaluate_transient_one(request)
+                series = flow.run_transient_snr(evaluation, self.drive())
+                results["transient"] = {
+                    **evaluation.summary_dict(),
+                    "snr": series.summary_dict(self.spec.snr_floor_db),
+                }
+
+        return ScenarioArtifact(
+            scenario=self.spec.name,
+            spec_hash=self.spec.content_hash(),
+            schema_version=SCHEMA_VERSION,
+            results=results,
+        )
+
+
+def run_scenario(
+    spec: ScenarioSpec, paths: Sequence[str] = ALL_PATHS
+) -> ScenarioArtifact:
+    """One-shot convenience wrapper around :class:`ScenarioRunner`."""
+    return ScenarioRunner(spec).run(paths)

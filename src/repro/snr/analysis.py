@@ -118,6 +118,23 @@ class SnrReport:
         except KeyError:
             raise AnalysisError(f"no link called {name!r} in this report") from None
 
+    def summary_dict(self) -> Dict[str, object]:
+        """Plain-dict summary of the report (scenario artifacts, reports).
+
+        Aggregates plus the per-link SNR, keyed by communication name; every
+        value is a JSON-serialisable primitive.
+        """
+        worst = self.worst_case()
+        return {
+            "worst_case_snr_db": self.worst_case_snr_db,
+            "average_snr_db": self.average_snr_db,
+            "worst_link": worst.communication.name,
+            "all_detected": self.all_detected,
+            "links": {
+                link.communication.name: link.snr_db for link in self.links
+            },
+        }
+
     def as_rows(self) -> List[Dict[str, float | str | bool]]:
         """Tabular view (one dict per link) for reports and benchmarks.
 

@@ -1,0 +1,95 @@
+"""Golden regression harness: replay every registered scenario, pin its numbers.
+
+Each registered scenario (see :func:`repro.scenarios.default_registry`) is
+run end to end through all four analysis paths — steady, sweep, batched SNR,
+transient — and the resulting :class:`~repro.scenarios.ScenarioArtifact` is
+compared against the committed reference under ``tests/golden/`` with the
+per-quantity tolerances of :mod:`repro.scenarios.golden`.
+
+Workflow
+--------
+* a change that *should not* move numbers (refactor, optimisation) must keep
+  these tests green untouched;
+* a change that legitimately moves numbers (model fix, new physics)
+  regenerates the references with ``pytest tests/test_golden_scenarios.py
+  --update-golden`` and commits the diff — the diff *is* the review artifact;
+* editing a registered spec changes its content hash, which fails the
+  comparison immediately until the golden is refreshed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import (
+    ALL_PATHS,
+    ScenarioRunner,
+    compare_artifact_dicts,
+    default_registry,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+SCENARIO_NAMES = default_registry().names()
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+@pytest.mark.golden
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_scenario_matches_golden(name, update_golden):
+    """End-to-end artifact of one scenario matches its committed reference."""
+    spec = default_registry().get(name)
+    artifact = ScenarioRunner(spec).run(ALL_PATHS)
+
+    # Every path actually produced a section.
+    assert sorted(artifact.results) == sorted(ALL_PATHS)
+    assert artifact.results["transient"] is not None
+
+    path = golden_path(name)
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(artifact.to_json())
+        return
+    assert path.exists(), (
+        f"no golden artifact for scenario {name!r}; generate it with "
+        "PYTHONPATH=src python -m pytest tests/test_golden_scenarios.py "
+        "--update-golden"
+    )
+    golden = json.loads(path.read_text())
+    assert golden["spec_hash"] == artifact.spec_hash, (
+        f"spec of scenario {name!r} changed (golden hash "
+        f"{golden['spec_hash'][:12]}, current {artifact.spec_hash[:12]}); "
+        "refresh the goldens with --update-golden and commit the diff"
+    )
+    mismatches = compare_artifact_dicts(golden, artifact.to_dict())
+    assert not mismatches, (
+        f"scenario {name!r} drifted from its golden artifact:\n"
+        + "\n".join(mismatches)
+    )
+
+
+@pytest.mark.golden
+def test_no_stale_golden_files():
+    """Every committed golden corresponds to a registered scenario."""
+    committed = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    registered = set(SCENARIO_NAMES)
+    orphans = sorted(committed - registered)
+    assert not orphans, (
+        f"golden artifacts without a registered scenario: {orphans}; "
+        "delete them or register the scenarios"
+    )
+
+
+@pytest.mark.golden
+def test_artifact_regeneration_is_deterministic():
+    """Running the same spec twice yields byte-identical artifact JSON."""
+    spec = default_registry().get("small_die_uniform")
+    first = ScenarioRunner(spec).run(ALL_PATHS).to_json()
+    second = ScenarioRunner(spec).run(ALL_PATHS).to_json()
+    assert first == second

@@ -1,0 +1,207 @@
+"""Property-style randomized tests: solver invariants on seeded random meshes.
+
+Rather than pinning numbers, these tests assert *structural* properties that
+must hold for every well-posed problem the library can express:
+
+* the assembled conductance matrix is symmetric (discrete reciprocity);
+* with purely convective boundaries at one ambient and non-negative sources,
+  the steady-state temperature never drops below the ambient (discrete
+  maximum principle);
+* the operator is linear, so temperatures rise monotonically with total
+  power and scale exactly with a scaled source field;
+* the vectorized SNR engine (``analyze_many``) agrees with the pure-Python
+  reference walk (``analyze_scalar``) on randomized ORNoC thermal states.
+
+Each case runs over several seeds; the generators draw every geometric and
+material parameter from a seeded :class:`random.Random`, so failures
+reproduce exactly.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.geometry import Layer, LayerStack, Rect, grid_floorplan
+from repro.materials import BEOL, COPPER, EPOXY, SILICON, THERMAL_INTERFACE
+from repro.snr import LaserDriveConfig, OniThermalState
+from repro.thermal import (
+    BoundaryConditions,
+    HeatSource,
+    MeshBuilder,
+    SteadyStateSolver,
+    assemble_operator,
+)
+
+MATERIALS = (SILICON, COPPER, EPOXY, BEOL, THERMAL_INTERFACE)
+
+
+def random_mesh(seed: int):
+    """Seeded random package: 2-5 layers on a random die, random resolution."""
+    rng = random.Random(seed)
+    width_mm = rng.uniform(2.0, 6.0)
+    height_mm = rng.uniform(2.0, 6.0)
+    die = Rect.from_size_mm(0.0, 0.0, width_mm, height_mm)
+    stack = LayerStack(die, name=f"random_stack_{seed}")
+    for index in range(rng.randint(2, 5)):
+        stack.add_layer(
+            Layer(
+                name=f"layer_{index}",
+                thickness=rng.uniform(50.0, 500.0) * 1.0e-6,
+                material=rng.choice(MATERIALS),
+            )
+        )
+    builder = MeshBuilder(
+        stack, base_cell_size_um=rng.uniform(500.0, 1500.0), max_cells=500_000
+    )
+    if rng.random() < 0.5:
+        refinement = Rect.from_size_mm(
+            width_mm * 0.25, height_mm * 0.25, width_mm * 0.3, height_mm * 0.3
+        )
+        builder.add_refinement(refinement, rng.uniform(150.0, 400.0))
+    return builder.build(), rng
+
+
+def random_boundaries(rng: random.Random, ambient_c: float) -> BoundaryConditions:
+    return BoundaryConditions.package_default(
+        ambient_c=ambient_c,
+        top_coefficient_w_m2k=rng.uniform(500.0, 5000.0),
+        bottom_coefficient_w_m2k=rng.choice([0.0, rng.uniform(5.0, 50.0)]),
+    )
+
+
+def random_sources(rng: random.Random, mesh, count: int):
+    """Random positive box sources inside the mesh's bounding box."""
+    bounds = mesh.bounding_box()
+    sources = []
+    for index in range(count):
+        x0 = rng.uniform(bounds.x_min, bounds.x_max * 0.7)
+        y0 = rng.uniform(bounds.y_min, bounds.y_max * 0.7)
+        rect = Rect(
+            x0,
+            y0,
+            min(x0 + rng.uniform(0.2, 1.0) * 1.0e-3, bounds.x_max),
+            min(y0 + rng.uniform(0.2, 1.0) * 1.0e-3, bounds.y_max),
+        )
+        z0 = rng.uniform(bounds.z_min, (bounds.z_min + bounds.z_max) / 2.0)
+        z1 = rng.uniform(z0, bounds.z_max)
+        sources.append(
+            HeatSource.from_rect(
+                f"source_{index}", rect, z0, z1, rng.uniform(0.1, 5.0)
+            )
+        )
+    return sources
+
+
+class TestRandomMeshInvariants:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_conductance_matrix_is_symmetric(self, seed):
+        mesh, rng = random_mesh(seed)
+        operator = assemble_operator(mesh, random_boundaries(rng, ambient_c=30.0))
+        matrix = operator.matrix
+        asymmetry = abs(matrix - matrix.T).max()
+        assert asymmetry <= 1.0e-12 * abs(matrix.diagonal()).max()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_temperature_never_below_ambient(self, seed):
+        ambient_c = 25.0 + (seed % 3) * 10.0
+        mesh, rng = random_mesh(seed)
+        solver = SteadyStateSolver(mesh, random_boundaries(rng, ambient_c))
+        thermal_map = solver.solve(random_sources(rng, mesh, rng.randint(1, 3)))
+        assert thermal_map.global_min() >= ambient_c - 1.0e-9
+        assert thermal_map.global_max() > ambient_c
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_monotonic_and_linear_in_total_power(self, seed):
+        ambient_c = 35.0
+        mesh, rng = random_mesh(seed + 100)
+        solver = SteadyStateSolver(mesh, random_boundaries(rng, ambient_c))
+        sources = random_sources(rng, mesh, 2)
+        scaled = [source.scaled(2.0) for source in sources]
+        base_map, scaled_map = solver.solve_many([sources, scaled]).maps
+        base = base_map.temperatures_c
+        double = scaled_map.temperatures_c
+        # Monotonicity: more power never cools any cell.
+        assert np.all(double >= base - 1.0e-9)
+        # Linearity: the rise above ambient scales exactly with the sources.
+        np.testing.assert_allclose(
+            double - ambient_c, 2.0 * (base - ambient_c), rtol=1.0e-8, atol=1.0e-9
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_zero_power_is_uniformly_ambient(self, seed):
+        ambient_c = 41.0
+        mesh, rng = random_mesh(seed + 200)
+        solver = SteadyStateSolver(mesh, random_boundaries(rng, ambient_c))
+        thermal_map = solver.solve([])
+        np.testing.assert_allclose(
+            thermal_map.temperatures_c, ambient_c, rtol=0.0, atol=1.0e-9
+        )
+
+    @pytest.mark.parametrize("columns,rows", [(3, 2), (7, 5), (9, 3)])
+    def test_grid_floorplan_tiles_fit_awkward_outlines(self, columns, rows):
+        # 14 mm / 3 is not representable in binary; the grid must still fit.
+        outline = Rect.from_size_mm(0.0, 0.0, 14.0, 11.0)
+        floorplan = grid_floorplan(outline, columns=columns, rows=rows)
+        assert len(floorplan) == columns * rows
+        for instance in floorplan:
+            assert outline.contains_rect(instance.rect)
+
+
+class TestRandomSnrParity:
+    """Vectorized vs scalar SNR on randomized thermal states."""
+
+    @pytest.fixture(scope="class")
+    def analyzer(self, small_flow):
+        return small_flow.snr_analyzer()
+
+    def random_states(self, rng: random.Random, flow):
+        states = []
+        for oni in flow.scenario.onis:
+            average = rng.uniform(40.0, 80.0)
+            states.append(
+                OniThermalState(
+                    name=oni.name,
+                    average_temperature_c=average,
+                    laser_temperature_c=average + rng.uniform(-2.0, 2.0),
+                    microring_temperature_c=average + rng.uniform(-2.0, 2.0),
+                )
+            )
+        return states
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_analyze_many_matches_analyze_scalar(self, seed, small_flow, analyzer):
+        rng = random.Random(seed)
+        states = self.random_states(rng, small_flow)
+        drive = (
+            LaserDriveConfig.from_dissipated_mw(rng.uniform(2.0, 6.0))
+            if rng.random() < 0.5
+            else LaserDriveConfig.from_current_ma(rng.uniform(0.5, 2.0))
+        )
+        scalar = analyzer.analyze_scalar(states, drive)
+        batch = analyzer.analyze_many([states], drive).report(0)
+        assert len(scalar.links) == len(batch.links)
+        for scalar_link, batch_link in zip(scalar.links, batch.links):
+            assert scalar_link.communication.name == batch_link.communication.name
+            assert batch_link.snr_db == pytest.approx(
+                scalar_link.snr_db, rel=1.0e-6, abs=1.0e-6
+            )
+            assert batch_link.signal_power_w == pytest.approx(
+                scalar_link.signal_power_w, rel=1.0e-6, abs=1.0e-18
+            )
+            assert batch_link.crosstalk_power_w == pytest.approx(
+                scalar_link.crosstalk_power_w, rel=1.0e-6, abs=1.0e-18
+            )
+
+    @pytest.mark.parametrize("seed", [17, 23])
+    def test_batched_states_evaluate_independently(self, seed, small_flow, analyzer):
+        """A state's result must not depend on its neighbours in the batch."""
+        rng = random.Random(seed)
+        batch_states = [self.random_states(rng, small_flow) for _ in range(4)]
+        drive = LaserDriveConfig.from_dissipated_mw(3.6)
+        together = analyzer.analyze_many(batch_states, drive)
+        for index, states in enumerate(batch_states):
+            alone = analyzer.analyze_many([states], drive)
+            np.testing.assert_allclose(
+                together.snr_db[index], alone.snr_db[0], rtol=1.0e-12, atol=0.0
+            )

@@ -1,0 +1,60 @@
+"""Campaign quickstart: expand a matrix, run it twice against a disk store.
+
+Expands the built-in ``campaign_smoke`` matrix (workload kind x PVCSEL on a
+small die), executes it cold against a fresh content-addressed artifact
+store, then re-runs the identical campaign and shows every artifact being
+served from disk.  Equivalent CLI:
+
+    python -m repro run campaign_smoke --store ./store --workers 2
+    python -m repro run campaign_smoke --store ./store   # warm: 100% hits
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.campaigns import ArtifactStore, CampaignRunner, get_matrix
+
+
+def run_once(matrix, store_dir):
+    store = ArtifactStore(store_dir)
+    start = time.perf_counter()
+    report = CampaignRunner(matrix, store=store, paths=("steady", "snr")).run()
+    elapsed = time.perf_counter() - start
+    return report, store, elapsed
+
+
+def main():
+    matrix = get_matrix("campaign_smoke")
+    print(f"campaign {matrix.name}: {len(matrix.points())} concrete scenarios")
+    for point in matrix.points():
+        axes = ", ".join(f"{k}={v}" for k, v in point.axes.items())
+        print(f"  {point.spec.name}  ({axes})")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = Path(tmp) / "store"
+        cold, _, cold_s = run_once(matrix, store_dir)
+        warm, warm_store, warm_s = run_once(matrix, store_dir)
+
+        print(f"\ncold run: {cold_s * 1e3:.0f} ms "
+              f"({cold.summary['store_misses']} computed)")
+        print(f"warm run: {warm_s * 1e3:.0f} ms "
+              f"({warm.summary['store_hits']} from store, "
+              f"hit rate {warm_store.stats.hit_rate:.0%})")
+        assert warm.artifacts == cold.artifacts
+
+        print("\nper-axis worst-case summary:")
+        for axis, rows in sorted(warm.summary["by_axis"].items()):
+            for label, row in sorted(rows.items()):
+                print(
+                    f"  {axis}={label:<10} worst SNR "
+                    f"{row['worst_snr_db']:6.2f} dB, peak "
+                    f"{row['peak_temperature_c']:5.1f} degC"
+                )
+        worst = warm.summary["worst_snr_db"]
+        print(f"\nworst scenario: {worst['scenario']} "
+              f"({worst['value']:.2f} dB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,10 @@ The package is organised as the paper's methodology (Figure 3):
   exploration sweeps and the heater / laser-power optimisations.
 """
 
+# Assigned before the subpackage imports: repro.campaigns folds the library
+# version into every store key and reads it back from the parent package.
+__version__ = "0.2.0"
+
 from .activity import (
     ActivityPattern,
     ActivityTrace,
@@ -61,6 +65,16 @@ from .methodology import (
     sweep_heater_power,
 )
 from .oni import OniPowerConfig, OpticalNetworkInterface, generate_chessboard_layout
+from .campaigns import (
+    ArtifactStore,
+    CampaignReport,
+    CampaignRunner,
+    MatrixAxis,
+    ScenarioMatrix,
+    builtin_matrices,
+    campaign_registry,
+    run_campaign,
+)
 from .scenarios import (
     ScenarioArtifact,
     ScenarioRegistry,
@@ -82,8 +96,6 @@ from .thermal import (
     TransientSolver,
     ZoomSolver,
 )
-
-__version__ = "0.1.0"
 
 __all__ = [
     "__version__",
@@ -134,6 +146,14 @@ __all__ = [
     "ScenarioArtifact",
     "default_registry",
     "run_scenario",
+    "ScenarioMatrix",
+    "MatrixAxis",
+    "CampaignRunner",
+    "CampaignReport",
+    "ArtifactStore",
+    "builtin_matrices",
+    "campaign_registry",
+    "run_campaign",
     "OniRingScenario",
     "ThermalAwareDesignFlow",
     "ThermalRequest",

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the campaign command-line interface."""
+
+import sys
+
+from .campaigns.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

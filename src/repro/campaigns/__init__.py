@@ -1,0 +1,53 @@
+"""Campaigns: parametric scenario matrices, parallel execution, disk store.
+
+The campaign layer makes the scenario population *generative* and the
+replays *incremental*: a :class:`ScenarioMatrix` expands a base
+:class:`~repro.scenarios.ScenarioSpec` over declared axes into deduplicated
+concrete specs, the :class:`CampaignRunner` fans them out over a process
+pool, and the content-addressed :class:`ArtifactStore` persists every
+artifact on disk so re-running a campaign only computes specs whose content
+hash is new.  ``python -m repro`` exposes the whole layer on the command
+line (``run`` / ``list`` / ``show`` / ``diff``).  See
+``docs/architecture.md`` ("Campaign subsystem").
+"""
+
+from .matrix import (
+    GOLDEN_REPRESENTATIVES,
+    CampaignPoint,
+    MatrixAxis,
+    ScenarioMatrix,
+    axis_label,
+    builtin_matrices,
+    campaign_registry,
+    get_matrix,
+    golden_representative_specs,
+    register_golden_representatives,
+)
+from .runner import (
+    CampaignReport,
+    CampaignRunner,
+    run_campaign,
+    scenario_metrics,
+)
+from .store import STORE_VERSION, ArtifactStore, StoreEntry, StoreStats
+
+__all__ = [
+    "GOLDEN_REPRESENTATIVES",
+    "STORE_VERSION",
+    "ArtifactStore",
+    "CampaignPoint",
+    "CampaignReport",
+    "CampaignRunner",
+    "MatrixAxis",
+    "ScenarioMatrix",
+    "StoreEntry",
+    "StoreStats",
+    "axis_label",
+    "builtin_matrices",
+    "campaign_registry",
+    "get_matrix",
+    "golden_representative_specs",
+    "register_golden_representatives",
+    "run_campaign",
+    "scenario_metrics",
+]

@@ -1,0 +1,288 @@
+"""``python -m repro``: run, list, inspect and diff campaigns and artifacts.
+
+Subcommands
+-----------
+``run CAMPAIGN``
+    Expand a built-in matrix and execute it (optionally against a persistent
+    ``--store``, optionally fanned out over ``--workers`` processes); prints
+    the cross-scenario summary table and optionally writes the full report
+    JSON with ``--output``.
+``list``
+    Built-in campaigns, the full generative scenario population and — with
+    ``--store`` — the artifacts currently on disk.
+``show NAME``
+    A campaign definition, a scenario spec (as authoring-ready JSON) or a
+    stored artifact (by key or unique key prefix).
+``diff A B``
+    Two artifacts — artifact/report JSON files on disk or stored keys — with
+    the golden per-quantity tolerance bands; exits non-zero on drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+from ..scenarios import ALL_PATHS, compare_artifact_dicts
+from .matrix import builtin_matrices, campaign_registry, get_matrix
+from .runner import CampaignRunner
+from .store import ArtifactStore
+
+
+def _fmt(value: Any, precision: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def _open_store(path: Optional[str]) -> Optional[ArtifactStore]:
+    return None if path is None else ArtifactStore(Path(path))
+
+
+def _parse_paths(raw: Optional[str]) -> Sequence[str]:
+    if raw is None:
+        return ALL_PATHS
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    matrix = get_matrix(args.campaign)
+    store = _open_store(args.store)
+    runner = CampaignRunner(
+        matrix,
+        store=store,
+        paths=_parse_paths(args.paths),
+        workers=args.workers,
+    )
+    report = runner.run()
+    summary = report.summary
+    print(
+        f"campaign {report.campaign}: {summary['scenario_count']} scenarios "
+        f"({summary['store_hits']} from store, {summary['store_misses']} computed)"
+    )
+    header = f"{'scenario':<44} {'axes':<28} {'worst SNR':>10} {'peak T':>8} {'settle':>7}"
+    print(header)
+    print("-" * len(header))
+    for row in report.summary_rows():
+        axes = ",".join(f"{k}={v}" for k, v in row["axes"].items())
+        print(
+            f"{row['name']:<44} {axes:<28} "
+            f"{_fmt(row['worst_snr_db']):>10} "
+            f"{_fmt(row['peak_temperature_c'], 1):>8} "
+            f"{_fmt(row['settling_s'], 1):>7}"
+        )
+    for metric, unit in (
+        ("worst_snr_db", "dB"),
+        ("peak_temperature_c", "degC"),
+        ("max_settling_s", "s"),
+    ):
+        extreme = summary[metric]
+        if extreme is not None:
+            print(
+                f"{metric}: {_fmt(extreme['value'])} {unit} "
+                f"({extreme['scenario']})"
+            )
+    if store is not None:
+        stats = store.stats
+        print(
+            f"store: {stats.hits} hits / {stats.misses} misses "
+            f"(hit rate {stats.hit_rate:.0%}), {stats.writes} writes"
+        )
+    if args.output:
+        Path(args.output).write_text(report.to_json(), encoding="utf-8")
+        print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    matrices = builtin_matrices()
+    print("campaigns:")
+    for name, matrix in sorted(matrices.items()):
+        points = matrix.points()
+        axes = " x ".join(
+            f"{axis.name}[{len(axis.values)}]" for axis in matrix.axes
+        )
+        print(f"  {name:<18} {len(points):>3} scenarios  ({axes})")
+    registry = campaign_registry()
+    print(f"scenarios: {len(registry)} registered")
+    if args.verbose:
+        for spec in registry:
+            print(f"  {spec.name:<44} {spec.short_hash()}")
+    if args.store is not None:
+        store = ArtifactStore(Path(args.store))
+        entries = store.entries()
+        print(
+            f"store {args.store}: {len(entries)} artifacts, "
+            f"{store.total_size_bytes() / 1024:.0f} KiB"
+        )
+        for entry in entries:
+            print(
+                f"  {entry.key[:12]} {entry.scenario:<44} "
+                f"{entry.size_bytes / 1024:.0f} KiB"
+            )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    matrices = builtin_matrices()
+    if args.name in matrices:
+        matrix = matrices[args.name]
+        points = matrix.points()
+        print(f"campaign {matrix.name}: {matrix.description}")
+        for axis in matrix.axes:
+            print(f"  axis {axis.name} ({axis.path}): {list(axis.labels)}")
+        print(f"  {len(points)} concrete scenarios:")
+        for point in points:
+            print(f"    {point.spec.name}")
+        return 0
+    registry = campaign_registry()
+    if args.name in registry:
+        print(registry.get(args.name).to_json(), end="")
+        return 0
+    if args.store is not None:
+        store = ArtifactStore(Path(args.store))
+        key = store.resolve_key(args.name)
+        record = store.get_record(key)
+        if record is not None:
+            print(json.dumps(record["payload"], sort_keys=True, indent=2))
+            return 0
+    raise ReproError(
+        f"{args.name!r} is neither a campaign, a scenario nor a stored "
+        "artifact key" + ("" if args.store else " (pass --store to search one)")
+    )
+
+
+def _load_diff_operand(token: str, store: Optional[ArtifactStore]) -> Dict[str, Any]:
+    """Document behind one diff operand: an artifact, a campaign report or a
+    store object (unwrapped to its payload); files are tried first, then
+    store keys/prefixes."""
+    path = Path(token)
+    if path.exists():
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            raise ReproError(f"cannot read {token!r}: {error}") from None
+        if not isinstance(data, dict):
+            raise ReproError(f"{token!r} does not hold a JSON object")
+        # A store object file: unwrap to the artifact payload.
+        if "payload" in data and isinstance(data["payload"], dict):
+            return data["payload"]
+        return data
+    if store is not None:
+        record = store.get_record(store.resolve_key(token))
+        if record is not None:
+            return record["payload"]
+    raise ReproError(
+        f"{token!r} is neither an artifact JSON file nor a stored key"
+        + ("" if store else " (pass --store to search one)")
+    )
+
+
+def _is_report(document: Dict[str, Any]) -> bool:
+    return isinstance(document.get("artifacts"), dict) and "campaign" in document
+
+
+def _pair_for_diff(
+    a: Dict[str, Any], b: Dict[str, Any]
+) -> tuple:
+    """Comparable (reference, fresh) dicts from two diff operands.
+
+    Two artifacts or two campaign reports compare directly (a report diff
+    walks every scenario's artifact); mixing an artifact with a report picks
+    the report's artifact of the same scenario.
+    """
+    if _is_report(a) == _is_report(b):
+        if _is_report(a):
+            return a["artifacts"], b["artifacts"]
+        return a, b
+    report, artifact = (a, b) if _is_report(a) else (b, a)
+    scenario = artifact.get("scenario")
+    selected = report["artifacts"].get(scenario)
+    if selected is None:
+        raise ReproError(
+            f"campaign report {report.get('campaign')!r} has no artifact for "
+            f"scenario {scenario!r} (available: {sorted(report['artifacts'])})"
+        )
+    return (selected, artifact) if _is_report(a) else (artifact, selected)
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    reference, fresh = _pair_for_diff(
+        _load_diff_operand(args.a, store), _load_diff_operand(args.b, store)
+    )
+    mismatches = compare_artifact_dicts(reference, fresh)
+    if not mismatches:
+        print("artifacts agree within the per-quantity tolerance bands")
+        return 0
+    for line in mismatches:
+        print(line)
+    print(f"{len(mismatches)} mismatches")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Campaign runner over the declarative scenario subsystem.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="expand and execute a campaign")
+    run.add_argument("campaign", help="built-in campaign (matrix) name")
+    run.add_argument(
+        "--store", default=None, help="artifact store directory (persistent)"
+    )
+    run.add_argument(
+        "--workers", type=int, default=None, help="process-pool width"
+    )
+    run.add_argument(
+        "--paths",
+        default=None,
+        help=f"comma-separated analysis paths (default: {','.join(ALL_PATHS)})",
+    )
+    run.add_argument(
+        "--output", default=None, help="write the full report JSON here"
+    )
+    run.set_defaults(handler=_cmd_run)
+
+    lister = commands.add_parser(
+        "list", help="list campaigns, scenarios and stored artifacts"
+    )
+    lister.add_argument("--store", default=None, help="also list this store")
+    lister.add_argument(
+        "-v", "--verbose", action="store_true", help="list every scenario"
+    )
+    lister.set_defaults(handler=_cmd_list)
+
+    show = commands.add_parser(
+        "show", help="show a campaign, scenario spec or stored artifact"
+    )
+    show.add_argument("name", help="campaign, scenario or store key (prefix)")
+    show.add_argument("--store", default=None, help="store to resolve keys in")
+    show.set_defaults(handler=_cmd_show)
+
+    diff = commands.add_parser(
+        "diff", help="compare two artifacts with the golden tolerance bands"
+    )
+    diff.add_argument("a", help="artifact JSON file or store key (reference)")
+    diff.add_argument("b", help="artifact JSON file or store key (fresh)")
+    diff.add_argument("--store", default=None, help="store to resolve keys in")
+    diff.set_defaults(handler=_cmd_diff)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro`` (returns the exit code)."""
+    args = build_parser().parse_args(argv)
+    try:
+        return int(args.handler(args))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

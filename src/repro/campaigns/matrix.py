@@ -1,0 +1,397 @@
+"""Parametric scenario matrices: generative expansion of the design space.
+
+A :class:`ScenarioMatrix` turns one base
+:class:`~repro.scenarios.spec.ScenarioSpec` plus a list of declared
+:class:`MatrixAxis` objects into the cartesian product of concrete, fully
+validated specs — the generative counterpart of the hand-registered built-in
+catalogue.  Every expanded spec is
+
+* **named deterministically** from the matrix name and the axis labels
+  (``ring_geometry-ring_32.4-oni_12``), so goldens, bench IDs and store keys
+  stay stable across runs;
+* **validated** through the normal
+  :meth:`~repro.scenarios.spec.ScenarioSpec.with_overrides` round trip, so an
+  axis value that violates the schema fails at expansion time, not mid-run;
+* **deduplicated** on :meth:`~repro.scenarios.spec.ScenarioSpec.design_hash`
+  (physical content, name excluded), so axes whose values collide — or that
+  revisit the base point — never schedule the same computation twice.
+
+:data:`BUILTIN_MATRICES` holds the named built-in matrices spanning the
+paper's Section V sweep axes (ring geometry, workload pattern, PVCSEL /
+heater operating point, trace seeds, die scaling); together with the six
+hand-registered built-ins they grow the registered scenario population past
+forty (see :func:`campaign_registry`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..scenarios import ScenarioRegistry, ScenarioSpec, builtin_scenarios
+
+
+def axis_label(value: Any) -> str:
+    """Deterministic short label of one axis value (name suffixes, tables)."""
+    if isinstance(value, bool):
+        return "on" if value else "off"
+    if isinstance(value, float):
+        return format(value, "g")
+    if isinstance(value, (int, str)):
+        return str(value)
+    raise ConfigurationError(
+        f"axis value {value!r} needs an explicit label (pass labels=...)"
+    )
+
+
+@dataclass(frozen=True)
+class MatrixAxis:
+    """One declared sweep axis: a dotted spec path and its values.
+
+    ``path`` is a dotted JSON path into the spec document (leaf or whole
+    section, see :meth:`~repro.scenarios.spec.ScenarioSpec.with_overrides`).
+    ``labels`` names each value in generated scenario names and summary
+    tables; it defaults to :func:`axis_label` of the value and is mandatory
+    for composite (dict) values.
+    """
+
+    name: str
+    path: str
+    values: Tuple[Any, ...]
+    labels: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("axis name must be non-empty")
+        if not self.values:
+            raise ConfigurationError(f"axis {self.name!r} declares no values")
+        object.__setattr__(self, "values", tuple(self.values))
+        labels = (
+            tuple(axis_label(value) for value in self.values)
+            if self.labels is None
+            else tuple(self.labels)
+        )
+        if len(labels) != len(self.values):
+            raise ConfigurationError(
+                f"axis {self.name!r}: {len(labels)} labels for "
+                f"{len(self.values)} values"
+            )
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(
+                f"axis {self.name!r}: labels must be unique, got {labels}"
+            )
+        object.__setattr__(self, "labels", labels)
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One concrete scenario of a campaign: the spec plus its axis labels."""
+
+    spec: ScenarioSpec
+    axes: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "axes", dict(self.axes))
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """A base spec expanded over declared axes into concrete scenarios."""
+
+    name: str
+    description: str
+    base: ScenarioSpec
+    axes: Tuple[MatrixAxis, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("matrix name must be non-empty")
+        object.__setattr__(self, "axes", tuple(self.axes))
+        axis_names = [axis.name for axis in self.axes]
+        if len(set(axis_names)) != len(axis_names):
+            raise ConfigurationError(
+                f"matrix {self.name!r}: axis names must be unique, got "
+                f"{axis_names}"
+            )
+
+    def size(self) -> int:
+        """Cartesian-product size before deduplication."""
+        total = 1
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+    def points(self) -> List[CampaignPoint]:
+        """Expanded concrete scenarios, deduplicated on physical content.
+
+        Points come out in row-major axis order (last axis fastest); when two
+        combinations produce the same :meth:`ScenarioSpec.design_hash` only
+        the first survives, so the expansion never schedules one physical
+        configuration twice.
+        """
+        points: List[CampaignPoint] = []
+        seen: Dict[str, str] = {}
+        if not self.axes:
+            spec = self.base.with_overrides({"name": self.name})
+            return [CampaignPoint(spec=spec, axes={})]
+        for combo in product(*(range(len(axis.values)) for axis in self.axes)):
+            overrides: Dict[str, Any] = {}
+            labels: Dict[str, str] = {}
+            parts = [self.name]
+            for axis, index in zip(self.axes, combo):
+                overrides[axis.path] = axis.values[index]
+                labels[axis.name] = axis.labels[index]
+                parts.append(f"{axis.name}_{axis.labels[index]}")
+            name = "-".join(parts)
+            overrides["name"] = name
+            overrides["description"] = (
+                f"{self.description} [{', '.join(f'{k}={v}' for k, v in labels.items())}]"
+            )
+            spec = self.base.with_overrides(overrides)
+            digest = spec.design_hash()
+            if digest in seen:
+                continue
+            seen[digest] = name
+            points.append(CampaignPoint(spec=spec, axes=labels))
+        return points
+
+    def specs(self) -> List[ScenarioSpec]:
+        """The expanded specs alone (registration convenience)."""
+        return [point.spec for point in self.points()]
+
+
+# --------------------------------------------------------------------------
+# Built-in matrices
+# --------------------------------------------------------------------------
+
+_BUILTINS = {spec.name: spec for spec in builtin_scenarios()}
+
+#: Small accelerator-class base: the ``small_die_uniform`` built-in with a
+#: shortened trace, so smoke/parity campaigns and the workload/power
+#: matrices replay in fractions of a second per spec.  Deriving from the
+#: registered built-in (instead of re-declaring its geometry) keeps the
+#: generated population anchored to the catalogue it extends.
+_SMALL_BASE = _BUILTINS["small_die_uniform"].with_overrides(
+    {
+        "name": "small_base",
+        "description": "Small-die matrix base",
+        "trace.phases": 2,
+    }
+)
+
+#: SCC-die base: the ``scc_uniform_18mm`` built-in (paper package, coarse
+#: bench-family mesh) with a shortened migration trace.
+_SCC_BASE = _BUILTINS["scc_uniform_18mm"].with_overrides(
+    {
+        "name": "scc_base",
+        "description": "SCC-die matrix base",
+        "trace.phases": 3,
+    }
+)
+
+
+def builtin_matrices() -> Dict[str, ScenarioMatrix]:
+    """The named built-in matrices (fresh objects on every call)."""
+    matrices = [
+        ScenarioMatrix(
+            name="ring_geometry",
+            description=(
+                "Paper ring lengths crossed with ONI density on the SCC die"
+            ),
+            base=_SCC_BASE,
+            axes=(
+                MatrixAxis(
+                    name="ring",
+                    path="network.ring_length_mm",
+                    values=(18.0, 32.4, 46.8),
+                ),
+                MatrixAxis(
+                    name="oni", path="network.oni_count", values=(6, 12, 24)
+                ),
+            ),
+        ),
+        ScenarioMatrix(
+            name="workload_grid",
+            description=(
+                "Activity pattern families crossed with total chip power on "
+                "the small die"
+            ),
+            base=_SMALL_BASE,
+            axes=(
+                MatrixAxis(
+                    name="kind",
+                    path="workload.kind",
+                    values=(
+                        "uniform",
+                        "diagonal",
+                        "hotspot",
+                        "checkerboard",
+                        "gradient",
+                    ),
+                ),
+                MatrixAxis(
+                    name="pw",
+                    path="workload.total_power_w",
+                    values=(8.0, 16.0, 25.0),
+                ),
+            ),
+        ),
+        ScenarioMatrix(
+            name="pvcsel_heater",
+            description=(
+                "PVCSEL dissipated power crossed with the heater ratio on "
+                "the small die (the paper's Fig. 9/10 knobs)"
+            ),
+            base=_SMALL_BASE,
+            axes=(
+                MatrixAxis(
+                    name="pvcsel",
+                    path="power.vcsel_power_mw",
+                    values=(2.4, 3.6, 4.8, 6.0),
+                ),
+                MatrixAxis(
+                    name="heater",
+                    path="power.heater_ratio",
+                    values=(0.0, 0.3, 0.6),
+                ),
+            ),
+        ),
+        ScenarioMatrix(
+            name="trace_seeds",
+            description=(
+                "Stochastic trace families replicated over seeds on the SCC "
+                "die (migration / random-walk robustness)"
+            ),
+            base=_SCC_BASE,
+            axes=(
+                MatrixAxis(
+                    name="trace",
+                    path="trace.kind",
+                    values=("migration", "random_walk"),
+                ),
+                MatrixAxis(
+                    name="seed", path="trace.seed", values=(0, 1, 2, 3)
+                ),
+            ),
+        ),
+        ScenarioMatrix(
+            name="die_scaling",
+            description=(
+                "Die outline / tile grid scaling crossed with ONI count"
+            ),
+            base=_SCC_BASE,
+            axes=(
+                MatrixAxis(
+                    name="die",
+                    path="chip",
+                    values=(
+                        {
+                            "die_width_mm": 14.0,
+                            "die_height_mm": 11.0,
+                            "tile_columns": 3,
+                            "tile_rows": 2,
+                            "include_infrastructure": False,
+                            "package_overrides": {},
+                        },
+                        {
+                            "die_width_mm": 20.0,
+                            "die_height_mm": 16.0,
+                            "tile_columns": 4,
+                            "tile_rows": 3,
+                            "include_infrastructure": False,
+                            "package_overrides": {},
+                        },
+                        {
+                            "die_width_mm": 26.5,
+                            "die_height_mm": 21.4,
+                            "tile_columns": 6,
+                            "tile_rows": 4,
+                            "include_infrastructure": True,
+                            "package_overrides": {},
+                        },
+                    ),
+                    labels=("small", "medium", "scc"),
+                ),
+                MatrixAxis(
+                    name="oni", path="network.oni_count", values=(4, 8)
+                ),
+            ),
+        ),
+        ScenarioMatrix(
+            name="campaign_smoke",
+            description=(
+                "Tiny smoke matrix for CI and the determinism-parity tests"
+            ),
+            base=_SMALL_BASE,
+            axes=(
+                MatrixAxis(
+                    name="kind",
+                    path="workload.kind",
+                    values=("uniform", "hotspot"),
+                ),
+                MatrixAxis(
+                    name="pvcsel",
+                    path="power.vcsel_power_mw",
+                    values=(3.6, 4.8),
+                ),
+            ),
+        ),
+    ]
+    return {matrix.name: matrix for matrix in matrices}
+
+
+def get_matrix(name: str) -> ScenarioMatrix:
+    """Built-in matrix registered under ``name`` (raises on unknown names)."""
+    matrices = builtin_matrices()
+    try:
+        return matrices[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown campaign {name!r}; built-ins: {sorted(matrices)}"
+        ) from None
+
+
+#: Names of the matrix-generated scenarios pinned by the golden harness —
+#: one per new axis family (geometry, workload pattern, operating point).
+GOLDEN_REPRESENTATIVES: Tuple[str, ...] = (
+    "ring_geometry-ring_32.4-oni_12",
+    "workload_grid-kind_checkerboard-pw_16",
+    "pvcsel_heater-pvcsel_6-heater_0.6",
+)
+
+
+def golden_representative_specs() -> List[ScenarioSpec]:
+    """The representative matrix-generated specs, in declaration order."""
+    by_name: Dict[str, ScenarioSpec] = {}
+    for matrix in builtin_matrices().values():
+        for point in matrix.points():
+            by_name[point.spec.name] = point.spec
+    missing = sorted(set(GOLDEN_REPRESENTATIVES) - set(by_name))
+    if missing:  # pragma: no cover - guards matrix edits
+        raise ConfigurationError(
+            f"golden representatives {missing} are not generated by any "
+            "built-in matrix"
+        )
+    return [by_name[name] for name in GOLDEN_REPRESENTATIVES]
+
+
+def register_golden_representatives(
+    registry: ScenarioRegistry,
+) -> List[ScenarioSpec]:
+    """Register the representative matrix scenarios into ``registry``."""
+    return registry.register_many(golden_representative_specs())
+
+
+def campaign_registry() -> ScenarioRegistry:
+    """Registry of the full generative population (fresh on every call).
+
+    The six hand-registered built-ins plus every built-in matrix expansion —
+    the "40+ scenarios" catalogue the CLI lists and campaigns draw from.
+    """
+    registry = ScenarioRegistry()
+    registry.register_many(builtin_scenarios())
+    for matrix in builtin_matrices().values():
+        registry.register_many(matrix.specs())
+    return registry

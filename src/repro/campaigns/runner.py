@@ -1,0 +1,373 @@
+"""Campaign execution: fan concrete specs out, merge artifacts into a report.
+
+A *campaign* is a list of :class:`~repro.campaigns.matrix.CampaignPoint`
+objects — usually one matrix expansion.  The :class:`CampaignRunner`
+
+* serves every spec whose content address is already in the
+  :class:`~repro.campaigns.store.ArtifactStore` straight from disk,
+* fans the remaining specs out over a process pool (the
+  ``SweepEngine workers=N`` pattern: one worker process per independent
+  mesh), or runs them serially when ``workers`` is 1/None,
+* persists every freshly computed artifact back into the store, and
+* merges the per-spec :class:`~repro.scenarios.runner.ScenarioArtifact`
+  documents plus the per-spec engine counters into one
+  :class:`CampaignReport` with cross-scenario summary tables (worst SNR,
+  peak temperature and slowest settling per axis value).
+
+Reports are byte-deterministic, and — because every spec runs on its own
+fresh :class:`~repro.scenarios.runner.ScenarioRunner` whether it executes in
+a worker process or inline — a ``workers=4`` campaign produces artifact JSON
+byte-identical to the same campaign run serially (pinned by the tier-1
+determinism-parity test).
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..methodology.engine import EngineStats
+from ..scenarios import (
+    ALL_PATHS,
+    SCHEMA_VERSION,
+    ScenarioArtifact,
+    ScenarioRunner,
+    ScenarioSpec,
+)
+from .matrix import CampaignPoint, ScenarioMatrix
+from .store import ArtifactStore
+
+
+def _execute_spec(
+    spec_dict: Dict[str, Any], paths: Tuple[str, ...]
+) -> Tuple[Dict[str, Any], Dict[str, int]]:
+    """Worker entry point: run one spec end to end on a fresh runner.
+
+    Lives at module level so a process pool can pickle it; ships the spec as
+    its validated plain-dict form and returns (artifact dict, engine
+    counters) — both plain data, cheap to pickle back.
+    """
+    spec = ScenarioSpec.from_dict(spec_dict)
+    runner = ScenarioRunner(spec)
+    artifact = runner.run(paths)
+    return artifact.to_dict(), runner.engine().stats.to_dict()
+
+
+def _metric_min(values: List[Optional[float]]) -> Optional[float]:
+    known = [value for value in values if value is not None]
+    return min(known) if known else None
+
+
+def _metric_max(values: List[Optional[float]]) -> Optional[float]:
+    known = [value for value in values if value is not None]
+    return max(known) if known else None
+
+
+def scenario_metrics(artifact: Mapping[str, Any]) -> Dict[str, Optional[float]]:
+    """Cross-path headline metrics of one artifact dict (summary tables).
+
+    ``worst_snr_db`` is the worst SNR the scenario sees anywhere (nominal
+    steady-state report and the whole transient series), ``peak_temperature_c``
+    the hottest per-ONI average at any operating point or time, and
+    ``settling_s`` the slowest ONI settling time; paths the artifact does not
+    carry contribute nothing (``None`` when no path carries the quantity).
+    """
+    results = artifact.get("results", {})
+    snr_values: List[Optional[float]] = []
+    temp_values: List[Optional[float]] = []
+    settling: Optional[float] = None
+
+    steady = results.get("steady")
+    if steady:
+        temp_values.append(steady.get("max_oni_temperature_c"))
+    sweep = results.get("sweep")
+    if sweep:
+        temp_values.append(_metric_max(sweep.get("max_oni_temperature_c", [])))
+    snr = results.get("snr")
+    if snr:
+        snr_values.append(snr.get("nominal", {}).get("worst_case_snr_db"))
+        snr_values.append(
+            _metric_min(
+                [point.get("worst_case_snr_db") for point in snr.get("per_point", [])]
+            )
+        )
+    transient = results.get("transient")
+    if transient:
+        temp_values.append(transient.get("max_oni_temperature_c"))
+        snr_values.append(
+            transient.get("snr", {}).get("overall_worst_snr_db")
+        )
+        settling = transient.get("settling", {}).get("max_settling_s")
+
+    return {
+        "worst_snr_db": _metric_min(snr_values),
+        "peak_temperature_c": _metric_max(temp_values),
+        "settling_s": settling,
+    }
+
+
+@dataclass
+class CampaignReport:
+    """Merged result of one campaign run (plain JSON document)."""
+
+    campaign: str
+    paths: Tuple[str, ...]
+    scenarios: List[Dict[str, Any]]
+    artifacts: Dict[str, Dict[str, Any]]
+    summary: Dict[str, Any]
+    engine: Dict[str, int]
+    store: Optional[Dict[str, int]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict view of the report."""
+        return {
+            "campaign": self.campaign,
+            "schema_version": SCHEMA_VERSION,
+            "paths": list(self.paths),
+            "scenarios": self.scenarios,
+            "artifacts": self.artifacts,
+            "summary": self.summary,
+            "engine": self.engine,
+            "store": self.store,
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON document (sorted keys, fixed layout)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def artifact(self, scenario: str) -> ScenarioArtifact:
+        """Artifact of one scenario of the campaign (raises on unknown)."""
+        try:
+            return ScenarioArtifact.from_dict(self.artifacts[scenario])
+        except KeyError:
+            raise ConfigurationError(
+                f"campaign {self.campaign!r} has no scenario {scenario!r} "
+                f"(available: {sorted(self.artifacts)})"
+            ) from None
+
+    def summary_rows(self) -> List[Dict[str, Any]]:
+        """One row per scenario (name, axes, headline metrics) — CLI tables."""
+        rows = []
+        for entry in self.scenarios:
+            metrics = scenario_metrics(self.artifacts[entry["name"]])
+            rows.append({**entry, **metrics})
+        return rows
+
+
+class CampaignRunner:
+    """Executes a campaign against an optional artifact store.
+
+    Parameters
+    ----------
+    campaign:
+        A :class:`~repro.campaigns.matrix.ScenarioMatrix` (expanded via
+        :meth:`~repro.campaigns.matrix.ScenarioMatrix.points`), a list of
+        :class:`~repro.campaigns.matrix.CampaignPoint` objects, or a plain
+        list of specs (no axis metadata).
+    store:
+        Artifact store consulted before computing and updated after; ``None``
+        computes everything.
+    paths:
+        Analysis paths every scenario runs (default: all four).
+    workers:
+        Process-pool width for the specs the store cannot serve; 1/None runs
+        them serially in-process.
+    name:
+        Report name; defaults to the matrix name (required for bare lists).
+    """
+
+    def __init__(
+        self,
+        campaign: Union[ScenarioMatrix, Sequence[CampaignPoint], Sequence[ScenarioSpec]],
+        store: Optional[ArtifactStore] = None,
+        paths: Sequence[str] = ALL_PATHS,
+        workers: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if not tuple(paths):
+            raise ConfigurationError(
+                f"a campaign needs at least one analysis path "
+                f"(available: {list(ALL_PATHS)})"
+            )
+        unknown = sorted(set(paths) - set(ALL_PATHS))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown analysis paths {unknown}; available: {list(ALL_PATHS)}"
+            )
+        if isinstance(campaign, ScenarioMatrix):
+            self.points = campaign.points()
+            self.name = name or campaign.name
+        else:
+            self.points = [
+                point
+                if isinstance(point, CampaignPoint)
+                else CampaignPoint(spec=point)
+                for point in campaign
+            ]
+            if name is None:
+                raise ConfigurationError(
+                    "campaigns built from bare point lists need a name"
+                )
+            self.name = name
+        if not self.points:
+            raise ConfigurationError(f"campaign {self.name!r} has no scenarios")
+        names = [point.spec.name for point in self.points]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ConfigurationError(
+                f"campaign {self.name!r} lists duplicate scenario names "
+                f"{duplicates}"
+            )
+        self.store = store
+        self.paths: Tuple[str, ...] = tuple(paths)
+        self.workers = workers
+
+    def run(self) -> CampaignReport:
+        """Execute the campaign and assemble the merged report."""
+        artifacts: Dict[str, Optional[Dict[str, Any]]] = {}
+        from_store: Dict[str, bool] = {}
+        engine_totals = EngineStats()
+
+        pending: List[CampaignPoint] = []
+        for point in self.points:
+            cached = (
+                None
+                if self.store is None
+                else self.store.load(point.spec, self.paths)
+            )
+            if cached is not None:
+                artifacts[point.spec.name] = cached.to_dict()
+                from_store[point.spec.name] = True
+            else:
+                artifacts[point.spec.name] = None
+                from_store[point.spec.name] = False
+                pending.append(point)
+
+        def absorb(point: CampaignPoint, artifact_dict, stats_dict) -> None:
+            # Persist each artifact the moment it exists: if a later spec
+            # fails mid-campaign, the completed work is already in the
+            # store and the retry only recomputes what is genuinely new.
+            artifacts[point.spec.name] = artifact_dict
+            engine_totals.merge(stats_dict)
+            if self.store is not None:
+                self.store.store(
+                    point.spec,
+                    ScenarioArtifact.from_dict(artifact_dict),
+                    self.paths,
+                )
+
+        payloads = [(point.spec.to_dict(), self.paths) for point in pending]
+        if self.workers is not None and self.workers > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending))
+            ) as pool:
+                futures = [
+                    pool.submit(_execute_spec, *payload) for payload in payloads
+                ]
+                for point, future in zip(pending, futures):
+                    absorb(point, *future.result())
+        else:
+            for point, payload in zip(pending, payloads):
+                absorb(point, *_execute_spec(*payload))
+
+        scenarios = [
+            {
+                "name": point.spec.name,
+                "spec_hash": point.spec.content_hash(),
+                "axes": dict(point.axes),
+                "from_store": from_store[point.spec.name],
+            }
+            for point in self.points
+        ]
+        complete: Dict[str, Dict[str, Any]] = {
+            name: artifact
+            for name, artifact in artifacts.items()
+            if artifact is not None
+        }
+        return CampaignReport(
+            campaign=self.name,
+            paths=self.paths,
+            scenarios=scenarios,
+            artifacts=complete,
+            summary=self._summary(scenarios, complete),
+            engine=engine_totals.to_dict(),
+            store=None if self.store is None else self.store.stats.to_dict(),
+        )
+
+    def _summary(
+        self,
+        scenarios: List[Dict[str, Any]],
+        artifacts: Mapping[str, Mapping[str, Any]],
+    ) -> Dict[str, Any]:
+        """Cross-scenario tables: totals, extremes and per-axis-value rows."""
+        per_scenario = {
+            entry["name"]: scenario_metrics(artifacts[entry["name"]])
+            for entry in scenarios
+        }
+
+        def extreme(metric: str, pick) -> Optional[Dict[str, Any]]:
+            known = [
+                (name, metrics[metric])
+                for name, metrics in per_scenario.items()
+                if metrics[metric] is not None
+            ]
+            if not known:
+                return None
+            name, value = pick(known, key=lambda item: item[1])
+            return {"scenario": name, "value": value}
+
+        by_axis: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        for entry in scenarios:
+            metrics = per_scenario[entry["name"]]
+            for axis, label in entry["axes"].items():
+                row = by_axis.setdefault(axis, {}).setdefault(
+                    label,
+                    {
+                        "scenarios": 0,
+                        "worst_snr_db": None,
+                        "peak_temperature_c": None,
+                        "max_settling_s": None,
+                    },
+                )
+                row["scenarios"] += 1
+                row["worst_snr_db"] = _metric_min(
+                    [row["worst_snr_db"], metrics["worst_snr_db"]]
+                )
+                row["peak_temperature_c"] = _metric_max(
+                    [row["peak_temperature_c"], metrics["peak_temperature_c"]]
+                )
+                row["max_settling_s"] = _metric_max(
+                    [row["max_settling_s"], metrics["settling_s"]]
+                )
+
+        return {
+            "scenario_count": len(scenarios),
+            "store_hits": sum(
+                1 for entry in scenarios if entry["from_store"]
+            ),
+            "store_misses": sum(
+                1 for entry in scenarios if not entry["from_store"]
+            ),
+            "worst_snr_db": extreme("worst_snr_db", min),
+            "peak_temperature_c": extreme("peak_temperature_c", max),
+            "max_settling_s": extreme("settling_s", max),
+            "by_axis": by_axis,
+        }
+
+
+def run_campaign(
+    campaign: Union[ScenarioMatrix, Sequence[CampaignPoint]],
+    store: Optional[ArtifactStore] = None,
+    paths: Sequence[str] = ALL_PATHS,
+    workers: Optional[int] = None,
+    name: Optional[str] = None,
+) -> CampaignReport:
+    """One-shot convenience wrapper around :class:`CampaignRunner`."""
+    return CampaignRunner(
+        campaign, store=store, paths=paths, workers=workers, name=name
+    ).run()

@@ -1,0 +1,512 @@
+"""Persistent content-addressed artifact store with integrity checking.
+
+The :class:`ArtifactStore` generalises the in-process
+:class:`~repro.caching.LruCache` to a disk backend for whole
+:class:`~repro.scenarios.runner.ScenarioArtifact` documents, so a campaign
+re-run only computes specs whose content is new — across processes and
+across sessions.
+
+Design:
+
+* **content addressing** — the key is the SHA-256 of (spec content hash,
+  requested analysis paths, artifact schema version, code version), so a
+  spec edit, a different path selection or a library upgrade can never serve
+  a stale artifact;
+* **atomic writes** — objects are written to a per-process temporary file in
+  the store root and :func:`os.replace`-d into place, so readers only ever
+  observe complete documents and concurrent writers cannot interleave bytes;
+* **integrity re-hash on read** — every object embeds the SHA-256 of its
+  canonical payload; a truncated or bit-flipped file fails the re-hash, is
+  counted, quarantined (unlinked) and reported as a miss, never served;
+* **bounded size with LRU eviction** — an index records byte sizes and a
+  monotonic access sequence; when the store exceeds ``max_bytes`` the least
+  recently used objects are evicted (the newest entry always survives);
+* **crash-tolerant index** — the index is a pure accelerator: object files
+  are the source of truth, keyed by their own content address, so a lost or
+  corrupt ``index.json`` (e.g. racing writers) degrades recency accounting
+  but never correctness; it is rebuilt from the object directory on demand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .. import __version__ as _code_version
+from ..errors import ConfigurationError
+from ..scenarios import (
+    ALL_PATHS,
+    SCHEMA_VERSION,
+    ScenarioArtifact,
+    ScenarioSpec,
+    canonical_json,
+)
+
+#: Store layout version; bumped on breaking changes of the object format.
+STORE_VERSION = 1
+
+
+def _payload_digest(payload: Mapping[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of an artifact payload."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _atomic_write(directory: Path, prefix: str, text: str, target: Path) -> None:
+    """Write ``text`` to a unique temp file and rename it over ``target``.
+
+    ``mkstemp`` gives every caller — threads sharing a PID included — its own
+    temp name, and :func:`os.replace` is atomic on POSIX, so readers only
+    ever observe complete documents and racing writers settle on a
+    last-writer-wins full document instead of interleaved bytes.
+    """
+    handle, tmp_name = tempfile.mkstemp(prefix=f"{prefix}.", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already renamed or gone
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One stored artifact, as listed by :meth:`ArtifactStore.entries`."""
+
+    key: str
+    scenario: str
+    spec_hash: str
+    paths: Tuple[str, ...]
+    size_bytes: int
+    last_used: int
+
+
+@dataclass
+class StoreStats:
+    """Counters of one :class:`ArtifactStore` instance (cumulative)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up yet)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict view of the counters (campaign reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+            "evictions": self.evictions,
+        }
+
+
+class ArtifactStore:
+    """Content-addressed on-disk store of scenario artifacts.
+
+    Parameters
+    ----------
+    root:
+        Directory of the store (created on first use).  Layout:
+        ``objects/<key>.json`` plus an ``index.json`` accelerator.
+    max_bytes:
+        Total object-size bound; least-recently-used objects are evicted
+        beyond it.  ``None`` leaves the store unbounded.
+    code_version:
+        Folded into every key; defaults to the library version, so a library
+        upgrade starts a fresh keyspace instead of trusting old numerics.
+    """
+
+    def __init__(
+        self,
+        root: os.PathLike,
+        max_bytes: Optional[int] = None,
+        code_version: Optional[str] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ConfigurationError("max_bytes must be >= 1 (or None)")
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.code_version = (
+            f"{_code_version}/schema{SCHEMA_VERSION}/store{STORE_VERSION}"
+            if code_version is None
+            else code_version
+        )
+        self.stats = StoreStats()
+        #: Recency bumps of hits served since the last index write.  The
+        #: index is a pure accelerator, so hits never pay an index
+        #: read-modify-write of their own; pending touches are folded in by
+        #: the next :meth:`store` (or, in memory only, by :meth:`entries`).
+        self._pending_touches: List[str] = []
+
+    # Paths -----------------------------------------------------------------
+
+    @property
+    def _objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def _object_path(self, key: str) -> Path:
+        return self._objects_dir / f"{key}.json"
+
+    # Keys ------------------------------------------------------------------
+
+    def key_for(
+        self, spec: ScenarioSpec, paths: Sequence[str] = ALL_PATHS
+    ) -> str:
+        """Content address of one (spec, paths) computation."""
+        document = {
+            "spec_hash": spec.content_hash(),
+            "paths": sorted(set(paths)),
+            "code_version": self.code_version,
+        }
+        return hashlib.sha256(
+            canonical_json(document).encode("utf-8")
+        ).hexdigest()
+
+    # Index -----------------------------------------------------------------
+
+    def _load_index(self) -> Dict[str, Any]:
+        """The index document, rebuilt from the objects when unreadable."""
+        try:
+            data = json.loads(self._index_path.read_text(encoding="utf-8"))
+            if (
+                isinstance(data, dict)
+                and isinstance(data.get("entries"), dict)
+                and isinstance(data.get("sequence"), int)
+            ):
+                return data
+        except (OSError, ValueError):
+            pass
+        return self._rebuild_index()
+
+    def _rebuild_index(self) -> Dict[str, Any]:
+        """Index rebuilt by scanning the object directory (deterministic)."""
+        entries: Dict[str, Any] = {}
+        for path in sorted(self._objects_dir.glob("*.json")):
+            record = self._read_object(path.stem, count_corrupt=False)
+            if record is None:
+                continue
+            entries[path.stem] = self._entry_from_record(
+                record, path.stat().st_size
+            )
+        return {"version": STORE_VERSION, "sequence": 0, "entries": entries}
+
+    def _write_index(self, index: Dict[str, Any]) -> None:
+        """Atomically replace the index document."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(index, sort_keys=True, indent=1) + "\n"
+        _atomic_write(self.root, ".index", text, self._index_path)
+
+    def _touch(self, index: Dict[str, Any], key: str) -> None:
+        """Bump the access sequence of ``key`` (LRU recency)."""
+        index["sequence"] = int(index["sequence"]) + 1
+        entry = index["entries"].get(key)
+        if entry is None:
+            # An object the index never saw (another writer, or a hit served
+            # while the index was unreadable): adopt it.
+            path = self._object_path(key)
+            record = self._read_object(key, count_corrupt=False)
+            if record is None:
+                return
+            try:
+                size = path.stat().st_size
+            except OSError:  # pragma: no cover - racing unlink
+                return
+            entry = index["entries"][key] = self._entry_from_record(record, size)
+        entry["last_used"] = index["sequence"]
+
+    def _apply_pending(self, index: Dict[str, Any]) -> None:
+        """Fold the recency of hits served since the last index write."""
+        for key in self._pending_touches:
+            self._touch(index, key)
+        self._pending_touches.clear()
+
+    # Objects ---------------------------------------------------------------
+
+    def _read_object(
+        self,
+        key: str,
+        count_corrupt: bool = True,
+        quarantine: bool = True,
+    ) -> Optional[Dict[str, Any]]:
+        """Parse and integrity-check one object file (None on any defect).
+
+        A missing file is a plain miss; an unparseable or hash-mismatched
+        file is counted as corruption and — unless ``quarantine`` is off
+        (read-only inspection paths like the CLI's ``show``/``diff`` must
+        not destroy the evidence) — unlinked so the next run recomputes it
+        instead of tripping over the same damage again.
+        """
+        path = self._object_path(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            record = json.loads(raw)
+            payload = record["payload"]
+            declared = record["payload_sha256"]
+            if not isinstance(payload, dict) or not isinstance(declared, str):
+                raise ValueError("malformed object record")
+            # The envelope metadata is read by the index rebuild and the
+            # listing paths without further checks: validate it here so a
+            # damaged envelope is quarantined like a damaged payload.
+            if not isinstance(record["scenario"], str):
+                raise ValueError("malformed scenario field")
+            if not isinstance(record["spec_hash"], str):
+                raise ValueError("malformed spec_hash field")
+            if not isinstance(record["paths"], list):
+                raise ValueError("malformed paths field")
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path, count_corrupt, quarantine)
+            return None
+        if _payload_digest(payload) != declared:
+            self._quarantine(path, count_corrupt, quarantine)
+            return None
+        return record
+
+    def _quarantine(self, path: Path, count: bool, unlink: bool) -> None:
+        if count:
+            self.stats.corrupt += 1
+        if not unlink:
+            return
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing unlink is fine
+            pass
+
+    @staticmethod
+    def _entry_from_record(record: Mapping[str, Any], size: int) -> Dict[str, Any]:
+        """Index entry of one object record (single spelling of the layout)."""
+        return {
+            "scenario": record["scenario"],
+            "spec_hash": record["spec_hash"],
+            "paths": list(record["paths"]),
+            "size_bytes": size,
+            "last_used": 0,
+        }
+
+    # Public API ------------------------------------------------------------
+
+    def load(
+        self, spec: ScenarioSpec, paths: Sequence[str] = ALL_PATHS
+    ) -> Optional[ScenarioArtifact]:
+        """Stored artifact of (spec, paths), or ``None`` on miss/corruption.
+
+        The payload is re-hashed against the digest embedded at write time;
+        a truncated or bit-flipped object fails the re-hash and is
+        quarantined.  The payload's spec hash is additionally cross-checked
+        against ``spec`` — a hash-valid object answering for the wrong spec
+        (key collision, external rename) is a plain miss: it is intact, just
+        not the requested content, so it stays on disk.
+        """
+        key = self.key_for(spec, paths)
+        record = self._read_object(key)
+        if record is None or record["payload"].get("spec_hash") != spec.content_hash():
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._pending_touches.append(key)
+        return ScenarioArtifact.from_dict(record["payload"])
+
+    def store(
+        self,
+        spec: ScenarioSpec,
+        artifact: ScenarioArtifact,
+        paths: Sequence[str] = ALL_PATHS,
+    ) -> str:
+        """Persist one artifact atomically; returns its content address.
+
+        Each call re-reads and atomically rewrites ``index.json`` so racing
+        writers converge on a complete document — a deliberate trade-off:
+        the index write is O(store size), but campaigns persist tens of
+        artifacts while the correctness-critical object writes stay O(1),
+        and hits (:meth:`load`) never touch the index at all.
+        """
+        if artifact.spec_hash != spec.content_hash():
+            raise ConfigurationError(
+                f"artifact of {artifact.scenario!r} carries spec hash "
+                f"{artifact.spec_hash[:12]} but the spec hashes to "
+                f"{spec.content_hash()[:12]}"
+            )
+        key = self.key_for(spec, paths)
+        payload = artifact.to_dict()
+        record = {
+            "store_version": STORE_VERSION,
+            "key": key,
+            "scenario": artifact.scenario,
+            "spec_hash": artifact.spec_hash,
+            "paths": sorted(set(paths)),
+            "code_version": self.code_version,
+            "payload": payload,
+            "payload_sha256": _payload_digest(payload),
+        }
+        self._objects_dir.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(record, sort_keys=True, indent=2) + "\n"
+        _atomic_write(self._objects_dir, f".{key[:16]}", text, self._object_path(key))
+        self.stats.writes += 1
+
+        index = self._load_index()
+        self._apply_pending(index)
+        index["entries"][key] = {
+            "scenario": artifact.scenario,
+            "spec_hash": artifact.spec_hash,
+            "paths": sorted(set(paths)),
+            "size_bytes": len(text.encode("utf-8")),
+            "last_used": 0,
+        }
+        self._touch(index, key)
+        self._evict(index, protect=key)
+        self._write_index(index)
+        return key
+
+    def _evict(self, index: Dict[str, Any], protect: str) -> None:
+        """Drop least-recently-used objects beyond ``max_bytes``.
+
+        The bound is judged against the *object directory*, not the index
+        alone: objects the index lost to a racing writer (last-writer-wins
+        index replacement) are adopted here with zero recency, so the size
+        bound holds even when the accelerator went stale.  The just-written
+        ``protect`` entry always survives, so a single oversized artifact
+        parks in the store instead of thrashing it.
+        """
+        if self.max_bytes is None:
+            return
+        entries = index["entries"]
+        total = 0
+        on_disk = set()
+        for path in self._objects_dir.glob("*.json"):
+            key = path.stem
+            if key not in entries:
+                try:
+                    size = path.stat().st_size
+                except OSError:  # pragma: no cover - racing unlink
+                    continue
+                record = self._read_object(key, count_corrupt=False)
+                if record is None:
+                    continue
+                entries[key] = self._entry_from_record(record, size)
+            on_disk.add(key)
+            total += int(entries[key]["size_bytes"])
+        # Entries whose object vanished (another process evicted it) must
+        # not act as victims: popping one would subtract bytes the total
+        # never counted and leave the bound violated.  Drop them outright.
+        for key in list(entries):
+            if key not in on_disk:
+                del entries[key]
+
+        while total > self.max_bytes and len(entries) > 1:
+            victim = min(
+                (key for key in entries if key != protect),
+                key=lambda key: (int(entries[key]["last_used"]), key),
+                default=None,
+            )
+            if victim is None:
+                return
+            total -= int(entries.pop(victim)["size_bytes"])
+            try:
+                self._object_path(victim).unlink()
+            except OSError:  # pragma: no cover - racing unlink is fine
+                pass
+            self.stats.evictions += 1
+
+    def get_record(self, key: str) -> Optional[Dict[str, Any]]:
+        """Raw object record stored under ``key`` (CLI ``show``/``diff``).
+
+        Read-only: a corrupt object is reported as missing but *not*
+        quarantined, so inspection commands never destroy the evidence.
+        """
+        return self._read_object(key, quarantine=False)
+
+    def resolve_key(self, prefix: str) -> str:
+        """Full key matching a unique prefix (raises on none/ambiguous)."""
+        matches = sorted(
+            path.stem
+            for path in self._objects_dir.glob(f"{prefix}*.json")
+        )
+        if not matches:
+            raise ConfigurationError(
+                f"no stored artifact matches key prefix {prefix!r}"
+            )
+        if len(matches) > 1:
+            raise ConfigurationError(
+                f"key prefix {prefix!r} is ambiguous: "
+                f"{[m[:12] for m in matches]}"
+            )
+        return matches[0]
+
+    def entries(self) -> List[StoreEntry]:
+        """Every stored artifact, most recently used last (objects scan)."""
+        index = self._load_index()
+        # Fold this instance's unwritten hit recency in (memory only; the
+        # next store() persists it).
+        for key in self._pending_touches:
+            self._touch(index, key)
+        known = index["entries"]
+        result: List[StoreEntry] = []
+        for path in sorted(self._objects_dir.glob("*.json")):
+            key = path.stem
+            entry = known.get(key)
+            if entry is None:
+                record = self._read_object(key, count_corrupt=False)
+                if record is None:
+                    continue
+                entry = {
+                    "scenario": record["scenario"],
+                    "spec_hash": record["spec_hash"],
+                    "paths": list(record["paths"]),
+                    "size_bytes": path.stat().st_size,
+                    "last_used": 0,
+                }
+            result.append(
+                StoreEntry(
+                    key=key,
+                    scenario=str(entry["scenario"]),
+                    spec_hash=str(entry["spec_hash"]),
+                    paths=tuple(entry["paths"]),
+                    size_bytes=int(entry["size_bytes"]),
+                    last_used=int(entry["last_used"]),
+                )
+            )
+        result.sort(key=lambda entry: (entry.last_used, entry.key))
+        return result
+
+    def total_size_bytes(self) -> int:
+        """Summed object sizes currently on disk."""
+        return sum(
+            path.stat().st_size for path in self._objects_dir.glob("*.json")
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._objects_dir.glob("*.json"))
+
+    def clear(self) -> None:
+        """Drop every object and the index."""
+        for path in self._objects_dir.glob("*.json"):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover
+                pass
+        try:
+            self._index_path.unlink()
+        except OSError:
+            pass

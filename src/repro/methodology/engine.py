@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
 from math import ceil
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple, Union
 
@@ -79,6 +79,28 @@ class EngineStats:
     transient_cache_hits: int = 0
     #: Transient traces actually integrated.
     transient_solves: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict view of every counter (campaign reports, benchmarks)."""
+        return dict(asdict(self))
+
+    def merge(self, other: Union["EngineStats", Mapping[str, int]]) -> "EngineStats":
+        """Add another engine's counters into this one (returns ``self``).
+
+        Accepts either a live :class:`EngineStats` or its :meth:`to_dict`
+        form, so a campaign can fold in counters shipped back from worker
+        processes; unknown keys in a mapping are rejected loudly.
+        """
+        counters = other.to_dict() if isinstance(other, EngineStats) else dict(other)
+        known = {field.name for field in fields(self)}
+        unknown = sorted(set(counters) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown engine stats counters {unknown}; known: {sorted(known)}"
+            )
+        for name, value in counters.items():
+            setattr(self, name, getattr(self, name) + int(value))
+        return self
 
 
 def evaluation_key(flow_key: str, request: ThermalRequest) -> Tuple[Hashable, ...]:

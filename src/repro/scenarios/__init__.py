@@ -11,6 +11,7 @@ from .golden import DEFAULT_TOLERANCES, classify_quantity, compare_artifact_dict
 from .registry import ScenarioRegistry, builtin_scenarios, default_registry
 from .runner import (
     ALL_PATHS,
+    SETTLING_TOLERANCE_C,
     ScenarioArtifact,
     ScenarioRunner,
     build_trace,
@@ -33,6 +34,7 @@ from .spec import (
 __all__ = [
     "ALL_PATHS",
     "SCHEMA_VERSION",
+    "SETTLING_TOLERANCE_C",
     "ChipSpec",
     "MeshSpec",
     "NetworkSpec",

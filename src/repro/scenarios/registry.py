@@ -24,7 +24,7 @@ regression tests run it on every CI push.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..errors import ConfigurationError
 from .spec import (
@@ -56,6 +56,12 @@ class ScenarioRegistry:
             return existing
         self._specs[spec.name] = spec
         return spec
+
+    def register_many(
+        self, specs: Iterable[ScenarioSpec], overwrite: bool = False
+    ) -> List[ScenarioSpec]:
+        """Register every spec in order (campaign matrices hook in here)."""
+        return [self.register(spec, overwrite=overwrite) for spec in specs]
 
     def get(self, name: str) -> ScenarioSpec:
         """Spec registered under ``name``."""

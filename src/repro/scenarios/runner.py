@@ -63,6 +63,9 @@ from .spec import SCHEMA_VERSION, ScenarioSpec, TraceSpec, WorkloadSpec
 #: Analysis paths a runner can execute, in canonical order.
 ALL_PATHS: Tuple[str, ...] = ("steady", "sweep", "snr", "transient")
 
+#: Tolerance band of the settling-time summary in transient artifacts [degC].
+SETTLING_TOLERANCE_C = 0.5
+
 
 @dataclass
 class ScenarioArtifact:
@@ -454,8 +457,22 @@ class ScenarioRunner:
                 )
                 evaluation = engine.evaluate_transient_one(request)
                 series = flow.run_transient_snr(evaluation, self.drive())
+                per_oni_settling = {
+                    name: evaluation.settling_time_s(name, SETTLING_TOLERANCE_C)
+                    for name in evaluation.oni_series
+                }
+                settled = [
+                    value
+                    for value in per_oni_settling.values()
+                    if value is not None
+                ]
                 results["transient"] = {
                     **evaluation.summary_dict(),
+                    "settling": {
+                        "tolerance_c": SETTLING_TOLERANCE_C,
+                        "per_oni_s": per_oni_settling,
+                        "max_settling_s": max(settled) if settled else None,
+                    },
                     "snr": series.summary_dict(self.spec.snr_floor_db),
                 }
 

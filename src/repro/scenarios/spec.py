@@ -604,6 +604,49 @@ class ScenarioSpec:
         """First 12 hex characters of :meth:`content_hash` (bench/report IDs)."""
         return self.content_hash()[:12]
 
+    def design_hash(self) -> str:
+        """SHA-256 over the spec's *physical* content (hex digest).
+
+        Like :meth:`content_hash` but with the ``name`` and ``description``
+        metadata stripped, so two differently named specs describing the same
+        chip / network / workload configuration hash identically.  The
+        campaign matrix expansion deduplicates on this hash.
+        """
+        data = self.to_dict()
+        del data["name"]
+        del data["description"]
+        return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+    # Parametrization -------------------------------------------------------
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ScenarioSpec":
+        """Spec with dotted-path overrides applied (validating round trip).
+
+        Each key is a dotted JSON path into :meth:`to_dict`
+        (``"network.ring_length_mm"``, ``"workload.kind"``, ``"name"``); the
+        value replaces the leaf — or a whole section when the path names one
+        (``"trace": None`` drops the trace, ``"chip": {...}`` replaces the
+        chip).  The patched document is rebuilt through :meth:`from_dict`, so
+        every override is schema-validated and an unknown path or ill-typed
+        value raises :class:`~repro.errors.ConfigurationError` exactly as a
+        hand-written JSON document would.
+        """
+        data = self.to_dict()
+        # Deterministic application order (overrides may share a section).
+        for path in sorted(overrides):
+            value = overrides[path]
+            parts = path.split(".")
+            node: Any = data
+            for part in parts[:-1]:
+                child = node.get(part) if isinstance(node, dict) else None
+                if not isinstance(child, dict):
+                    raise ConfigurationError(
+                        f"override {path!r}: {part!r} is not a spec section"
+                    )
+                node = child
+            node[parts[-1]] = _plain(value)
+        return type(self).from_dict(data)
+
 
 def scenario_json_schema() -> Dict[str, Any]:
     """JSON-Schema-style document describing :class:`ScenarioSpec`.

@@ -1,0 +1,200 @@
+"""Scenario matrices: expansion, deduplication, naming, population growth."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.campaigns import (
+    GOLDEN_REPRESENTATIVES,
+    MatrixAxis,
+    ScenarioMatrix,
+    axis_label,
+    builtin_matrices,
+    campaign_registry,
+    get_matrix,
+    golden_representative_specs,
+    register_golden_representatives,
+)
+from repro.scenarios import ScenarioRegistry, ScenarioSpec, builtin_scenarios
+
+
+class TestAxisLabel:
+    def test_float_labels_trim_trailing_zeros(self):
+        assert axis_label(18.0) == "18"
+        assert axis_label(32.4) == "32.4"
+
+    def test_int_string_bool(self):
+        assert axis_label(12) == "12"
+        assert axis_label("hotspot") == "hotspot"
+        assert axis_label(True) == "on"
+
+    def test_composite_values_need_explicit_labels(self):
+        with pytest.raises(ConfigurationError, match="explicit label"):
+            axis_label({"die_width_mm": 14.0})
+
+
+class TestMatrixAxis:
+    def test_label_count_must_match_values(self):
+        with pytest.raises(ConfigurationError, match="labels"):
+            MatrixAxis(name="x", path="p", values=(1, 2), labels=("one",))
+
+    def test_labels_must_be_unique(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            MatrixAxis(name="x", path="p", values=(1.0, 1), labels=None)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError, match="no values"):
+            MatrixAxis(name="x", path="p", values=())
+
+
+class TestExpansion:
+    def test_cartesian_product_size_and_names(self):
+        base = ScenarioSpec(name="base")
+        matrix = ScenarioMatrix(
+            name="demo",
+            description="demo matrix",
+            base=base,
+            axes=(
+                MatrixAxis(
+                    name="ring",
+                    path="network.ring_length_mm",
+                    values=(18.0, 32.4),
+                ),
+                MatrixAxis(name="oni", path="network.oni_count", values=(6, 8)),
+            ),
+        )
+        points = matrix.points()
+        assert matrix.size() == 4
+        assert [point.spec.name for point in points] == [
+            "demo-ring_18-oni_6",
+            "demo-ring_18-oni_8",
+            "demo-ring_32.4-oni_6",
+            "demo-ring_32.4-oni_8",
+        ]
+        # Axis labels ride along for the campaign summary tables.
+        assert points[2].axes == {"ring": "32.4", "oni": "6"}
+        # Every expanded spec actually carries the overridden values.
+        assert points[3].spec.network.ring_length_mm == 32.4
+        assert points[3].spec.network.oni_count == 8
+
+    def test_expansion_is_schema_validated(self):
+        base = ScenarioSpec(name="base")
+        matrix = ScenarioMatrix(
+            name="bad",
+            description="invalid axis value",
+            base=base,
+            axes=(
+                MatrixAxis(name="oni", path="network.oni_count", values=(1,)),
+            ),
+        )
+        with pytest.raises(ConfigurationError, match="minimum"):
+            matrix.points()
+
+    def test_unknown_path_is_rejected(self):
+        base = ScenarioSpec(name="base")
+        matrix = ScenarioMatrix(
+            name="bad",
+            description="unknown path",
+            base=base,
+            axes=(MatrixAxis(name="x", path="network.bogus", values=(1,)),),
+        )
+        with pytest.raises(ConfigurationError, match="unknown fields"):
+            matrix.points()
+
+    def test_duplicate_designs_are_deduplicated(self):
+        base = ScenarioSpec(name="base")
+        matrix = ScenarioMatrix(
+            name="dup",
+            description="colliding axis values",
+            base=base,
+            axes=(
+                MatrixAxis(
+                    name="pw",
+                    path="workload.total_power_w",
+                    values=(25.0, 25.0, 30.0),
+                    labels=("a", "b", "c"),
+                ),
+            ),
+        )
+        points = matrix.points()
+        # Two labels name the same physical configuration: only the first
+        # survives the design-hash dedup.
+        assert [point.spec.name for point in points] == [
+            "dup-pw_a",
+            "dup-pw_c",
+        ]
+
+    def test_no_axes_yields_single_renamed_point(self):
+        base = ScenarioSpec(name="base")
+        matrix = ScenarioMatrix(
+            name="solo", description="no axes", base=base, axes=()
+        )
+        points = matrix.points()
+        assert len(points) == 1
+        assert points[0].spec.name == "solo"
+        assert points[0].axes == {}
+
+
+class TestSpecParametrization:
+    def test_with_overrides_leaf(self):
+        spec = ScenarioSpec(name="base")
+        patched = spec.with_overrides({"network.ring_length_mm": 32.4})
+        assert patched.network.ring_length_mm == 32.4
+        # The original spec is untouched (frozen dataclasses).
+        assert spec.network.ring_length_mm == 18.0
+
+    def test_with_overrides_whole_section_and_null_trace(self):
+        spec = ScenarioSpec(name="base")
+        patched = spec.with_overrides({"trace": None, "name": "renamed"})
+        assert patched.trace is None
+        assert patched.name == "renamed"
+
+    def test_with_overrides_bad_intermediate(self):
+        spec = ScenarioSpec(name="base")
+        with pytest.raises(ConfigurationError, match="not a spec section"):
+            spec.with_overrides({"name.sub": 1})
+
+    def test_design_hash_ignores_name_and_description(self):
+        a = ScenarioSpec(name="a", description="one")
+        b = ScenarioSpec(name="b", description="two")
+        assert a.content_hash() != b.content_hash()
+        assert a.design_hash() == b.design_hash()
+        c = a.with_overrides({"network.oni_count": 8})
+        assert c.design_hash() != a.design_hash()
+
+
+class TestBuiltinMatrices:
+    def test_population_grows_past_forty(self):
+        registry = campaign_registry()
+        # The hand-registered catalogue stays at six built-ins...
+        assert len(builtin_scenarios()) == 6
+        # ...while the generative population passes forty.
+        assert len(registry) >= 40
+        # Every generated spec validates through a full JSON round trip.
+        for spec in registry:
+            assert ScenarioSpec.from_json(spec.to_json()).content_hash() == (
+                spec.content_hash()
+            )
+
+    def test_generated_names_are_unique(self):
+        names = [
+            point.spec.name
+            for matrix in builtin_matrices().values()
+            for point in matrix.points()
+        ]
+        assert len(names) == len(set(names))
+
+    def test_get_matrix_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown campaign"):
+            get_matrix("nope")
+
+    def test_golden_representatives_cover_three_axis_families(self):
+        specs = golden_representative_specs()
+        assert [spec.name for spec in specs] == list(GOLDEN_REPRESENTATIVES)
+        families = {name.split("-")[0] for name in GOLDEN_REPRESENTATIVES}
+        assert families == {"ring_geometry", "workload_grid", "pvcsel_heater"}
+
+    def test_register_golden_representatives_is_idempotent(self):
+        registry = ScenarioRegistry()
+        register_golden_representatives(registry)
+        register_golden_representatives(registry)
+        assert len(registry) == len(GOLDEN_REPRESENTATIVES)

@@ -1,0 +1,296 @@
+"""ArtifactStore: round trips, integrity faults, eviction, concurrency."""
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.campaigns import ArtifactStore
+from repro.scenarios import ALL_PATHS, ScenarioArtifact, ScenarioSpec
+
+
+def make_spec(index: int = 0) -> ScenarioSpec:
+    return ScenarioSpec(name=f"store_spec_{index}").with_overrides(
+        {"workload.total_power_w": 10.0 + index}
+    )
+
+
+def make_artifact(spec: ScenarioSpec) -> ScenarioArtifact:
+    return ScenarioArtifact(
+        scenario=spec.name,
+        spec_hash=spec.content_hash(),
+        schema_version=1,
+        results={"steady": {"max_oni_temperature_c": 50.0}},
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestRoundTrip:
+    def test_store_and_load(self, store):
+        spec = make_spec()
+        artifact = make_artifact(spec)
+        key = store.store(spec, artifact, ALL_PATHS)
+        loaded = store.load(spec, ALL_PATHS)
+        assert loaded is not None
+        assert loaded.to_dict() == artifact.to_dict()
+        assert store.stats.hits == 1 and store.stats.writes == 1
+        assert store.resolve_key(key[:10]) == key
+
+    def test_miss_on_empty_store(self, store):
+        assert store.load(make_spec(), ALL_PATHS) is None
+        assert store.stats.misses == 1
+
+    def test_key_depends_on_spec_paths_and_code_version(self, store, tmp_path):
+        spec_a, spec_b = make_spec(0), make_spec(1)
+        assert store.key_for(spec_a) != store.key_for(spec_b)
+        assert store.key_for(spec_a, ("steady",)) != store.key_for(spec_a)
+        # Path order does not matter; the set does.
+        assert store.key_for(spec_a, ("snr", "steady")) == store.key_for(
+            spec_a, ("steady", "snr")
+        )
+        other = ArtifactStore(tmp_path / "store", code_version="other")
+        assert other.key_for(spec_a) != store.key_for(spec_a)
+
+    def test_upgraded_code_version_does_not_serve_old_artifacts(self, tmp_path):
+        spec = make_spec()
+        old = ArtifactStore(tmp_path / "s", code_version="v1")
+        old.store(spec, make_artifact(spec), ALL_PATHS)
+        new = ArtifactStore(tmp_path / "s", code_version="v2")
+        assert new.load(spec, ALL_PATHS) is None
+
+    def test_store_rejects_mismatched_artifact(self, store):
+        spec = make_spec(0)
+        with pytest.raises(ConfigurationError, match="spec hash"):
+            store.store(spec, make_artifact(make_spec(1)), ALL_PATHS)
+
+    def test_entries_and_sizes(self, store):
+        specs = [make_spec(index) for index in range(3)]
+        for spec in specs:
+            store.store(spec, make_artifact(spec), ALL_PATHS)
+        entries = store.entries()
+        assert len(entries) == len(store) == 3
+        assert {entry.scenario for entry in entries} == {
+            spec.name for spec in specs
+        }
+        assert store.total_size_bytes() == sum(
+            entry.size_bytes for entry in entries
+        )
+        store.clear()
+        assert len(store) == 0
+
+
+class TestIntegrityFaults:
+    def put_one(self, store):
+        spec = make_spec()
+        key = store.store(spec, make_artifact(spec), ALL_PATHS)
+        return spec, store._object_path(key)
+
+    def test_truncated_object_is_detected_and_quarantined(self, store):
+        spec, path = self.put_one(store)
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) // 2])
+        assert store.load(spec, ALL_PATHS) is None
+        assert store.stats.corrupt == 1
+        # The damaged file is gone: the next run recomputes instead of
+        # tripping over the same corruption again.
+        assert not path.exists()
+
+    def test_bit_flipped_payload_is_never_served(self, store):
+        spec, path = self.put_one(store)
+        record = json.loads(path.read_text())
+        record["payload"]["results"]["steady"]["max_oni_temperature_c"] += 1.0
+        path.write_text(json.dumps(record))
+        assert store.load(spec, ALL_PATHS) is None
+        assert store.stats.corrupt == 1
+        assert not path.exists()
+
+    def test_wrong_payload_spec_hash_is_a_miss(self, store):
+        # A hash-valid record that answers for the wrong spec (e.g. a manual
+        # file rename) is rejected by the spec-hash cross-check.
+        spec, path = self.put_one(store)
+        other = make_spec(1)
+        path.rename(store._object_path(store.key_for(other, ALL_PATHS)))
+        assert store.load(other, ALL_PATHS) is None
+
+    def test_corrupt_envelope_is_quarantined_not_crashed(self, store):
+        # Damage outside the payload (here: the scenario field the index
+        # rebuild reads) must quarantine the object, not raise downstream.
+        spec, path = self.put_one(store)
+        record = json.loads(path.read_text())
+        record["scenario"] = 1234
+        path.write_text(json.dumps(record))
+        store._index_path.unlink()
+        assert store.entries() == []
+        assert store.load(spec, ALL_PATHS) is None
+        assert not path.exists()
+
+    def test_get_record_does_not_quarantine(self, store):
+        # Read-only inspection (CLI show/diff) must preserve the evidence.
+        spec, path = self.put_one(store)
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) // 2])
+        key = store.key_for(spec, ALL_PATHS)
+        assert store.get_record(key) is None
+        assert path.exists()
+        # ...while load() still quarantines the same damage.
+        assert store.load(spec, ALL_PATHS) is None
+        assert not path.exists()
+
+    def test_corrupt_index_is_rebuilt_from_objects(self, store):
+        spec, _ = self.put_one(store)
+        store._index_path.write_text("{ not json")
+        loaded = store.load(spec, ALL_PATHS)
+        assert loaded is not None
+        assert len(store.entries()) == 1
+
+    def test_recompute_after_corruption_round_trips(self, store):
+        spec, path = self.put_one(store)
+        path.write_text("garbage")
+        assert store.load(spec, ALL_PATHS) is None
+        store.store(spec, make_artifact(spec), ALL_PATHS)
+        assert store.load(spec, ALL_PATHS) is not None
+
+
+class TestEviction:
+    def test_eviction_respects_size_bound(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", max_bytes=1)
+        # Write several artifacts into a store bounded below one object: the
+        # newest entry always survives, everything older is evicted.
+        for index in range(4):
+            spec = make_spec(index)
+            store.store(spec, make_artifact(spec), ALL_PATHS)
+        assert len(store) == 1
+        assert store.stats.evictions == 3
+        assert store.entries()[0].scenario == "store_spec_3"
+
+    def test_lru_order_not_insertion_order(self, tmp_path):
+        specs = [make_spec(index) for index in range(3)]
+        artifacts = [make_artifact(spec) for spec in specs]
+        sizes = []
+        probe = ArtifactStore(tmp_path / "probe")
+        for spec, artifact in zip(specs, artifacts):
+            key = probe.store(spec, artifact, ALL_PATHS)
+            sizes.append(probe._object_path(key).stat().st_size)
+        # Bound to exactly two objects.
+        store = ArtifactStore(tmp_path / "store", max_bytes=sizes[0] + sizes[1] + 1)
+        store.store(specs[0], artifacts[0], ALL_PATHS)
+        store.store(specs[1], artifacts[1], ALL_PATHS)
+        # Touch the oldest: it becomes most recent and must survive.
+        assert store.load(specs[0], ALL_PATHS) is not None
+        store.store(specs[2], artifacts[2], ALL_PATHS)
+        assert store.load(specs[0], ALL_PATHS) is not None
+        assert store.load(specs[1], ALL_PATHS) is None
+        assert store.load(specs[2], ALL_PATHS) is not None
+
+    def test_invalid_bound(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="max_bytes"):
+            ArtifactStore(tmp_path / "store", max_bytes=0)
+
+    def test_eviction_counts_objects_the_index_lost(self, tmp_path):
+        """The size bound holds against disk truth, not the index.
+
+        An object orphaned from the index (e.g. a racing writer's
+        last-writer-wins index replacement) must still be adopted and
+        evicted — the store may not grow past max_bytes just because the
+        accelerator went stale.
+        """
+        root = tmp_path / "store"
+        seed = ArtifactStore(root)
+        orphan_spec = make_spec(0)
+        seed.store(orphan_spec, make_artifact(orphan_spec), ALL_PATHS)
+        # Simulate the race: the object survives, the index forgot it.
+        seed._index_path.unlink()
+        seed._write_index(
+            {"version": 1, "sequence": 0, "entries": {}}
+        )
+
+        bounded = ArtifactStore(root, max_bytes=1)
+        fresh_spec = make_spec(1)
+        bounded.store(fresh_spec, make_artifact(fresh_spec), ALL_PATHS)
+        # The orphan was adopted (zero recency) and evicted; only the
+        # protected fresh object remains.
+        assert len(bounded) == 1
+        assert bounded.entries()[0].scenario == fresh_spec.name
+        assert bounded.stats.evictions == 1
+
+    def test_stale_index_entries_never_act_as_victims(self, tmp_path):
+        """An index entry whose object vanished must not absorb an eviction.
+
+        If the phantom were popped as the LRU victim, its bytes — never part
+        of the disk total — would be subtracted and the loop could exit with
+        the bound still violated and no file actually deleted.
+        """
+        root = tmp_path / "store"
+        seed = ArtifactStore(root)
+        specs = [make_spec(index) for index in range(3)]
+        keys = [
+            seed.store(spec, make_artifact(spec), ALL_PATHS) for spec in specs
+        ]
+        # Simulate another process's eviction: object 0 is gone but its
+        # (oldest, so first-victim) index entry survives.
+        seed._object_path(keys[0]).unlink()
+
+        size = seed._object_path(keys[1]).stat().st_size
+        bounded = ArtifactStore(root, max_bytes=size + 1)
+        fresh = make_spec(3)
+        bounded.store(fresh, make_artifact(fresh), ALL_PATHS)
+        # Real objects were evicted down to the bound (fresh one protected).
+        assert len(bounded) == 1
+        assert bounded.load(fresh, ALL_PATHS) is not None
+
+
+class TestConcurrency:
+    def test_concurrent_writers_do_not_corrupt(self, tmp_path):
+        """Many writers racing on one root: every object stays loadable.
+
+        Each writer uses its own ArtifactStore instance (same directory) so
+        index read-modify-write races genuinely happen; the objects are the
+        source of truth and must all survive intact.
+        """
+        root = tmp_path / "store"
+        specs = [make_spec(index) for index in range(16)]
+        artifacts = [make_artifact(spec) for spec in specs]
+
+        def write(index: int) -> str:
+            store = ArtifactStore(root)
+            return store.store(specs[index], artifacts[index], ALL_PATHS)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            keys = list(pool.map(write, range(len(specs))))
+        assert len(set(keys)) == len(specs)
+
+        reader = ArtifactStore(root)
+        assert len(reader) == len(specs)
+        for spec, artifact in zip(specs, artifacts):
+            loaded = reader.load(spec, ALL_PATHS)
+            assert loaded is not None
+            assert loaded.to_dict() == artifact.to_dict()
+        # The index (whatever subset of the races it recorded) lists every
+        # object after a scan, and no temporary files linger.
+        assert {entry.scenario for entry in reader.entries()} == {
+            spec.name for spec in specs
+        }
+        assert not list((root / "objects").glob(".*tmp"))
+
+    def test_concurrent_readers_and_writers(self, tmp_path):
+        root = tmp_path / "store"
+        seed_store = ArtifactStore(root)
+        specs = [make_spec(index) for index in range(8)]
+        for spec in specs:
+            seed_store.store(spec, make_artifact(spec), ALL_PATHS)
+
+        def churn(index: int) -> bool:
+            store = ArtifactStore(root)
+            spec = specs[index % len(specs)]
+            if index % 2:
+                store.store(spec, make_artifact(spec), ALL_PATHS)
+            return store.load(spec, ALL_PATHS) is not None
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(pool.map(churn, range(32)))
+        assert all(outcomes)

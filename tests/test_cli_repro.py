@@ -1,0 +1,180 @@
+"""``python -m repro`` CLI: run / list / show / diff end to end."""
+
+import json
+
+from repro.campaigns.cli import main
+from repro.campaigns import ArtifactStore, get_matrix
+from repro.scenarios import ScenarioSpec
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestList:
+    def test_lists_campaigns_and_population(self, capsys):
+        code, out, _ = run_cli(capsys, "list")
+        assert code == 0
+        assert "campaign_smoke" in out
+        assert "ring_geometry" in out
+        assert "scenarios:" in out
+
+    def test_verbose_lists_every_scenario(self, capsys):
+        code, out, _ = run_cli(capsys, "list", "-v")
+        assert code == 0
+        assert "workload_grid-kind_checkerboard-pw_16" in out
+
+    def test_lists_store_entries(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        code, out, _ = run_cli(
+            capsys,
+            "run",
+            "campaign_smoke",
+            "--store",
+            store_dir,
+            "--paths",
+            "steady",
+        )
+        assert code == 0
+        code, out, _ = run_cli(capsys, "list", "--store", store_dir)
+        assert code == 0
+        assert "4 artifacts" in out
+
+
+class TestShow:
+    def test_show_campaign(self, capsys):
+        code, out, _ = run_cli(capsys, "show", "campaign_smoke")
+        assert code == 0
+        assert "axis kind (workload.kind)" in out
+        assert "campaign_smoke-kind_hotspot-pvcsel_4.8" in out
+
+    def test_show_scenario_spec_is_valid_json(self, capsys):
+        code, out, _ = run_cli(capsys, "show", "scc_case_study")
+        assert code == 0
+        spec = ScenarioSpec.from_json(out)
+        assert spec.name == "scc_case_study"
+
+    def test_show_unknown_name_fails(self, capsys):
+        code, _, err = run_cli(capsys, "show", "nonsense")
+        assert code == 2
+        assert "neither" in err
+
+
+class TestRunAndDiff:
+    def test_run_cold_then_warm(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        report_path = tmp_path / "report.json"
+        code, out, _ = run_cli(
+            capsys,
+            "run",
+            "campaign_smoke",
+            "--store",
+            store_dir,
+            "--paths",
+            "steady,snr",
+            "--workers",
+            "2",
+            "--output",
+            str(report_path),
+        )
+        assert code == 0
+        assert "4 scenarios (0 from store, 4 computed)" in out
+        assert "worst_snr_db:" in out
+        report = json.loads(report_path.read_text())
+        assert report["summary"]["store_misses"] == 4
+
+        code, out, _ = run_cli(
+            capsys,
+            "run",
+            "campaign_smoke",
+            "--store",
+            store_dir,
+            "--paths",
+            "steady,snr",
+        )
+        assert code == 0
+        assert "4 from store, 0 computed" in out
+        assert "hit rate 100%" in out
+
+        # diff: equal stored artifacts agree; a perturbed copy does not.
+        store = ArtifactStore(store_dir)
+        entries = store.entries()
+        key = entries[0].key
+        code, out, _ = run_cli(
+            capsys, "diff", key[:12], key[:12], "--store", store_dir
+        )
+        assert code == 0
+        assert "agree" in out
+
+        perturbed = tmp_path / "perturbed.json"
+        record = store.get_record(key)
+        payload = dict(record["payload"])
+        payload["results"] = json.loads(json.dumps(payload["results"]))
+        payload["results"]["steady"]["max_oni_temperature_c"] += 1.0
+        perturbed.write_text(json.dumps(payload))
+        code, out, _ = run_cli(
+            capsys, "diff", key[:12], str(perturbed), "--store", store_dir
+        )
+        assert code == 1
+        assert "max_oni_temperature_c" in out
+
+    def test_diff_artifact_against_report_file(self, capsys, tmp_path):
+        """The README workflow: diff a stored key against a report JSON."""
+        store_dir = str(tmp_path / "store")
+        report_path = tmp_path / "report.json"
+        code, _, _ = run_cli(
+            capsys,
+            "run",
+            "campaign_smoke",
+            "--store",
+            store_dir,
+            "--paths",
+            "steady",
+            "--output",
+            str(report_path),
+        )
+        assert code == 0
+        store = ArtifactStore(store_dir)
+        for entry in store.entries():
+            code, out, _ = run_cli(
+                capsys,
+                "diff",
+                entry.key[:12],
+                str(report_path),
+                "--store",
+                store_dir,
+            )
+            assert code == 0, out
+            assert "agree" in out
+        # Report vs report compares every scenario's artifact at once.
+        code, out, _ = run_cli(
+            capsys, "diff", str(report_path), str(report_path)
+        )
+        assert code == 0
+        assert "agree" in out
+
+    def test_run_unknown_campaign(self, capsys):
+        code, _, err = run_cli(capsys, "run", "bogus")
+        assert code == 2
+        assert "unknown campaign" in err
+
+    def test_diff_on_missing_operand(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "diff", "missing_a", "missing_b"
+        )
+        assert code == 2
+        assert "neither" in err
+
+    def test_diff_on_malformed_json_file(self, capsys, tmp_path):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{ not json")
+        code, _, err = run_cli(capsys, "diff", str(broken), str(broken))
+        assert code == 2
+        assert "cannot read" in err
+
+    def test_run_rejects_empty_paths(self, capsys):
+        code, _, err = run_cli(capsys, "run", "campaign_smoke", "--paths", ",")
+        assert code == 2
+        assert "at least one analysis" in err

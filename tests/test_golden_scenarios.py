@@ -1,7 +1,7 @@
 """Golden regression harness: replay every registered scenario, pin its numbers.
 
-Each registered scenario (see :func:`repro.scenarios.default_registry`) is
-run end to end through all four analysis paths — steady, sweep, batched SNR,
+Each pinned scenario (the built-in catalogue plus the representative
+matrix-generated specs) is run end to end through all four analysis paths — steady, sweep, batched SNR,
 transient — and the resulting :class:`~repro.scenarios.ScenarioArtifact` is
 compared against the committed reference under ``tests/golden/`` with the
 per-quantity tolerances of :mod:`repro.scenarios.golden`.
@@ -24,16 +24,25 @@ from pathlib import Path
 
 import pytest
 
+from repro.campaigns import register_golden_representatives
 from repro.scenarios import (
     ALL_PATHS,
+    ScenarioRegistry,
     ScenarioRunner,
+    builtin_scenarios,
     compare_artifact_dicts,
-    default_registry,
 )
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
-SCENARIO_NAMES = default_registry().names()
+# The pinned population: the six hand-registered built-ins plus the three
+# representative matrix-generated scenarios (one per new axis family).  A
+# local registry keeps the shared default_registry() singleton untouched —
+# other tests must not see a population that depends on collection order.
+GOLDEN_REGISTRY = ScenarioRegistry()
+GOLDEN_REGISTRY.register_many(builtin_scenarios())
+register_golden_representatives(GOLDEN_REGISTRY)
+SCENARIO_NAMES = GOLDEN_REGISTRY.names()
 
 
 def golden_path(name: str) -> Path:
@@ -44,7 +53,7 @@ def golden_path(name: str) -> Path:
 @pytest.mark.parametrize("name", SCENARIO_NAMES)
 def test_scenario_matches_golden(name, update_golden):
     """End-to-end artifact of one scenario matches its committed reference."""
-    spec = default_registry().get(name)
+    spec = GOLDEN_REGISTRY.get(name)
     artifact = ScenarioRunner(spec).run(ALL_PATHS)
 
     # Every path actually produced a section.
@@ -89,7 +98,7 @@ def test_no_stale_golden_files():
 @pytest.mark.golden
 def test_artifact_regeneration_is_deterministic():
     """Running the same spec twice yields byte-identical artifact JSON."""
-    spec = default_registry().get("small_die_uniform")
+    spec = GOLDEN_REGISTRY.get("small_die_uniform")
     first = ScenarioRunner(spec).run(ALL_PATHS).to_json()
     second = ScenarioRunner(spec).run(ALL_PATHS).to_json()
     assert first == second

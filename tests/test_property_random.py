@@ -17,11 +17,13 @@ material parameter from a seeded :class:`random.Random`, so failures
 reproduce exactly.
 """
 
+import json
 import random
 
 import numpy as np
 import pytest
 
+from repro.scenarios import ScenarioSpec, canonical_json
 from repro.geometry import Layer, LayerStack, Rect, grid_floorplan
 from repro.materials import BEOL, COPPER, EPOXY, SILICON, THERMAL_INTERFACE
 from repro.snr import LaserDriveConfig, OniThermalState
@@ -146,6 +148,134 @@ class TestRandomMeshInvariants:
         assert len(floorplan) == columns * rows
         for instance in floorplan:
             assert outline.contains_rect(instance.rect)
+
+
+def random_spec(seed: int) -> ScenarioSpec:
+    """Seeded random scenario spec touching every section of the schema."""
+    rng = random.Random(seed)
+    workload_kind = rng.choice(
+        ["uniform", "diagonal", "random", "hotspot", "checkerboard", "gradient"]
+    )
+    data = {
+        "name": f"random_spec_{seed}",
+        "description": f"randomized spec (seed {seed})",
+        "chip": {
+            "die_width_mm": rng.uniform(10.0, 30.0),
+            "die_height_mm": rng.uniform(8.0, 24.0),
+            "tile_columns": rng.randint(1, 8),
+            "tile_rows": rng.randint(1, 6),
+            "include_infrastructure": rng.random() < 0.5,
+        },
+        "mesh": {
+            "oni_cell_size_um": rng.uniform(200.0, 800.0),
+            "die_cell_size_um": rng.uniform(1000.0, 4000.0),
+            "zoom_cell_size_um": rng.uniform(20.0, 50.0),
+            "ambient_c": rng.uniform(20.0, 50.0),
+        },
+        "network": {
+            "ring_length_mm": rng.uniform(8.0, 50.0),
+            "oni_count": rng.randint(2, 32),
+            "shift_hops": rng.choice([None, rng.randint(1, 5)]),
+        },
+        "power": {
+            "vcsel_power_mw": rng.uniform(0.5, 8.0),
+            "heater_ratio": rng.uniform(0.0, 1.0),
+            "drive_power_mw": rng.choice([None, rng.uniform(1.0, 6.0)]),
+        },
+        "workload": {
+            "kind": workload_kind,
+            "total_power_w": rng.uniform(5.0, 50.0),
+            "seed": rng.randint(0, 1000),
+            "infrastructure_fraction": rng.uniform(0.0, 0.9),
+            "params": {"hotspot_fraction": rng.uniform(0.1, 0.9)},
+        },
+        "trace": rng.choice(
+            [
+                None,
+                {
+                    "kind": rng.choice(
+                        ["migration", "ramp", "random_walk", "two_phase"]
+                    ),
+                    "phases": rng.randint(2, 8),
+                    "phase_duration_s": rng.uniform(0.5, 4.0),
+                    "seed": rng.randint(0, 1000),
+                    "dt_s": rng.uniform(0.1, 1.0),
+                    "initial": rng.choice(
+                        ["ambient", "steady", rng.uniform(20.0, 60.0)]
+                    ),
+                },
+            ]
+        ),
+        "sweep_scales": sorted(
+            rng.uniform(0.25, 2.0) for _ in range(rng.randint(1, 5))
+        ),
+        "snr_floor_db": rng.uniform(5.0, 25.0),
+    }
+    return ScenarioSpec.from_dict(data)
+
+
+def shuffle_keys(value, rng: random.Random):
+    """Deep copy with every dict's insertion order randomly permuted."""
+    if isinstance(value, dict):
+        keys = list(value)
+        rng.shuffle(keys)
+        return {key: shuffle_keys(value[key], rng) for key in keys}
+    if isinstance(value, list):
+        return [shuffle_keys(item, rng) for item in value]
+    return value
+
+
+class TestRandomSpecRoundTrip:
+    """ScenarioSpec serialisation: hash-stable under every JSON detour.
+
+    The content hash is what the golden harness, the bench IDs and the
+    on-disk artifact store key on, so it must survive dict key reordering
+    (JSON objects are unordered) and float re-serialisation (repr round
+    trips) without moving by a single bit.
+    """
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_dict_json_dict_round_trip_is_exact(self, seed):
+        spec = random_spec(seed)
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert rebuilt.to_dict() == spec.to_dict()
+        assert rebuilt.content_hash() == spec.content_hash()
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_hash_stable_under_key_reordering(self, seed):
+        spec = random_spec(seed)
+        rng = random.Random(seed + 1)
+        for _ in range(3):
+            shuffled = shuffle_keys(spec.to_dict(), rng)
+            # A non-canonical dump (insertion order preserved) genuinely
+            # permutes the byte stream...
+            dumped = json.dumps(shuffled)
+            # ...yet the rebuilt spec hashes identically.
+            rebuilt = ScenarioSpec.from_dict(json.loads(dumped))
+            assert rebuilt.content_hash() == spec.content_hash()
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_hash_stable_under_float_reserialization(self, seed):
+        spec = random_spec(seed)
+        text = canonical_json(spec.to_dict())
+        for _ in range(3):
+            # repr round trip: parse the JSON floats and re-serialise them.
+            text = canonical_json(json.loads(text))
+        rebuilt = ScenarioSpec.from_dict(json.loads(text))
+        assert rebuilt.content_hash() == spec.content_hash()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_any_leaf_change_moves_the_hash(self, seed):
+        spec = random_spec(seed)
+        nudged = spec.with_overrides(
+            {"workload.total_power_w": spec.workload.total_power_w + 0.125}
+        )
+        assert nudged.content_hash() != spec.content_hash()
+        assert nudged.design_hash() != spec.design_hash()
+        renamed = spec.with_overrides({"name": spec.name + "_renamed"})
+        assert renamed.content_hash() != spec.content_hash()
+        assert renamed.design_hash() == spec.design_hash()
 
 
 class TestRandomSnrParity:

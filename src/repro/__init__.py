@@ -69,10 +69,13 @@ from .campaigns import (
     ArtifactStore,
     CampaignReport,
     CampaignRunner,
+    EvaluationKernel,
     MatrixAxis,
     ScenarioMatrix,
+    SpecExecutionError,
     builtin_matrices,
     campaign_registry,
+    make_executor,
     run_campaign,
 )
 from .scenarios import (
@@ -151,6 +154,9 @@ __all__ = [
     "CampaignRunner",
     "CampaignReport",
     "ArtifactStore",
+    "EvaluationKernel",
+    "SpecExecutionError",
+    "make_executor",
     "builtin_matrices",
     "campaign_registry",
     "run_campaign",

@@ -1,16 +1,41 @@
-"""Campaigns: parametric scenario matrices, parallel execution, disk store.
+"""Campaigns: scenario matrices, pluggable executors, disk store backends.
 
-The campaign layer makes the scenario population *generative* and the
-replays *incremental*: a :class:`ScenarioMatrix` expands a base
-:class:`~repro.scenarios.ScenarioSpec` over declared axes into deduplicated
-concrete specs, the :class:`CampaignRunner` fans them out over a process
-pool, and the content-addressed :class:`ArtifactStore` persists every
+The campaign layer makes the scenario population *generative*, the
+execution substrate *pluggable* and the replays *incremental*: a
+:class:`ScenarioMatrix` expands a base :class:`~repro.scenarios.ScenarioSpec`
+over declared axes into deduplicated concrete specs; the
+:class:`CampaignRunner` composes the pure :class:`EvaluationKernel` with an
+:class:`Executor` strategy (serial / process pool / async in-process /
+queue-fed remote-worker simulator with crash-retry supervision); and the
+content-addressed :class:`ArtifactStore` — behind a flat or sharded
+directory :class:`~repro.campaigns.backends.StoreBackend` — persists every
 artifact on disk so re-running a campaign only computes specs whose content
-hash is new.  ``python -m repro`` exposes the whole layer on the command
-line (``run`` / ``list`` / ``show`` / ``diff``).  See
-``docs/architecture.md`` ("Campaign subsystem").
+hash is new.  Every executor is pinned byte-identical to serial by the
+executor-conformance suite.  ``python -m repro`` exposes the whole layer on
+the command line (``run --executor ...`` / ``list`` / ``show`` / ``diff``).
+See ``docs/architecture.md`` ("Execution kernel").
 """
 
+from .backends import (
+    BACKEND_NAMES,
+    FlatDirBackend,
+    ShardedDirBackend,
+    StoreBackend,
+    detect_backend,
+    make_backend,
+)
+from .executors import (
+    EXECUTOR_NAMES,
+    AsyncExecutor,
+    ExecutionResult,
+    Executor,
+    ProcessExecutor,
+    QueueExecutor,
+    SerialExecutor,
+    WorkItem,
+    make_executor,
+)
+from .kernel import EvaluationKernel, SpecExecutionError
 from .matrix import (
     GOLDEN_REPRESENTATIVES,
     CampaignPoint,
@@ -32,21 +57,38 @@ from .runner import (
 from .store import STORE_VERSION, ArtifactStore, StoreEntry, StoreStats
 
 __all__ = [
+    "BACKEND_NAMES",
+    "EXECUTOR_NAMES",
     "GOLDEN_REPRESENTATIVES",
     "STORE_VERSION",
     "ArtifactStore",
+    "AsyncExecutor",
     "CampaignPoint",
     "CampaignReport",
     "CampaignRunner",
+    "EvaluationKernel",
+    "ExecutionResult",
+    "Executor",
+    "FlatDirBackend",
     "MatrixAxis",
+    "ProcessExecutor",
+    "QueueExecutor",
     "ScenarioMatrix",
+    "SerialExecutor",
+    "ShardedDirBackend",
+    "SpecExecutionError",
+    "StoreBackend",
     "StoreEntry",
     "StoreStats",
+    "WorkItem",
     "axis_label",
     "builtin_matrices",
     "campaign_registry",
+    "detect_backend",
     "get_matrix",
     "golden_representative_specs",
+    "make_backend",
+    "make_executor",
     "register_golden_representatives",
     "run_campaign",
     "scenario_metrics",

@@ -1,0 +1,152 @@
+"""Artifact-store directory backends: where objects live on disk.
+
+The :class:`~repro.campaigns.store.ArtifactStore` owns *what* an object is
+(content addressing, integrity hashing, LRU accounting); a
+:class:`StoreBackend` owns *where* it lives.  Two layouts ship today:
+
+* :class:`FlatDirBackend` — ``objects/<key>.json``, the historical layout;
+* :class:`ShardedDirBackend` — ``objects/<key[:2]>/<key>.json``, 256-way
+  fan-out so a 100k-artifact campaign store never puts six figures of
+  entries in one directory (the object-store-ready layout).
+
+Both expose the same four operations (map a key to a path, enumerate
+objects, match a key prefix, provide a same-filesystem temp directory for
+atomic writes), and the store-backend conformance suite in
+``tests/test_campaigns_store.py`` runs the full store behaviour matrix —
+round trips, corruption quarantine, eviction, index rebuild — against every
+backend.  ``make_backend`` auto-detects the layout of an existing store so
+opening a sharded store never needs a flag.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterator, List, Tuple, Union
+
+from ..errors import ConfigurationError
+
+#: Backend registry names, in documentation order.
+BACKEND_NAMES: Tuple[str, ...] = ("flat", "sharded")
+
+
+class StoreBackend:
+    """Maps content-address keys to object files under ``root/objects``."""
+
+    #: Registry name of the layout (CLI ``--store-backend`` values).
+    name: str = "abstract"
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+
+    @property
+    def objects_root(self) -> Path:
+        return self.root / "objects"
+
+    def object_path(self, key: str) -> Path:
+        """File a key's object lives in (parent may not exist yet)."""
+        raise NotImplementedError
+
+    def temp_dir(self, key: str) -> Path:
+        """Directory for the atomic-write temp file of ``key`` (created).
+
+        Always the object's own parent, so ``os.replace`` stays within one
+        filesystem and is guaranteed atomic.
+        """
+        directory = self.object_path(key).parent
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory
+
+    def iter_object_paths(self) -> Iterator[Path]:
+        """Every object file, sorted by key (deterministic rebuilds)."""
+        raise NotImplementedError
+
+    def find_keys(self, prefix: str) -> List[str]:
+        """Sorted keys matching a (possibly short) hex-prefix."""
+        return sorted(
+            path.stem
+            for path in self.iter_object_paths()
+            if path.stem.startswith(prefix)
+        )
+
+
+class FlatDirBackend(StoreBackend):
+    """``objects/<key>.json`` — one directory, the seed layout."""
+
+    name = "flat"
+
+    def object_path(self, key: str) -> Path:
+        return self.objects_root / f"{key}.json"
+
+    def iter_object_paths(self) -> Iterator[Path]:
+        return iter(sorted(self.objects_root.glob("*.json")))
+
+    def find_keys(self, prefix: str) -> List[str]:
+        return sorted(
+            path.stem for path in self.objects_root.glob(f"{prefix}*.json")
+        )
+
+
+class ShardedDirBackend(StoreBackend):
+    """``objects/<key[:width]>/<key>.json`` — bounded directory fan-out."""
+
+    name = "sharded"
+
+    def __init__(self, root: os.PathLike, shard_width: int = 2) -> None:
+        super().__init__(root)
+        if shard_width < 1:
+            raise ConfigurationError("shard_width must be >= 1")
+        self.shard_width = shard_width
+
+    def object_path(self, key: str) -> Path:
+        return self.objects_root / key[: self.shard_width] / f"{key}.json"
+
+    def iter_object_paths(self) -> Iterator[Path]:
+        return iter(
+            sorted(
+                path
+                for path in self.objects_root.glob("*/*.json")
+                if path.parent.name == path.stem[: self.shard_width]
+            )
+        )
+
+    def find_keys(self, prefix: str) -> List[str]:
+        if len(prefix) >= self.shard_width:
+            shard = self.objects_root / prefix[: self.shard_width]
+            return sorted(path.stem for path in shard.glob(f"{prefix}*.json"))
+        return super().find_keys(prefix)
+
+
+def detect_backend(root: os.PathLike) -> str:
+    """Layout of an existing store directory (``flat`` for new/empty ones).
+
+    A store whose ``objects/`` directory contains subdirectories is sharded;
+    anything else — including a store that does not exist yet — defaults to
+    the flat seed layout, so auto-detection can never misread an old store.
+    """
+    objects = Path(root) / "objects"
+    try:
+        for entry in objects.iterdir():
+            if entry.is_dir():
+                return "sharded"
+    except OSError:
+        pass
+    return "flat"
+
+
+def make_backend(
+    root: os.PathLike, backend: Union[str, StoreBackend, None] = None
+) -> StoreBackend:
+    """Resolve a backend from a name, an instance, or by auto-detection."""
+    if isinstance(backend, StoreBackend):
+        return backend
+    if backend is None or backend == "auto":
+        backend = detect_backend(root)
+    if backend == "flat":
+        return FlatDirBackend(root)
+    if backend == "sharded":
+        return ShardedDirBackend(root)
+    raise ConfigurationError(
+        f"unknown store backend {backend!r}; available: "
+        f"{list(BACKEND_NAMES)} (or 'auto')"
+    )

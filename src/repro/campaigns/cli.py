@@ -4,9 +4,11 @@ Subcommands
 -----------
 ``run CAMPAIGN``
     Expand a built-in matrix and execute it (optionally against a persistent
-    ``--store``, optionally fanned out over ``--workers`` processes); prints
-    the cross-scenario summary table and optionally writes the full report
-    JSON with ``--output``.
+    ``--store``, fanned out over the ``--executor`` strategy of choice —
+    serial, process pool, async in-process or the supervised queue-worker
+    simulator — sized by ``--workers``); prints the cross-scenario summary
+    table, any per-spec failure provenance, and optionally writes the full
+    report JSON with ``--output``.
 ``list``
     Built-in campaigns, the full generative scenario population and — with
     ``--store`` — the artifacts currently on disk.
@@ -28,6 +30,8 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import ReproError
 from ..scenarios import ALL_PATHS, compare_artifact_dicts
+from .backends import BACKEND_NAMES
+from .executors import EXECUTOR_NAMES
 from .matrix import builtin_matrices, campaign_registry, get_matrix
 from .runner import CampaignRunner
 from .store import ArtifactStore
@@ -41,8 +45,10 @@ def _fmt(value: Any, precision: int = 2) -> str:
     return str(value)
 
 
-def _open_store(path: Optional[str]) -> Optional[ArtifactStore]:
-    return None if path is None else ArtifactStore(Path(path))
+def _open_store(
+    path: Optional[str], backend: Optional[str] = None
+) -> Optional[ArtifactStore]:
+    return None if path is None else ArtifactStore(Path(path), backend=backend)
 
 
 def _parse_paths(raw: Optional[str]) -> Sequence[str]:
@@ -53,12 +59,16 @@ def _parse_paths(raw: Optional[str]) -> Sequence[str]:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     matrix = get_matrix(args.campaign)
-    store = _open_store(args.store)
+    store = _open_store(args.store, args.store_backend)
     runner = CampaignRunner(
         matrix,
         store=store,
         paths=_parse_paths(args.paths),
         workers=args.workers,
+        executor=args.executor,
+        on_error=args.on_error,
+        max_retries=args.max_retries,
+        timeout_s=args.timeout,
     )
     report = runner.run()
     summary = report.summary
@@ -87,6 +97,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(
                 f"{metric}: {_fmt(extreme['value'])} {unit} "
                 f"({extreme['scenario']})"
+            )
+    if report.failures:
+        print(f"failures ({summary['failed']} unresolved):")
+        for name, provenance in sorted(report.failures.items()):
+            state = "recovered" if provenance["resolved"] else "quarantined"
+            last = provenance["incidents"][-1]
+            print(
+                f"  {name} [{provenance['design_hash'][:12]}] {state} "
+                f"after {provenance['attempts']} attempt(s): "
+                f"{last['type']}: {last['message']}"
             )
     if store is not None:
         stats = store.stats
@@ -240,7 +260,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", default=None, help="artifact store directory (persistent)"
     )
     run.add_argument(
-        "--workers", type=int, default=None, help="process-pool width"
+        "--store-backend",
+        default=None,
+        choices=list(BACKEND_NAMES) + ["auto"],
+        help="store directory layout (default: auto-detect, flat for new stores)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None, help="executor worker/concurrency width"
+    )
+    run.add_argument(
+        "--executor",
+        default=None,
+        choices=list(EXECUTOR_NAMES),
+        help="execution strategy (default: process pool when --workers > 1, else serial)",
+    )
+    run.add_argument(
+        "--on-error",
+        default="raise",
+        choices=["raise", "quarantine"],
+        help="re-raise the first failing spec, or quarantine failures into the report",
+    )
+    run.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="bounded per-spec retries of the queue executor (default: 2)",
+    )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-spec deadline [s] of the queue executor (hung workers are killed)",
     )
     run.add_argument(
         "--paths",

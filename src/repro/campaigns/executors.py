@@ -1,0 +1,488 @@
+"""Execution strategies: fan a kernel over campaign work items.
+
+An :class:`Executor` turns ``(kernel, work items)`` into a stream of
+:class:`ExecutionResult` objects.  Four substrates implement the same
+contract, and the executor-conformance suite asserts they are
+interchangeable byte for byte:
+
+* :class:`SerialExecutor` — in-process, in submission order; the reference
+  every other executor is compared against;
+* :class:`ProcessExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  fan-out (the historical ``workers=N`` path), results yielded in submission
+  order as they complete;
+* :class:`AsyncExecutor` — an asyncio event loop dispatching kernel calls to
+  a small thread pool; the in-process shape the evaluation service will run
+  on (specs are pure and content-cached per runner, so threads cannot change
+  a byte of any artifact);
+* :class:`QueueExecutor` — a local-queue "remote worker" simulator: worker
+  *processes* fed over per-worker task queues with supervision — crashed
+  workers are detected and respawned, hung workers are killed on a deadline,
+  failed tasks are retried a bounded number of times and a spec that keeps
+  failing is quarantined with its full incident history instead of sinking
+  the campaign.
+
+Executors never raise for a failing spec: every work item produces exactly
+one :class:`ExecutionResult` carrying either the artifact or the failure
+provenance (error type, message, attempts, incident list), and the
+:class:`~repro.campaigns.runner.CampaignRunner` decides whether to re-raise
+(:class:`~repro.campaigns.kernel.SpecExecutionError`) or to quarantine and
+keep going.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import queue as queue_module
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor as _FuturesProcessPool
+from concurrent.futures import ThreadPoolExecutor as _FuturesThreadPool
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from .kernel import EvaluationKernel
+
+#: Executor registry names, in documentation order.
+EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "process", "async", "queue")
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One spec of a campaign, as plain picklable data.
+
+    ``index`` is the submission position (stable across executors),
+    ``spec_hash``/``design_hash`` are carried for failure provenance so a
+    worker never has to re-derive them.
+    """
+
+    index: int
+    name: str
+    spec_hash: str
+    design_hash: str
+    spec_dict: Dict[str, Any]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one work item: an artifact or a failure, never silence.
+
+    ``incidents`` lists every failed attempt (``{"attempt", "type",
+    "message"}``) even when a later retry succeeded, so the campaign report
+    can show that a spec crashed twice before completing.
+    """
+
+    item: WorkItem
+    artifact: Optional[Dict[str, Any]] = None
+    stats: Optional[Dict[str, int]] = None
+    attempts: int = 1
+    incidents: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the item produced an artifact."""
+        return self.artifact is not None
+
+    @property
+    def error(self) -> Optional[Dict[str, Any]]:
+        """Terminal failure (the last incident) of an unresolved item."""
+        if self.ok or not self.incidents:
+            return None
+        return self.incidents[-1]
+
+
+def _incident(attempt: int, error_type: str, message: str) -> Dict[str, Any]:
+    return {"attempt": attempt, "type": error_type, "message": message}
+
+
+class Executor:
+    """Strategy interface: stream results for a kernel over work items.
+
+    ``execute`` yields one :class:`ExecutionResult` per item (order may
+    differ from submission for genuinely concurrent substrates); the caller
+    absorbs each result as it arrives, so completed artifacts persist to the
+    store even when a later item fails.
+    """
+
+    #: Registry name of the strategy (CLI ``--executor`` values).
+    name: str = "abstract"
+
+    def execute(
+        self, kernel: EvaluationKernel, items: Sequence[WorkItem]
+    ) -> Iterator[ExecutionResult]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-process, in submission order — the conformance reference."""
+
+    name = "serial"
+
+    def execute(
+        self, kernel: EvaluationKernel, items: Sequence[WorkItem]
+    ) -> Iterator[ExecutionResult]:
+        for item in items:
+            try:
+                artifact, stats = kernel.run(item.spec_dict)
+            except Exception as error:
+                yield ExecutionResult(
+                    item,
+                    incidents=[_incident(1, type(error).__name__, str(error))],
+                )
+            else:
+                yield ExecutionResult(item, artifact, stats)
+
+
+class ProcessExecutor(Executor):
+    """Process-pool fan-out (one fresh runner per spec, one spec per task).
+
+    A worker that dies (``BrokenProcessPool``) fails the item it was
+    computing *with that item's provenance*; the pool is not retried — the
+    :class:`QueueExecutor` is the substrate with crash-recovery semantics.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 4) -> None:
+        if workers < 1:
+            raise ConfigurationError("process executor needs workers >= 1")
+        self.workers = workers
+
+    def execute(
+        self, kernel: EvaluationKernel, items: Sequence[WorkItem]
+    ) -> Iterator[ExecutionResult]:
+        if len(items) == 1 or self.workers == 1:
+            yield from SerialExecutor().execute(kernel, items)
+            return
+        with _FuturesProcessPool(
+            max_workers=min(self.workers, len(items))
+        ) as pool:
+            futures = [
+                pool.submit(kernel.run, item.spec_dict) for item in items
+            ]
+            for item, future in zip(items, futures):
+                try:
+                    artifact, stats = future.result()
+                except Exception as error:
+                    yield ExecutionResult(
+                        item,
+                        incidents=[
+                            _incident(1, type(error).__name__, str(error))
+                        ],
+                    )
+                else:
+                    yield ExecutionResult(item, artifact, stats)
+
+
+class AsyncExecutor(Executor):
+    """Asyncio in-process executor (kernel calls on a small thread pool).
+
+    The shape the long-running evaluation service runs on: an event loop
+    owns the campaign, kernel calls are awaited concurrently.  Compute is
+    GIL-bound, so this buys overlap with I/O (store reads, future network
+    handlers), not parallel solves — and because every kernel call builds
+    its own runner, concurrency cannot change a byte of any artifact.
+    """
+
+    name = "async"
+
+    def __init__(self, concurrency: int = 4) -> None:
+        if concurrency < 1:
+            raise ConfigurationError("async executor needs concurrency >= 1")
+        self.concurrency = concurrency
+
+    def execute(
+        self, kernel: EvaluationKernel, items: Sequence[WorkItem]
+    ) -> Iterator[ExecutionResult]:
+        yield from asyncio.run(self._gather(kernel, items))
+
+    async def _gather(
+        self, kernel: EvaluationKernel, items: Sequence[WorkItem]
+    ) -> List[ExecutionResult]:
+        loop = asyncio.get_running_loop()
+        semaphore = asyncio.Semaphore(self.concurrency)
+
+        def call(item: WorkItem) -> ExecutionResult:
+            try:
+                artifact, stats = kernel.run(item.spec_dict)
+            except Exception as error:
+                return ExecutionResult(
+                    item,
+                    incidents=[_incident(1, type(error).__name__, str(error))],
+                )
+            return ExecutionResult(item, artifact, stats)
+
+        with _FuturesThreadPool(max_workers=self.concurrency) as pool:
+
+            async def one(item: WorkItem) -> ExecutionResult:
+                async with semaphore:
+                    return await loop.run_in_executor(pool, call, item)
+
+            return list(await asyncio.gather(*(one(item) for item in items)))
+
+
+def _queue_worker(task_queue, result_queue, kernel: EvaluationKernel) -> None:
+    """Queue-worker main loop: tasks in, ``(index, attempt, ok, payload)`` out.
+
+    Runs until the ``None`` sentinel.  Exceptions are shipped back as plain
+    ``(type name, message)`` pairs — never pickled exception objects, which
+    may themselves fail to pickle (that is one of the faults the conformance
+    suite injects).
+    """
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        index, attempt, spec_dict = task
+        try:
+            artifact, stats = kernel.run(spec_dict)
+        except BaseException as error:  # ship the failure, keep serving
+            result_queue.put(
+                (index, attempt, False, (type(error).__name__, str(error)))
+            )
+        else:
+            result_queue.put((index, attempt, True, (artifact, stats)))
+
+
+class _WorkerHandle:
+    """Supervisor-side state of one queue worker process."""
+
+    def __init__(self, context, result_queue, kernel) -> None:
+        self.task_queue = context.Queue()
+        self.process = context.Process(
+            target=_queue_worker,
+            args=(self.task_queue, result_queue, kernel),
+            daemon=True,
+        )
+        self.process.start()
+        #: ``(index, attempt)`` of the task in flight, or None when idle.
+        self.current: Optional[Tuple[int, int]] = None
+        self.deadline: Optional[float] = None
+
+    def dispatch(
+        self, index: int, attempt: int, spec_dict, timeout_s: Optional[float]
+    ) -> None:
+        self.task_queue.put((index, attempt, spec_dict))
+        self.current = (index, attempt)
+        self.deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+
+    def stop(self) -> None:
+        """Best-effort shutdown: sentinel, short join, then hard kill."""
+        if self.process.is_alive():
+            try:
+                self.task_queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover - closed queue
+                pass
+            self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+        self.task_queue.close()
+
+
+class QueueExecutor(Executor):
+    """Local-queue "remote worker" simulator with crash/timeout/retry.
+
+    Worker *processes* each consume a private task queue and post results to
+    one shared result queue — the minimal shape of a distributed campaign
+    (N workers pulling specs off a broker).  The supervisor loop adds the
+    semantics a remote fleet needs and the conformance suite injects faults
+    against:
+
+    * **crash detection** — a worker that dies mid-task (segfault,
+      ``os._exit``, OOM-kill) is noticed via ``is_alive``, the task is
+      recorded as a ``WorkerCrashed`` incident and requeued, and a fresh
+      worker (with a fresh task queue) replaces the dead one;
+    * **hang detection** — with ``timeout_s`` set, a task that misses its
+      deadline gets its worker terminated (``WorkerTimeout`` incident) and
+      is retried on a fresh worker;
+    * **bounded retries with poison quarantine** — each task runs at most
+      ``1 + max_retries`` times; a spec that still fails is *quarantined*:
+      its result carries the full incident history and the campaign
+      continues (the runner decides raise-vs-record);
+    * **stale-result fencing** — every dispatch is stamped with its attempt
+      number and results are accepted only for the attempt currently
+      outstanding, so a worker killed a microsecond after posting its result
+      cannot double-complete a retried task.
+
+    Results are yielded in completion order; campaign reports are
+    order-independent by construction, so this is invisible downstream
+    (pinned by the conformance suite).
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_retries: int = 2,
+        timeout_s: Optional[float] = None,
+        poll_s: float = 0.02,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("queue executor needs workers >= 1")
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be > 0 (or None)")
+        self.workers = workers
+        self.max_retries = max_retries
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s
+        self.start_method = start_method
+
+    def execute(
+        self, kernel: EvaluationKernel, items: Sequence[WorkItem]
+    ) -> Iterator[ExecutionResult]:
+        context = multiprocessing.get_context(self.start_method)
+        result_queue = context.Queue()
+        #: (item, attempt, incidents) not yet dispatched.
+        pending = deque((item, 1, []) for item in items)
+        #: index -> (attempt, incidents, item) currently on a worker.
+        outstanding: Dict[int, Tuple[int, List[Dict[str, Any]], WorkItem]] = {}
+        workers = [
+            _WorkerHandle(context, result_queue, kernel)
+            for _ in range(min(self.workers, len(items)))
+        ]
+        done = 0
+        try:
+            while done < len(items):
+                for handle in workers:
+                    if handle.current is None and pending:
+                        item, attempt, incidents = pending.popleft()
+                        outstanding[item.index] = (attempt, incidents, item)
+                        handle.dispatch(
+                            item.index, attempt, item.spec_dict, self.timeout_s
+                        )
+                result = self._collect(
+                    result_queue, outstanding, workers, pending
+                )
+                if result is not None:
+                    done += 1
+                    yield result
+                for failure in self._check_health(
+                    context, result_queue, kernel, outstanding, workers, pending
+                ):
+                    done += 1
+                    yield failure
+        finally:
+            for handle in workers:
+                handle.stop()
+            result_queue.close()
+
+    # Supervisor steps -------------------------------------------------------
+
+    def _collect(
+        self, result_queue, outstanding, workers, pending
+    ) -> Optional[ExecutionResult]:
+        """Receive at most one result; retry or finalise its task."""
+        try:
+            index, attempt, ok, payload = result_queue.get(timeout=self.poll_s)
+        except queue_module.Empty:
+            return None
+        record = outstanding.get(index)
+        if record is None or record[0] != attempt:
+            return None  # stale: the attempt was already failed over
+        _, incidents, item = record
+        del outstanding[index]
+        for handle in workers:
+            if handle.current == (index, attempt):
+                handle.current = None
+        if ok:
+            artifact, stats = payload
+            return ExecutionResult(item, artifact, stats, attempt, incidents)
+        error_type, message = payload
+        incidents.append(_incident(attempt, error_type, message))
+        return self._retry_or_quarantine(item, attempt, incidents, pending)
+
+    def _check_health(
+        self, context, result_queue, kernel, outstanding, workers, pending
+    ) -> List[ExecutionResult]:
+        """Detect dead and overdue workers; respawn and fail their tasks over."""
+        failures: List[ExecutionResult] = []
+        for position, handle in enumerate(workers):
+            alive = handle.process.is_alive()
+            if handle.current is None:
+                if not alive:  # pragma: no cover - idle death is benign
+                    workers[position] = _WorkerHandle(
+                        context, result_queue, kernel
+                    )
+                continue
+            index, attempt = handle.current
+            if alive and (
+                handle.deadline is None or time.monotonic() < handle.deadline
+            ):
+                continue
+            if alive:  # overdue: kill the hung worker
+                error_type = "WorkerTimeout"
+                message = (
+                    f"no result within {self.timeout_s}s; worker terminated"
+                )
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+            else:
+                error_type = "WorkerCrashed"
+                message = (
+                    f"worker exited with code {handle.process.exitcode} "
+                    "mid-task"
+                )
+            workers[position] = _WorkerHandle(context, result_queue, kernel)
+            record = outstanding.pop(index, None)
+            if record is None or record[0] != attempt:
+                continue  # its result landed just before the worker died
+            _, incidents, item = record
+            incidents.append(_incident(attempt, error_type, message))
+            failure = self._retry_or_quarantine(
+                item, attempt, incidents, pending
+            )
+            if failure is not None:
+                failures.append(failure)
+        return failures
+
+    def _retry_or_quarantine(
+        self, item, attempt, incidents, pending
+    ) -> Optional[ExecutionResult]:
+        """Requeue a failed attempt, or finalise the item as quarantined."""
+        if attempt <= self.max_retries:
+            pending.append((item, attempt + 1, incidents))
+            return None
+        return ExecutionResult(item, attempts=attempt, incidents=incidents)
+
+
+def make_executor(
+    executor: Union[str, Executor, None] = None,
+    workers: Optional[int] = None,
+    max_retries: int = 2,
+    timeout_s: Optional[float] = None,
+) -> Executor:
+    """Resolve an executor strategy from a name, instance or legacy knobs.
+
+    ``None`` keeps the historical ``workers=N`` behaviour: a process pool
+    when ``workers > 1``, serial otherwise.  A string picks a registry
+    strategy (``serial`` / ``process`` / ``async`` / ``queue``), sized by
+    ``workers`` where that applies.  An :class:`Executor` instance passes
+    through untouched.
+    """
+    if isinstance(executor, Executor):
+        return executor
+    if executor is None:
+        if workers is not None and workers > 1:
+            return ProcessExecutor(workers)
+        return SerialExecutor()
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "process":
+        return ProcessExecutor(workers or 4)
+    if executor == "async":
+        return AsyncExecutor(workers or 4)
+    if executor == "queue":
+        return QueueExecutor(
+            workers or 2, max_retries=max_retries, timeout_s=timeout_s
+        )
+    raise ConfigurationError(
+        f"unknown executor {executor!r}; available: {list(EXECUTOR_NAMES)}"
+    )

@@ -1,0 +1,106 @@
+"""Stateless evaluation kernel: one validated spec in, one artifact out.
+
+The :class:`EvaluationKernel` is the pure core every execution substrate
+shares: a picklable value object mapping a validated
+:class:`~repro.scenarios.spec.ScenarioSpec` (shipped as its plain-dict form)
+to a byte-deterministic :class:`~repro.scenarios.runner.ScenarioArtifact`
+plus the engine counters of the run.  It holds **no process-global state** —
+every call builds a fresh :class:`~repro.scenarios.runner.ScenarioRunner`,
+whose flow carries its own :class:`~repro.methodology.SweepEngine` — so the
+same kernel instance produces byte-identical artifacts whether it runs
+inline, on a thread of the async executor, in a process-pool worker or in a
+queue-fed worker process.  That substrate-independence is what the
+executor-conformance suite (``tests/test_executor_conformance.py``) pins.
+
+:class:`SpecExecutionError` is the failure envelope of the campaign layer:
+any exception escaping a kernel call is re-raised (or quarantined) with the
+failing spec's name, ``design_hash`` and attempt count attached, so a pool
+traceback always names its spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..scenarios import ALL_PATHS, ScenarioArtifact, ScenarioRunner, ScenarioSpec
+
+
+class SpecExecutionError(ConfigurationError):
+    """One spec of a campaign failed, with full provenance attached.
+
+    Carries the scenario name, its ``design_hash`` (physical content, name
+    excluded) and how many attempts the executor made, so a failure fanned
+    out over any execution substrate surfaces with the same diagnostics a
+    serial run would give.
+    """
+
+    def __init__(
+        self,
+        scenario: str,
+        design_hash: str,
+        attempts: int,
+        error_type: str,
+        message: str,
+    ) -> None:
+        self.scenario = scenario
+        self.design_hash = design_hash
+        self.attempts = attempts
+        self.error_type = error_type
+        super().__init__(
+            f"scenario {scenario!r} (design_hash {design_hash[:12]}) failed "
+            f"after {attempts} attempt(s): {error_type}: {message}"
+        )
+
+
+@dataclass(frozen=True)
+class EvaluationKernel:
+    """Pure ``spec -> artifact`` function, safe to ship to any executor.
+
+    Parameters
+    ----------
+    paths:
+        Analysis paths every evaluation runs, validated at construction so a
+        bad path fails in the coordinator process, not deep inside a worker.
+
+    The kernel is a frozen dataclass of plain data, so it pickles cheaply
+    (process pools, queue workers) and hashes/compares by value.  Subclasses
+    used by the fault-injection tests override :meth:`run` to simulate
+    crashing, hanging or transiently failing workers around the same pure
+    core.
+    """
+
+    paths: Tuple[str, ...] = ALL_PATHS
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "paths", tuple(self.paths))
+        if not self.paths:
+            raise ConfigurationError(
+                f"an evaluation kernel needs at least one analysis path "
+                f"(available: {list(ALL_PATHS)})"
+            )
+        unknown = sorted(set(self.paths) - set(ALL_PATHS))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown analysis paths {unknown}; available: {list(ALL_PATHS)}"
+            )
+
+    def evaluate(self, spec: ScenarioSpec) -> ScenarioArtifact:
+        """Run one validated spec on a fresh runner (live-object form)."""
+        return ScenarioRunner(spec).run(self.paths)
+
+    def run(
+        self, spec_dict: Mapping[str, Any]
+    ) -> Tuple[Dict[str, Any], Dict[str, int]]:
+        """Worker entry point: plain data in, plain data out.
+
+        Ships the spec as its validated dict form and returns
+        ``(artifact dict, engine counters dict)`` — both cheap to pickle
+        back from a worker process.  Deterministic: the same spec dict
+        always yields the identical artifact bytes.
+        """
+        spec = ScenarioSpec.from_dict(dict(spec_dict))
+        runner = ScenarioRunner(spec)
+        artifact = runner.run(self.paths)
+        return artifact.to_dict(), runner.engine().stats.to_dict()

@@ -1,31 +1,37 @@
-"""Campaign execution: fan concrete specs out, merge artifacts into a report.
+"""Campaign execution: compose kernel × executor × store into a report.
 
 A *campaign* is a list of :class:`~repro.campaigns.matrix.CampaignPoint`
-objects — usually one matrix expansion.  The :class:`CampaignRunner`
+objects — usually one matrix expansion.  The :class:`CampaignRunner` is a
+thin composition of three strategies:
 
-* serves every spec whose content address is already in the
-  :class:`~repro.campaigns.store.ArtifactStore` straight from disk,
-* fans the remaining specs out over a process pool (the
-  ``SweepEngine workers=N`` pattern: one worker process per independent
-  mesh), or runs them serially when ``workers`` is 1/None,
-* persists every freshly computed artifact back into the store, and
-* merges the per-spec :class:`~repro.scenarios.runner.ScenarioArtifact`
-  documents plus the per-spec engine counters into one
-  :class:`CampaignReport` with cross-scenario summary tables (worst SNR,
-  peak temperature and slowest settling per axis value).
+* the pure :class:`~repro.campaigns.kernel.EvaluationKernel` maps one
+  validated spec to a byte-deterministic artifact (no process-global state);
+* an :class:`~repro.campaigns.executors.Executor` fans the kernel over the
+  specs the :class:`~repro.campaigns.store.ArtifactStore` could not serve —
+  serial, process pool, asyncio-in-process, or the queue-fed remote-worker
+  simulator with crash/timeout/retry supervision;
+* the store (behind a pluggable directory backend) serves warm specs up
+  front and persists every fresh artifact the moment it exists, so a failed
+  campaign resumes incrementally.
 
-Reports are byte-deterministic, and — because every spec runs on its own
-fresh :class:`~repro.scenarios.runner.ScenarioRunner` whether it executes in
-a worker process or inline — a ``workers=4`` campaign produces artifact JSON
-byte-identical to the same campaign run serially (pinned by the tier-1
-determinism-parity test).
+The merged :class:`CampaignReport` carries per-spec artifacts, summed engine
+counters, cross-scenario summary tables (worst SNR, peak temperature and
+slowest settling per axis value) and — new with the executor layer —
+per-spec *failure provenance*: every failed attempt of every spec, with the
+spec's name and ``design_hash``, whether the spec eventually completed
+(worker crash, retry, success) or was quarantined.
+
+Reports are byte-deterministic and executor-independent: because every spec
+runs on its own fresh :class:`~repro.scenarios.runner.ScenarioRunner`
+whatever the substrate, all four executors produce artifact JSON — and store
+contents — byte-identical to a serial run (pinned by the tier-1
+executor-conformance suite).
 """
 
 from __future__ import annotations
 
 import json
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigurationError
@@ -34,26 +40,12 @@ from ..scenarios import (
     ALL_PATHS,
     SCHEMA_VERSION,
     ScenarioArtifact,
-    ScenarioRunner,
     ScenarioSpec,
 )
+from .executors import Executor, ExecutionResult, WorkItem, make_executor
+from .kernel import EvaluationKernel, SpecExecutionError
 from .matrix import CampaignPoint, ScenarioMatrix
 from .store import ArtifactStore
-
-
-def _execute_spec(
-    spec_dict: Dict[str, Any], paths: Tuple[str, ...]
-) -> Tuple[Dict[str, Any], Dict[str, int]]:
-    """Worker entry point: run one spec end to end on a fresh runner.
-
-    Lives at module level so a process pool can pickle it; ships the spec as
-    its validated plain-dict form and returns (artifact dict, engine
-    counters) — both plain data, cheap to pickle back.
-    """
-    spec = ScenarioSpec.from_dict(spec_dict)
-    runner = ScenarioRunner(spec)
-    artifact = runner.run(paths)
-    return artifact.to_dict(), runner.engine().stats.to_dict()
 
 
 def _metric_min(values: List[Optional[float]]) -> Optional[float]:
@@ -111,7 +103,15 @@ def scenario_metrics(artifact: Mapping[str, Any]) -> Dict[str, Optional[float]]:
 
 @dataclass
 class CampaignReport:
-    """Merged result of one campaign run (plain JSON document)."""
+    """Merged result of one campaign run (plain JSON document).
+
+    ``failures`` maps scenario names to their failure provenance: the
+    spec/design hashes, every failed attempt (``incidents``), the total
+    attempt count and whether a retry eventually ``resolved`` the spec.  A
+    fault-free campaign has an empty ``failures`` document whatever the
+    executor — which is what keeps reports byte-identical across execution
+    substrates.
+    """
 
     campaign: str
     paths: Tuple[str, ...]
@@ -120,6 +120,7 @@ class CampaignReport:
     summary: Dict[str, Any]
     engine: Dict[str, int]
     store: Optional[Dict[str, int]] = None
+    failures: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict view of the report."""
@@ -132,6 +133,7 @@ class CampaignReport:
             "summary": self.summary,
             "engine": self.engine,
             "store": self.store,
+            "failures": self.failures,
         }
 
     def to_json(self) -> str:
@@ -149,10 +151,20 @@ class CampaignReport:
             ) from None
 
     def summary_rows(self) -> List[Dict[str, Any]]:
-        """One row per scenario (name, axes, headline metrics) — CLI tables."""
+        """One row per scenario (name, axes, headline metrics) — CLI tables.
+
+        Quarantined scenarios (present in ``failures``, absent from
+        ``artifacts``) contribute a row with ``None`` metrics so the table
+        still shows one line per declared scenario.
+        """
         rows = []
         for entry in self.scenarios:
-            metrics = scenario_metrics(self.artifacts[entry["name"]])
+            artifact = self.artifacts.get(entry["name"])
+            metrics = (
+                {"worst_snr_db": None, "peak_temperature_c": None, "settling_s": None}
+                if artifact is None
+                else scenario_metrics(artifact)
+            )
             rows.append({**entry, **metrics})
         return rows
 
@@ -173,10 +185,29 @@ class CampaignRunner:
     paths:
         Analysis paths every scenario runs (default: all four).
     workers:
-        Process-pool width for the specs the store cannot serve; 1/None runs
-        them serially in-process.
+        Worker/concurrency width of the executor.  Kept for compatibility:
+        with no explicit ``executor``, ``workers > 1`` selects the process
+        pool and 1/None runs serially in-process.
     name:
         Report name; defaults to the matrix name (required for bare lists).
+    executor:
+        Execution strategy for the specs the store cannot serve: a registry
+        name (``serial`` / ``process`` / ``async`` / ``queue``), an
+        :class:`~repro.campaigns.executors.Executor` instance, or ``None``
+        for the legacy ``workers``-driven default.
+    on_error:
+        ``"raise"`` (default) re-raises the first failing spec as a
+        :class:`~repro.campaigns.kernel.SpecExecutionError` carrying its
+        name and ``design_hash``; ``"quarantine"`` records every failure in
+        the report (``failures`` + ``summary["failed"]``) and completes the
+        campaign — with a store attached, a later re-run resumes from the
+        completed artifacts and only retries the failed specs.
+    max_retries / timeout_s:
+        Fault-tolerance knobs of the ``queue`` executor (bounded retries
+        per spec, per-task deadline); ignored by the other strategies.
+    kernel:
+        Evaluation kernel override (fault-injection tests, future reduced
+        kernels); defaults to ``EvaluationKernel(paths)``.
     """
 
     def __init__(
@@ -186,9 +217,18 @@ class CampaignRunner:
         paths: Sequence[str] = ALL_PATHS,
         workers: Optional[int] = None,
         name: Optional[str] = None,
+        executor: Union[str, Executor, None] = None,
+        on_error: str = "raise",
+        max_retries: int = 2,
+        timeout_s: Optional[float] = None,
+        kernel: Optional[EvaluationKernel] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if on_error not in ("raise", "quarantine"):
+            raise ConfigurationError(
+                f"on_error must be 'raise' or 'quarantine', not {on_error!r}"
+            )
         if not tuple(paths):
             raise ConfigurationError(
                 f"a campaign needs at least one analysis path "
@@ -226,11 +266,30 @@ class CampaignRunner:
         self.store = store
         self.paths: Tuple[str, ...] = tuple(paths)
         self.workers = workers
+        self.on_error = on_error
+        self.kernel = EvaluationKernel(self.paths) if kernel is None else kernel
+        # Resolve the strategy eagerly so an unknown executor name fails at
+        # construction, not after the store already served half the campaign.
+        self.executor = make_executor(
+            executor,
+            workers=workers,
+            max_retries=max_retries,
+            timeout_s=timeout_s,
+        )
 
     def run(self) -> CampaignReport:
-        """Execute the campaign and assemble the merged report."""
+        """Execute the campaign and assemble the merged report.
+
+        Store hits are served first; the remaining specs are shipped to the
+        executor as plain :class:`~repro.campaigns.executors.WorkItem` data
+        and absorbed as their results stream back — each fresh artifact is
+        persisted the moment it exists, so if a later spec fails the
+        completed work is already in the store and a retry only recomputes
+        what is genuinely new.
+        """
         artifacts: Dict[str, Optional[Dict[str, Any]]] = {}
         from_store: Dict[str, bool] = {}
+        failures: Dict[str, Dict[str, Any]] = {}
         engine_totals = EngineStats()
 
         pending: List[CampaignPoint] = []
@@ -248,32 +307,26 @@ class CampaignRunner:
                 from_store[point.spec.name] = False
                 pending.append(point)
 
-        def absorb(point: CampaignPoint, artifact_dict, stats_dict) -> None:
-            # Persist each artifact the moment it exists: if a later spec
-            # fails mid-campaign, the completed work is already in the
-            # store and the retry only recomputes what is genuinely new.
-            artifacts[point.spec.name] = artifact_dict
-            engine_totals.merge(stats_dict)
-            if self.store is not None:
-                self.store.store(
-                    point.spec,
-                    ScenarioArtifact.from_dict(artifact_dict),
-                    self.paths,
+        items = [
+            WorkItem(
+                index=index,
+                name=point.spec.name,
+                spec_hash=point.spec.content_hash(),
+                design_hash=point.spec.design_hash(),
+                spec_dict=point.spec.to_dict(),
+            )
+            for index, point in enumerate(pending)
+        ]
+        points_by_index = {item.index: point for item, point in zip(items, pending)}
+        if items:
+            for result in self.executor.execute(self.kernel, items):
+                self._absorb(
+                    result,
+                    points_by_index[result.item.index],
+                    artifacts,
+                    failures,
+                    engine_totals,
                 )
-
-        payloads = [(point.spec.to_dict(), self.paths) for point in pending]
-        if self.workers is not None and self.workers > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(pending))
-            ) as pool:
-                futures = [
-                    pool.submit(_execute_spec, *payload) for payload in payloads
-                ]
-                for point, future in zip(pending, futures):
-                    absorb(point, *future.result())
-        else:
-            for point, payload in zip(pending, payloads):
-                absorb(point, *_execute_spec(*payload))
 
         scenarios = [
             {
@@ -294,19 +347,79 @@ class CampaignRunner:
             paths=self.paths,
             scenarios=scenarios,
             artifacts=complete,
-            summary=self._summary(scenarios, complete),
+            summary=self._summary(scenarios, complete, failures),
             engine=engine_totals.to_dict(),
             store=None if self.store is None else self.store.stats.to_dict(),
+            failures=failures,
         )
+
+    def _absorb(
+        self,
+        result: ExecutionResult,
+        point: CampaignPoint,
+        artifacts: Dict[str, Optional[Dict[str, Any]]],
+        failures: Dict[str, Dict[str, Any]],
+        engine_totals: EngineStats,
+    ) -> None:
+        """Fold one execution result into the campaign state.
+
+        Successes persist to the store immediately; any incidents (failed
+        attempts, recovered or not) land in the failure-provenance document;
+        an unresolved spec either raises with full provenance (``on_error=
+        "raise"``) or is quarantined and the campaign keeps going.
+        """
+        item = result.item
+        if result.incidents:
+            failures[item.name] = {
+                "spec_hash": item.spec_hash,
+                "design_hash": item.design_hash,
+                "attempts": result.attempts,
+                "incidents": list(result.incidents),
+                "resolved": result.ok,
+            }
+        if result.ok:
+            artifacts[item.name] = result.artifact
+            engine_totals.merge(result.stats)
+            if self.store is not None:
+                self.store.store(
+                    point.spec,
+                    ScenarioArtifact.from_dict(result.artifact),
+                    self.paths,
+                )
+            return
+        if self.on_error == "raise":
+            error = result.error
+            raise SpecExecutionError(
+                scenario=item.name,
+                design_hash=item.design_hash,
+                attempts=result.attempts,
+                error_type=error["type"],
+                message=error["message"],
+            )
 
     def _summary(
         self,
         scenarios: List[Dict[str, Any]],
         artifacts: Mapping[str, Mapping[str, Any]],
+        failures: Mapping[str, Mapping[str, Any]],
     ) -> Dict[str, Any]:
-        """Cross-scenario tables: totals, extremes and per-axis-value rows."""
+        """Cross-scenario tables: totals, extremes and per-axis-value rows.
+
+        Quarantined scenarios carry no artifact; they count in
+        ``scenario_count``/``failed`` but contribute nothing to the metric
+        tables (the per-axis rows still count them as scenarios seen).
+        """
+        empty = {
+            "worst_snr_db": None,
+            "peak_temperature_c": None,
+            "settling_s": None,
+        }
         per_scenario = {
-            entry["name"]: scenario_metrics(artifacts[entry["name"]])
+            entry["name"]: (
+                scenario_metrics(artifacts[entry["name"]])
+                if entry["name"] in artifacts
+                else dict(empty)
+            )
             for entry in scenarios
         }
 
@@ -353,6 +466,11 @@ class CampaignRunner:
             "store_misses": sum(
                 1 for entry in scenarios if not entry["from_store"]
             ),
+            "failed": sum(
+                1
+                for provenance in failures.values()
+                if not provenance["resolved"]
+            ),
             "worst_snr_db": extreme("worst_snr_db", min),
             "peak_temperature_c": extreme("peak_temperature_c", max),
             "max_settling_s": extreme("settling_s", max),
@@ -366,8 +484,20 @@ def run_campaign(
     paths: Sequence[str] = ALL_PATHS,
     workers: Optional[int] = None,
     name: Optional[str] = None,
+    executor: Union[str, Executor, None] = None,
+    on_error: str = "raise",
+    max_retries: int = 2,
+    timeout_s: Optional[float] = None,
 ) -> CampaignReport:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(
-        campaign, store=store, paths=paths, workers=workers, name=name
+        campaign,
+        store=store,
+        paths=paths,
+        workers=workers,
+        name=name,
+        executor=executor,
+        on_error=on_error,
+        max_retries=max_retries,
+        timeout_s=timeout_s,
     ).run()

@@ -24,7 +24,11 @@ Design:
 * **crash-tolerant index** — the index is a pure accelerator: object files
   are the source of truth, keyed by their own content address, so a lost or
   corrupt ``index.json`` (e.g. racing writers) degrades recency accounting
-  but never correctness; it is rebuilt from the object directory on demand.
+  but never correctness; it is rebuilt from the object directory on demand;
+* **pluggable directory layout** — *where* objects live is delegated to a
+  :class:`~repro.campaigns.backends.StoreBackend` (flat ``objects/<key>.json``
+  or 256-way sharded ``objects/<key[:2]>/<key>.json``); the store-backend
+  conformance suite runs every behaviour above against every backend.
 """
 
 from __future__ import annotations
@@ -35,10 +39,11 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .. import __version__ as _code_version
 from ..errors import ConfigurationError
+from .backends import StoreBackend, make_backend
 from ..scenarios import (
     ALL_PATHS,
     SCHEMA_VERSION,
@@ -130,6 +135,12 @@ class ArtifactStore:
     code_version:
         Folded into every key; defaults to the library version, so a library
         upgrade starts a fresh keyspace instead of trusting old numerics.
+    backend:
+        Directory layout strategy (:mod:`repro.campaigns.backends`): a
+        :class:`~repro.campaigns.backends.StoreBackend` instance, ``"flat"``
+        (``objects/<key>.json``), ``"sharded"``
+        (``objects/<key[:2]>/<key>.json``), or ``None``/``"auto"`` to detect
+        the layout of an existing store (new stores default to flat).
     """
 
     def __init__(
@@ -137,10 +148,12 @@ class ArtifactStore:
         root: os.PathLike,
         max_bytes: Optional[int] = None,
         code_version: Optional[str] = None,
+        backend: Union[str, StoreBackend, None] = None,
     ) -> None:
         if max_bytes is not None and max_bytes < 1:
             raise ConfigurationError("max_bytes must be >= 1 (or None)")
         self.root = Path(root)
+        self.backend = make_backend(self.root, backend)
         self.max_bytes = max_bytes
         self.code_version = (
             f"{_code_version}/schema{SCHEMA_VERSION}/store{STORE_VERSION}"
@@ -157,15 +170,11 @@ class ArtifactStore:
     # Paths -----------------------------------------------------------------
 
     @property
-    def _objects_dir(self) -> Path:
-        return self.root / "objects"
-
-    @property
     def _index_path(self) -> Path:
         return self.root / "index.json"
 
     def _object_path(self, key: str) -> Path:
-        return self._objects_dir / f"{key}.json"
+        return self.backend.object_path(key)
 
     # Keys ------------------------------------------------------------------
 
@@ -201,7 +210,7 @@ class ArtifactStore:
     def _rebuild_index(self) -> Dict[str, Any]:
         """Index rebuilt by scanning the object directory (deterministic)."""
         entries: Dict[str, Any] = {}
-        for path in sorted(self._objects_dir.glob("*.json")):
+        for path in self.backend.iter_object_paths():
             record = self._read_object(path.stem, count_corrupt=False)
             if record is None:
                 continue
@@ -360,9 +369,9 @@ class ArtifactStore:
             "payload": payload,
             "payload_sha256": _payload_digest(payload),
         }
-        self._objects_dir.mkdir(parents=True, exist_ok=True)
+        temp_dir = self.backend.temp_dir(key)
         text = json.dumps(record, sort_keys=True, indent=2) + "\n"
-        _atomic_write(self._objects_dir, f".{key[:16]}", text, self._object_path(key))
+        _atomic_write(temp_dir, f".{key[:16]}", text, self._object_path(key))
         self.stats.writes += 1
 
         index = self._load_index()
@@ -394,7 +403,7 @@ class ArtifactStore:
         entries = index["entries"]
         total = 0
         on_disk = set()
-        for path in self._objects_dir.glob("*.json"):
+        for path in self.backend.iter_object_paths():
             key = path.stem
             if key not in entries:
                 try:
@@ -439,10 +448,7 @@ class ArtifactStore:
 
     def resolve_key(self, prefix: str) -> str:
         """Full key matching a unique prefix (raises on none/ambiguous)."""
-        matches = sorted(
-            path.stem
-            for path in self._objects_dir.glob(f"{prefix}*.json")
-        )
+        matches = self.backend.find_keys(prefix)
         if not matches:
             raise ConfigurationError(
                 f"no stored artifact matches key prefix {prefix!r}"
@@ -463,7 +469,7 @@ class ArtifactStore:
             self._touch(index, key)
         known = index["entries"]
         result: List[StoreEntry] = []
-        for path in sorted(self._objects_dir.glob("*.json")):
+        for path in self.backend.iter_object_paths():
             key = path.stem
             entry = known.get(key)
             if entry is None:
@@ -493,15 +499,15 @@ class ArtifactStore:
     def total_size_bytes(self) -> int:
         """Summed object sizes currently on disk."""
         return sum(
-            path.stat().st_size for path in self._objects_dir.glob("*.json")
+            path.stat().st_size for path in self.backend.iter_object_paths()
         )
 
     def __len__(self) -> int:
-        return sum(1 for _ in self._objects_dir.glob("*.json"))
+        return sum(1 for _ in self.backend.iter_object_paths())
 
     def clear(self) -> None:
         """Drop every object and the index."""
-        for path in self._objects_dir.glob("*.json"):
+        for path in self.backend.iter_object_paths():
             try:
                 path.unlink()
             except OSError:  # pragma: no cover

@@ -1,4 +1,12 @@
-"""ArtifactStore: round trips, integrity faults, eviction, concurrency."""
+"""ArtifactStore: round trips, integrity faults, eviction, concurrency.
+
+This module doubles as the **store-backend conformance suite**: every test
+class below is parametrized over both directory backends (flat
+``objects/<key>.json`` and sharded ``objects/<key[:2]>/<key>.json``) through
+the ``backend``/``store``/``make_store`` fixtures, so atomic writes,
+corruption quarantine, LRU eviction, index rebuilds and writer races are
+proven per backend, not just on the seed layout.
+"""
 
 import json
 from concurrent.futures import ThreadPoolExecutor
@@ -6,7 +14,13 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.campaigns import ArtifactStore
+from repro.campaigns import (
+    ArtifactStore,
+    FlatDirBackend,
+    ShardedDirBackend,
+    detect_backend,
+    make_backend,
+)
 from repro.scenarios import ALL_PATHS, ScenarioArtifact, ScenarioSpec
 
 
@@ -25,9 +39,26 @@ def make_artifact(spec: ScenarioSpec) -> ScenarioArtifact:
     )
 
 
+@pytest.fixture(params=["flat", "sharded"])
+def backend(request):
+    """Both directory layouts: every class below must pass on each."""
+    return request.param
+
+
 @pytest.fixture
-def store(tmp_path):
-    return ArtifactStore(tmp_path / "store")
+def store(tmp_path, backend):
+    return ArtifactStore(tmp_path / "store", backend=backend)
+
+
+@pytest.fixture
+def make_store(tmp_path, backend):
+    """Store factory pinning the parametrized backend (explicit roots)."""
+
+    def _make(name="store", **kwargs):
+        kwargs.setdefault("backend", backend)
+        return ArtifactStore(tmp_path / name, **kwargs)
+
+    return _make
 
 
 class TestRoundTrip:
@@ -114,7 +145,9 @@ class TestIntegrityFaults:
         # file rename) is rejected by the spec-hash cross-check.
         spec, path = self.put_one(store)
         other = make_spec(1)
-        path.rename(store._object_path(store.key_for(other, ALL_PATHS)))
+        target = store._object_path(store.key_for(other, ALL_PATHS))
+        target.parent.mkdir(parents=True, exist_ok=True)
+        path.rename(target)
         assert store.load(other, ALL_PATHS) is None
 
     def test_corrupt_envelope_is_quarantined_not_crashed(self, store):
@@ -157,8 +190,8 @@ class TestIntegrityFaults:
 
 
 class TestEviction:
-    def test_eviction_respects_size_bound(self, tmp_path):
-        store = ArtifactStore(tmp_path / "store", max_bytes=1)
+    def test_eviction_respects_size_bound(self, make_store):
+        store = make_store(max_bytes=1)
         # Write several artifacts into a store bounded below one object: the
         # newest entry always survives, everything older is evicted.
         for index in range(4):
@@ -168,16 +201,16 @@ class TestEviction:
         assert store.stats.evictions == 3
         assert store.entries()[0].scenario == "store_spec_3"
 
-    def test_lru_order_not_insertion_order(self, tmp_path):
+    def test_lru_order_not_insertion_order(self, make_store):
         specs = [make_spec(index) for index in range(3)]
         artifacts = [make_artifact(spec) for spec in specs]
         sizes = []
-        probe = ArtifactStore(tmp_path / "probe")
+        probe = make_store("probe")
         for spec, artifact in zip(specs, artifacts):
             key = probe.store(spec, artifact, ALL_PATHS)
             sizes.append(probe._object_path(key).stat().st_size)
         # Bound to exactly two objects.
-        store = ArtifactStore(tmp_path / "store", max_bytes=sizes[0] + sizes[1] + 1)
+        store = make_store(max_bytes=sizes[0] + sizes[1] + 1)
         store.store(specs[0], artifacts[0], ALL_PATHS)
         store.store(specs[1], artifacts[1], ALL_PATHS)
         # Touch the oldest: it becomes most recent and must survive.
@@ -191,16 +224,17 @@ class TestEviction:
         with pytest.raises(ConfigurationError, match="max_bytes"):
             ArtifactStore(tmp_path / "store", max_bytes=0)
 
-    def test_eviction_counts_objects_the_index_lost(self, tmp_path):
+    def test_eviction_counts_objects_the_index_lost(self, tmp_path, backend):
         """The size bound holds against disk truth, not the index.
 
         An object orphaned from the index (e.g. a racing writer's
         last-writer-wins index replacement) must still be adopted and
         evicted — the store may not grow past max_bytes just because the
-        accelerator went stale.
+        accelerator went stale.  (The second open uses layout auto-detect,
+        so this also proves reopen-without-a-backend-argument per layout.)
         """
         root = tmp_path / "store"
-        seed = ArtifactStore(root)
+        seed = ArtifactStore(root, backend=backend)
         orphan_spec = make_spec(0)
         seed.store(orphan_spec, make_artifact(orphan_spec), ALL_PATHS)
         # Simulate the race: the object survives, the index forgot it.
@@ -218,7 +252,7 @@ class TestEviction:
         assert bounded.entries()[0].scenario == fresh_spec.name
         assert bounded.stats.evictions == 1
 
-    def test_stale_index_entries_never_act_as_victims(self, tmp_path):
+    def test_stale_index_entries_never_act_as_victims(self, tmp_path, backend):
         """An index entry whose object vanished must not absorb an eviction.
 
         If the phantom were popped as the LRU victim, its bytes — never part
@@ -226,7 +260,7 @@ class TestEviction:
         the bound still violated and no file actually deleted.
         """
         root = tmp_path / "store"
-        seed = ArtifactStore(root)
+        seed = ArtifactStore(root, backend=backend)
         specs = [make_spec(index) for index in range(3)]
         keys = [
             seed.store(spec, make_artifact(spec), ALL_PATHS) for spec in specs
@@ -245,7 +279,7 @@ class TestEviction:
 
 
 class TestConcurrency:
-    def test_concurrent_writers_do_not_corrupt(self, tmp_path):
+    def test_concurrent_writers_do_not_corrupt(self, tmp_path, backend):
         """Many writers racing on one root: every object stays loadable.
 
         Each writer uses its own ArtifactStore instance (same directory) so
@@ -257,7 +291,7 @@ class TestConcurrency:
         artifacts = [make_artifact(spec) for spec in specs]
 
         def write(index: int) -> str:
-            store = ArtifactStore(root)
+            store = ArtifactStore(root, backend=backend)
             return store.store(specs[index], artifacts[index], ALL_PATHS)
 
         with ThreadPoolExecutor(max_workers=8) as pool:
@@ -275,11 +309,11 @@ class TestConcurrency:
         assert {entry.scenario for entry in reader.entries()} == {
             spec.name for spec in specs
         }
-        assert not list((root / "objects").glob(".*tmp"))
+        assert not list((root / "objects").rglob(".*tmp"))
 
-    def test_concurrent_readers_and_writers(self, tmp_path):
+    def test_concurrent_readers_and_writers(self, tmp_path, backend):
         root = tmp_path / "store"
-        seed_store = ArtifactStore(root)
+        seed_store = ArtifactStore(root, backend=backend)
         specs = [make_spec(index) for index in range(8)]
         for spec in specs:
             seed_store.store(spec, make_artifact(spec), ALL_PATHS)
@@ -294,3 +328,77 @@ class TestConcurrency:
         with ThreadPoolExecutor(max_workers=8) as pool:
             outcomes = list(pool.map(churn, range(32)))
         assert all(outcomes)
+
+
+class TestBackends:
+    """Layout-specific behaviour: sharding, auto-detection, resolution."""
+
+    def test_sharded_on_disk_layout(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", backend="sharded")
+        spec = make_spec()
+        key = store.store(spec, make_artifact(spec), ALL_PATHS)
+        path = store._object_path(key)
+        assert path == tmp_path / "store" / "objects" / key[:2] / f"{key}.json"
+        assert path.exists()
+
+    def test_flat_on_disk_layout(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", backend="flat")
+        spec = make_spec()
+        key = store.store(spec, make_artifact(spec), ALL_PATHS)
+        assert store._object_path(key) == (
+            tmp_path / "store" / "objects" / f"{key}.json"
+        )
+
+    def test_reopen_auto_detects_layout(self, tmp_path, backend):
+        root = tmp_path / "store"
+        spec = make_spec()
+        ArtifactStore(root, backend=backend).store(
+            spec, make_artifact(spec), ALL_PATHS
+        )
+        assert detect_backend(root) == backend
+        reopened = ArtifactStore(root)  # no backend argument
+        assert reopened.backend.name == backend
+        loaded = reopened.load(spec, ALL_PATHS)
+        assert loaded is not None and loaded.scenario == spec.name
+
+    def test_empty_or_missing_store_detects_flat(self, tmp_path):
+        assert detect_backend(tmp_path / "nonexistent") == "flat"
+        store = ArtifactStore(tmp_path / "empty")
+        assert store.backend.name == "flat"
+
+    def test_prefix_resolution_shorter_than_shard_width(self, tmp_path):
+        # A 1-character prefix cannot name a shard directory; resolution
+        # must fall back to the full scan and still find the unique match.
+        store = ArtifactStore(tmp_path / "store", backend="sharded")
+        spec = make_spec()
+        key = store.store(spec, make_artifact(spec), ALL_PATHS)
+        assert store.resolve_key(key[:1]) == key
+        assert store.resolve_key(key[:10]) == key
+
+    def test_backend_instance_passes_through(self, tmp_path):
+        root = tmp_path / "store"
+        wide = ShardedDirBackend(root, shard_width=3)
+        store = ArtifactStore(root, backend=wide)
+        spec = make_spec()
+        key = store.store(spec, make_artifact(spec), ALL_PATHS)
+        assert store._object_path(key).parent.name == key[:3]
+        assert isinstance(make_backend(root, FlatDirBackend(root)), FlatDirBackend)
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="unknown store backend"):
+            ArtifactStore(tmp_path / "store", backend="cloud")
+        with pytest.raises(ConfigurationError, match="shard_width"):
+            ShardedDirBackend(tmp_path / "store", shard_width=0)
+
+    def test_foreign_files_are_not_objects(self, tmp_path):
+        # Stray files outside the layout contract (a README, a temp dir the
+        # wrong depth down) must not be adopted by rebuilds or eviction.
+        store = ArtifactStore(tmp_path / "store", backend="sharded")
+        spec = make_spec()
+        store.store(spec, make_artifact(spec), ALL_PATHS)
+        (store.root / "objects" / "deadbeef.json").write_text("{}")
+        (store.root / "objects" / "zz").mkdir(exist_ok=True)
+        (store.root / "objects" / "zz" / "mismatched.json").write_text("{}")
+        assert len(list(store.backend.iter_object_paths())) == 1
+        store._index_path.unlink()
+        assert len(store.entries()) == 1

@@ -6,6 +6,9 @@ deduplication behind the content-derived evaluation key, batch chunking, and
 the optional process pool across independent meshes.
 """
 
+import dataclasses
+import random
+
 import numpy as np
 import pytest
 
@@ -13,6 +16,7 @@ from repro.activity import uniform_activity
 from repro.casestudy import build_oni_ring_scenario
 from repro.errors import ConfigurationError
 from repro.methodology import (
+    EngineStats,
     SweepEngine,
     SweepPoint,
     ThermalAwareDesignFlow,
@@ -285,3 +289,69 @@ class TestHelpersRouteThroughEngine:
         )
         # The (4.0, 1.6) point of the second sweep is a cache hit.
         assert engine.stats.cache_hits > hits_before
+
+
+class TestEngineStatsMergeIdentity:
+    """Campaign stats aggregation must not depend on the execution substrate.
+
+    Executors differ in how per-worker counter dicts come back — order
+    (completion vs submission), grouping (one dict per spec vs per worker
+    batch) — so ``merge`` must be a commutative, associative fold: any
+    permutation or partition of the same per-worker dicts yields identical
+    totals.  Randomized with a pinned seed so failures replay.
+    """
+
+    COUNTERS = [field.name for field in dataclasses.fields(EngineStats)]
+
+    def random_stats_dicts(self, rng, count):
+        return [
+            {name: rng.randrange(0, 1000) for name in self.COUNTERS}
+            for _ in range(count)
+        ]
+
+    def fold(self, dicts):
+        total = EngineStats()
+        for counters in dicts:
+            total.merge(counters)
+        return total.to_dict()
+
+    def test_merge_totals_invariant_under_permutation(self):
+        rng = random.Random(0xD47E)
+        for _ in range(25):
+            dicts = self.random_stats_dicts(rng, rng.randrange(1, 9))
+            reference = self.fold(dicts)
+            shuffled = list(dicts)
+            rng.shuffle(shuffled)
+            assert self.fold(shuffled) == reference
+            assert reference == {
+                name: sum(d[name] for d in dicts) for name in self.COUNTERS
+            }
+
+    def test_merge_totals_invariant_under_partition(self):
+        # Group the worker dicts arbitrarily, fold each group into a
+        # subtotal EngineStats, then merge the subtotals (as live objects):
+        # same totals as the flat fold.
+        rng = random.Random(0xA6)
+        for _ in range(25):
+            dicts = self.random_stats_dicts(rng, rng.randrange(2, 10))
+            reference = self.fold(dicts)
+            groups = [[] for _ in range(rng.randrange(1, len(dicts) + 1))]
+            for counters in dicts:
+                rng.choice(groups).append(counters)
+            total = EngineStats()
+            for group in groups:
+                subtotal = EngineStats()
+                for counters in group:
+                    subtotal.merge(counters)
+                total.merge(subtotal)
+            assert total.to_dict() == reference
+
+    def test_merge_accepts_sparse_mappings_and_returns_self(self):
+        stats = EngineStats()
+        assert stats.merge({"cache_hits": 3}) is stats
+        stats.merge({"cache_hits": 2, "thermal_solves": 1})
+        assert stats.cache_hits == 5 and stats.thermal_solves == 1
+
+    def test_merge_rejects_unknown_counters(self):
+        with pytest.raises(ConfigurationError, match="unknown engine stats"):
+            EngineStats().merge({"cache_hits": 1, "warp_drive": 9})

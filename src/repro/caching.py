@@ -8,7 +8,7 @@ eviction policy lives here, in exactly one place.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Generic, Hashable, Optional, TypeVar
+from typing import Generic, Hashable, List, Optional, Tuple, TypeVar
 
 V = TypeVar("V")
 
@@ -48,6 +48,10 @@ class LruCache(Generic[V]):
         self._entries.move_to_end(key)
         while len(self._entries) > self._max_entries:
             self._entries.popitem(last=False)
+
+    def items(self) -> List[Tuple[Hashable, V]]:
+        """Snapshot of ``(key, value)`` pairs, least recently used first."""
+        return list(self._entries.items())
 
     def clear(self) -> None:
         """Drop every entry."""

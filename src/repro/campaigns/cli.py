@@ -8,7 +8,12 @@ Subcommands
     serial, process pool, async in-process or the supervised queue-worker
     simulator — sized by ``--workers``); prints the cross-scenario summary
     table, any per-spec failure provenance, and optionally writes the full
-    report JSON with ``--output``.
+    report JSON with ``--output``; ``--transient-method`` selects the
+    transient integration path and ``--warm-start`` ships the store's reduced
+    bases to the workers.
+``seed-rom CAMPAIGN``
+    Build the reduced transient bases of a campaign (one exact solve each)
+    and persist them into ``--store`` for later warm-started runs.
 ``list``
     Built-in campaigns, the full generative scenario population and — with
     ``--store`` — the artifacts currently on disk.
@@ -29,7 +34,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import ReproError
-from ..scenarios import ALL_PATHS, compare_artifact_dicts
+from ..scenarios import ALL_PATHS, ScenarioRunner, compare_artifact_dicts
+from ..thermal import TRANSIENT_METHODS
 from .backends import BACKEND_NAMES
 from .executors import EXECUTOR_NAMES
 from .matrix import builtin_matrices, campaign_registry, get_matrix
@@ -60,10 +66,18 @@ def _parse_paths(raw: Optional[str]) -> Sequence[str]:
 def _cmd_run(args: argparse.Namespace) -> int:
     matrix = get_matrix(args.campaign)
     store = _open_store(args.store, args.store_backend)
+    warm_start: Sequence[str] = ()
+    if args.warm_start:
+        if store is None:
+            raise ReproError("--warm-start needs a --store to load bases from")
+        warm_start = store.rom_basis_payloads()
+        print(f"warm start: {len(warm_start)} reduced bases from the store")
     runner = CampaignRunner(
         matrix,
         store=store,
         paths=_parse_paths(args.paths),
+        transient_method=args.transient_method,
+        warm_start=warm_start,
         workers=args.workers,
         executor=args.executor,
         on_error=args.on_error,
@@ -108,6 +122,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"after {provenance['attempts']} attempt(s): "
                 f"{last['type']}: {last['message']}"
             )
+    engine = report.engine
+    if engine.get("transient_solves"):
+        print(
+            f"solver: {engine.get('transient_lu_solves', 0)} LU / "
+            f"{engine.get('transient_rom_solves', 0)} ROM transient solves, "
+            f"{engine.get('rom_hits', 0)} ROM hits, "
+            f"{engine.get('basis_builds', 0)} basis builds, "
+            f"{engine.get('rom_fallbacks', 0)} fallbacks; factorizations "
+            f"{engine.get('factorizations_built', 0)} built / "
+            f"{engine.get('factorizations_reused', 0)} reused"
+        )
     if store is not None:
         stats = store.stats
         print(
@@ -117,6 +142,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.output:
         Path(args.output).write_text(report.to_json(), encoding="utf-8")
         print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_seed_rom(args: argparse.Namespace) -> int:
+    """Build the reduced transient bases of a campaign and persist them.
+
+    Runs the transient path of every campaign point serially in-process with
+    ``method="rom"`` (a build solve: exact LU plus a POD of its trajectory),
+    harvests each solver's basis payloads and stores them as first-class
+    artifacts.  A later ``run --warm-start`` ships them to the workers, so
+    matching transient solves replay in the reduced space.
+    """
+    matrix = get_matrix(args.campaign)
+    store = _open_store(args.store, args.store_backend)
+    if store is None:
+        raise ReproError("seed-rom needs a --store to persist bases into")
+    keys = set()
+    points = matrix.points()
+    for point in points:
+        runner = ScenarioRunner(point.spec, transient_method="rom")
+        runner.run(("transient",))
+        for payload in runner.flow().rom_basis_payloads():
+            keys.add(store.store_rom_basis(payload))
+    print(
+        f"campaign {matrix.name}: {len(keys)} reduced bases persisted "
+        f"from {len(points)} scenarios"
+    )
     return 0
 
 
@@ -298,9 +350,38 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"comma-separated analysis paths (default: {','.join(ALL_PATHS)})",
     )
     run.add_argument(
+        "--transient-method",
+        default="lu",
+        choices=list(TRANSIENT_METHODS),
+        help="transient integration path: full LU, reduced-order (builds and "
+        "replays POD bases), or auto (ROM only when a warm-start basis matches)",
+    )
+    run.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="ship every reduced basis held by --store to the workers so "
+        "matching transient solves replay in the reduced space",
+    )
+    run.add_argument(
         "--output", default=None, help="write the full report JSON here"
     )
     run.set_defaults(handler=_cmd_run)
+
+    seed = commands.add_parser(
+        "seed-rom",
+        help="build and persist the reduced transient bases of a campaign",
+    )
+    seed.add_argument("campaign", help="built-in campaign (matrix) name")
+    seed.add_argument(
+        "--store", required=True, help="artifact store directory to persist into"
+    )
+    seed.add_argument(
+        "--store-backend",
+        default=None,
+        choices=list(BACKEND_NAMES) + ["auto"],
+        help="store directory layout (default: auto-detect, flat for new stores)",
+    )
+    seed.set_defaults(handler=_cmd_seed_rom)
 
     lister = commands.add_parser(
         "list", help="list campaigns, scenarios and stored artifacts"

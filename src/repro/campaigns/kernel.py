@@ -25,6 +25,7 @@ from typing import Any, Dict, Mapping, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..scenarios import ALL_PATHS, ScenarioArtifact, ScenarioRunner, ScenarioSpec
+from ..thermal import TRANSIENT_METHODS, install_payload
 
 
 class SpecExecutionError(ConfigurationError):
@@ -63,6 +64,17 @@ class EvaluationKernel:
     paths:
         Analysis paths every evaluation runs, validated at construction so a
         bad path fails in the coordinator process, not deep inside a worker.
+    transient_method:
+        Transient integration path every evaluation uses (``"lu"``,
+        ``"rom"`` or ``"auto"``; see
+        :meth:`repro.thermal.TransientSolver.solve`).
+    warm_start:
+        Serialised reduced-basis payloads (deterministic JSON documents, as
+        produced by :meth:`repro.thermal.TransientSolver.rom_payloads` or
+        served by the store) installed before every evaluation.  Part of the
+        kernel's value: every worker receiving the kernel installs the same
+        payloads, so a warm-started campaign stays byte-identical across
+        execution substrates.
 
     The kernel is a frozen dataclass of plain data, so it pickles cheaply
     (process pools, queue workers) and hashes/compares by value.  Subclasses
@@ -72,9 +84,12 @@ class EvaluationKernel:
     """
 
     paths: Tuple[str, ...] = ALL_PATHS
+    transient_method: str = "lu"
+    warm_start: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "paths", tuple(self.paths))
+        object.__setattr__(self, "warm_start", tuple(self.warm_start))
         if not self.paths:
             raise ConfigurationError(
                 f"an evaluation kernel needs at least one analysis path "
@@ -85,10 +100,27 @@ class EvaluationKernel:
             raise ConfigurationError(
                 f"unknown analysis paths {unknown}; available: {list(ALL_PATHS)}"
             )
+        if self.transient_method not in TRANSIENT_METHODS:
+            raise ConfigurationError(
+                f"transient_method must be one of {TRANSIENT_METHODS}, got "
+                f"{self.transient_method!r}"
+            )
+        if not all(isinstance(payload, str) for payload in self.warm_start):
+            raise ConfigurationError(
+                "warm_start takes serialised payload JSON strings"
+            )
+
+    def _install_warm_start(self) -> None:
+        """Install the warm-start payloads (idempotent per process: repeated
+        documents are recognised by digest and skipped)."""
+        for payload in self.warm_start:
+            install_payload(payload)
 
     def evaluate(self, spec: ScenarioSpec) -> ScenarioArtifact:
         """Run one validated spec on a fresh runner (live-object form)."""
-        return ScenarioRunner(spec).run(self.paths)
+        self._install_warm_start()
+        runner = ScenarioRunner(spec, transient_method=self.transient_method)
+        return runner.run(self.paths)
 
     def run(
         self, spec_dict: Mapping[str, Any]
@@ -100,7 +132,8 @@ class EvaluationKernel:
         back from a worker process.  Deterministic: the same spec dict
         always yields the identical artifact bytes.
         """
+        self._install_warm_start()
         spec = ScenarioSpec.from_dict(dict(spec_dict))
-        runner = ScenarioRunner(spec)
+        runner = ScenarioRunner(spec, transient_method=self.transient_method)
         artifact = runner.run(self.paths)
         return artifact.to_dict(), runner.engine().stats.to_dict()

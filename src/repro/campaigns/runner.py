@@ -205,9 +205,18 @@ class CampaignRunner:
     max_retries / timeout_s:
         Fault-tolerance knobs of the ``queue`` executor (bounded retries
         per spec, per-task deadline); ignored by the other strategies.
+    transient_method:
+        Transient integration path every scenario uses (``"lu"``, ``"rom"``
+        or ``"auto"``); folded into the kernel and the store keys, so ROM
+        and LU artifacts never answer for each other.
+    warm_start:
+        Serialised reduced-basis payload JSON documents shipped with the
+        kernel and installed in every worker before evaluation (see
+        :class:`~repro.campaigns.kernel.EvaluationKernel`).
     kernel:
         Evaluation kernel override (fault-injection tests, future reduced
-        kernels); defaults to ``EvaluationKernel(paths)``.
+        kernels); defaults to
+        ``EvaluationKernel(paths, transient_method, warm_start)``.
     """
 
     def __init__(
@@ -221,6 +230,8 @@ class CampaignRunner:
         on_error: str = "raise",
         max_retries: int = 2,
         timeout_s: Optional[float] = None,
+        transient_method: str = "lu",
+        warm_start: Sequence[str] = (),
         kernel: Optional[EvaluationKernel] = None,
     ) -> None:
         if workers is not None and workers < 1:
@@ -267,7 +278,15 @@ class CampaignRunner:
         self.paths: Tuple[str, ...] = tuple(paths)
         self.workers = workers
         self.on_error = on_error
-        self.kernel = EvaluationKernel(self.paths) if kernel is None else kernel
+        self.kernel = (
+            EvaluationKernel(
+                self.paths,
+                transient_method=transient_method,
+                warm_start=tuple(warm_start),
+            )
+            if kernel is None
+            else kernel
+        )
         # Resolve the strategy eagerly so an unknown executor name fails at
         # construction, not after the store already served half the campaign.
         self.executor = make_executor(
@@ -276,6 +295,14 @@ class CampaignRunner:
             max_retries=max_retries,
             timeout_s=timeout_s,
         )
+
+    def _transient_method(self) -> str:
+        """Transient method the kernel evaluates with (store-key variant).
+
+        Read off the kernel so an override kernel (fault injection) without
+        the field keeps the default LU keyspace.
+        """
+        return getattr(self.kernel, "transient_method", "lu")
 
     def run(self) -> CampaignReport:
         """Execute the campaign and assemble the merged report.
@@ -297,7 +324,9 @@ class CampaignRunner:
             cached = (
                 None
                 if self.store is None
-                else self.store.load(point.spec, self.paths)
+                else self.store.load(
+                    point.spec, self.paths, self._transient_method()
+                )
             )
             if cached is not None:
                 artifacts[point.spec.name] = cached.to_dict()
@@ -385,6 +414,7 @@ class CampaignRunner:
                     point.spec,
                     ScenarioArtifact.from_dict(result.artifact),
                     self.paths,
+                    self._transient_method(),
                 )
             return
         if self.on_error == "raise":
@@ -488,6 +518,8 @@ def run_campaign(
     on_error: str = "raise",
     max_retries: int = 2,
     timeout_s: Optional[float] = None,
+    transient_method: str = "lu",
+    warm_start: Sequence[str] = (),
 ) -> CampaignReport:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(
@@ -500,4 +532,6 @@ def run_campaign(
         on_error=on_error,
         max_retries=max_retries,
         timeout_s=timeout_s,
+        transient_method=transient_method,
+        warm_start=warm_start,
     ).run()

@@ -179,12 +179,33 @@ class ArtifactStore:
     # Keys ------------------------------------------------------------------
 
     def key_for(
-        self, spec: ScenarioSpec, paths: Sequence[str] = ALL_PATHS
+        self,
+        spec: ScenarioSpec,
+        paths: Sequence[str] = ALL_PATHS,
+        transient_method: str = "lu",
     ) -> str:
-        """Content address of one (spec, paths) computation."""
+        """Content address of one (spec, paths, transient method) computation.
+
+        The transient method is folded in only when it differs from the
+        default LU path: artifacts computed by different numerics differ at
+        the last-few-ulps level and must not answer for each other, while
+        every pre-existing LU key stays exactly where it was.
+        """
         document = {
             "spec_hash": spec.content_hash(),
             "paths": sorted(set(paths)),
+            "code_version": self.code_version,
+        }
+        if transient_method != "lu":
+            document["transient_method"] = transient_method
+        return hashlib.sha256(
+            canonical_json(document).encode("utf-8")
+        ).hexdigest()
+
+    def _rom_basis_key(self, basis_key: str) -> str:
+        """Store address of a reduced-basis payload (by its content key)."""
+        document = {
+            "rom_basis": basis_key,
             "code_version": self.code_version,
         }
         return hashlib.sha256(
@@ -317,7 +338,10 @@ class ArtifactStore:
     # Public API ------------------------------------------------------------
 
     def load(
-        self, spec: ScenarioSpec, paths: Sequence[str] = ALL_PATHS
+        self,
+        spec: ScenarioSpec,
+        paths: Sequence[str] = ALL_PATHS,
+        transient_method: str = "lu",
     ) -> Optional[ScenarioArtifact]:
         """Stored artifact of (spec, paths), or ``None`` on miss/corruption.
 
@@ -328,7 +352,7 @@ class ArtifactStore:
         (key collision, external rename) is a plain miss: it is intact, just
         not the requested content, so it stays on disk.
         """
-        key = self.key_for(spec, paths)
+        key = self.key_for(spec, paths, transient_method)
         record = self._read_object(key)
         if record is None or record["payload"].get("spec_hash") != spec.content_hash():
             self.stats.misses += 1
@@ -342,6 +366,7 @@ class ArtifactStore:
         spec: ScenarioSpec,
         artifact: ScenarioArtifact,
         paths: Sequence[str] = ALL_PATHS,
+        transient_method: str = "lu",
     ) -> str:
         """Persist one artifact atomically; returns its content address.
 
@@ -357,14 +382,30 @@ class ArtifactStore:
                 f"{artifact.spec_hash[:12]} but the spec hashes to "
                 f"{spec.content_hash()[:12]}"
             )
-        key = self.key_for(spec, paths)
-        payload = artifact.to_dict()
+        key = self.key_for(spec, paths, transient_method)
+        return self._store_record(
+            key=key,
+            scenario=artifact.scenario,
+            spec_hash=artifact.spec_hash,
+            paths=sorted(set(paths)),
+            payload=artifact.to_dict(),
+        )
+
+    def _store_record(
+        self,
+        key: str,
+        scenario: str,
+        spec_hash: str,
+        paths: List[str],
+        payload: Dict[str, Any],
+    ) -> str:
+        """Write one record envelope atomically and update the index."""
         record = {
             "store_version": STORE_VERSION,
             "key": key,
-            "scenario": artifact.scenario,
-            "spec_hash": artifact.spec_hash,
-            "paths": sorted(set(paths)),
+            "scenario": scenario,
+            "spec_hash": spec_hash,
+            "paths": paths,
             "code_version": self.code_version,
             "payload": payload,
             "payload_sha256": _payload_digest(payload),
@@ -377,9 +418,9 @@ class ArtifactStore:
         index = self._load_index()
         self._apply_pending(index)
         index["entries"][key] = {
-            "scenario": artifact.scenario,
-            "spec_hash": artifact.spec_hash,
-            "paths": sorted(set(paths)),
+            "scenario": scenario,
+            "spec_hash": spec_hash,
+            "paths": paths,
             "size_bytes": len(text.encode("utf-8")),
             "last_used": 0,
         }
@@ -387,6 +428,57 @@ class ArtifactStore:
         self._evict(index, protect=key)
         self._write_index(index)
         return key
+
+    # Reduced-basis records ---------------------------------------------------
+
+    def store_rom_basis(self, payload_json: str) -> str:
+        """Persist one serialised reduced-basis payload; returns its address.
+
+        ``payload_json`` is the deterministic JSON document produced by
+        :meth:`repro.thermal.TransientSolver.rom_payloads` /
+        :meth:`repro.methodology.ThermalAwareDesignFlow.rom_basis_payloads`.
+        Basis records live in the same object space as artifacts (same
+        envelope, integrity re-hash, LRU eviction) under the reserved path
+        tag ``"rom_basis"``; the record's ``spec_hash`` carries the basis
+        *content* key so :meth:`load_rom_basis` can cross-check it.
+        """
+        payload = json.loads(payload_json)
+        if not isinstance(payload, dict) or not isinstance(payload.get("key"), str):
+            raise ConfigurationError(
+                "not a reduced-basis payload document (missing content key)"
+            )
+        basis_key = payload["key"]
+        return self._store_record(
+            key=self._rom_basis_key(basis_key),
+            scenario=f"rom-basis:{basis_key[:12]}",
+            spec_hash=basis_key,
+            paths=["rom_basis"],
+            payload=payload,
+        )
+
+    def load_rom_basis(self, basis_key: str) -> Optional[str]:
+        """Serialised payload of the basis with content key ``basis_key``,
+        or ``None`` on miss/corruption (deterministic JSON, ready for
+        :func:`repro.thermal.install_payload` or a kernel warm start)."""
+        record = self._read_object(self._rom_basis_key(basis_key))
+        if record is None or record["payload"].get("key") != basis_key:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._pending_touches.append(record["key"])
+        return json.dumps(record["payload"], sort_keys=True)
+
+    def rom_basis_payloads(self) -> List[str]:
+        """Serialised payloads of every stored reduced basis (key order) —
+        the warm-start bundle of a campaign sharing this store."""
+        payloads: List[str] = []
+        for entry in self.entries():
+            if entry.paths != ("rom_basis",):
+                continue
+            record = self._read_object(entry.key, quarantine=False)
+            if record is not None:
+                payloads.append(json.dumps(record["payload"], sort_keys=True))
+        return sorted(payloads)
 
     def _evict(self, index: Dict[str, Any], protect: str) -> None:
         """Drop least-recently-used objects beyond ``max_bytes``.

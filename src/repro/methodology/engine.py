@@ -79,6 +79,21 @@ class EngineStats:
     transient_cache_hits: int = 0
     #: Transient traces actually integrated.
     transient_solves: int = 0
+    #: Transient integrations that ran in full space (sparse LU).
+    transient_lu_solves: int = 0
+    #: Transient integrations accepted on the reduced-order (ROM) path.
+    transient_rom_solves: int = 0
+    #: Alias view of accepted reduced solves, named for the campaign report.
+    rom_hits: int = 0
+    #: Reduced solves rejected by the a-posteriori residual check (each also
+    #: counts one LU solve — the fallback integration that replaced it).
+    rom_fallbacks: int = 0
+    #: Reduced bases built from full-solve trajectories.
+    basis_builds: int = 0
+    #: LU factorisations of stepper matrices computed by transient solves.
+    factorizations_built: int = 0
+    #: Stepper factorisations served from a solver's per-step-size cache.
+    factorizations_reused: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """Plain-dict view of every counter (campaign reports, benchmarks)."""
@@ -380,9 +395,36 @@ class SweepEngine:
                 continue
             evaluation = flow.run_transient(request)
             self.stats.transient_solves += 1
+            self._absorb_transient_diagnostics(evaluation)
             self._transient_cache.put(key, evaluation)
             results.append(evaluation)
         return results
+
+    def _absorb_transient_diagnostics(
+        self, evaluation: TransientEvaluation
+    ) -> None:
+        """Fold one solve's diagnostics into the provenance counters.
+
+        Everything here derives from the per-solve
+        :class:`~repro.thermal.TransientDiagnostics` — a pure function of
+        the request and the solver's own history — never from process-global
+        cache state, so merged campaign stats are byte-identical whatever
+        the executor topology.
+        """
+        diagnostics = evaluation.result.diagnostics
+        if diagnostics.solver_method == "rom":
+            self.stats.transient_rom_solves += 1
+            self.stats.rom_hits += 1
+        else:
+            self.stats.transient_lu_solves += 1
+            self.stats.factorizations_built += diagnostics.factorizations_computed
+            self.stats.factorizations_reused += max(
+                0, diagnostics.distinct_steps - diagnostics.factorizations_computed
+            )
+        if diagnostics.rom_basis_built:
+            self.stats.basis_builds += 1
+        if diagnostics.rom_fallback:
+            self.stats.rom_fallbacks += 1
 
     def evaluate_transient_one(
         self,

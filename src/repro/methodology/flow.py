@@ -430,6 +430,16 @@ class ThermalAwareDesignFlow:
             self._transient_solvers[theta] = solver
         return solver
 
+    def rom_basis_payloads(self) -> List[str]:
+        """Serialised reduced-basis payloads built by this flow's transient
+        solvers (deterministic JSON documents; persist through the store or
+        ship as an :class:`~repro.campaigns.kernel.EvaluationKernel`
+        warm-start payload)."""
+        payloads: List[str] = []
+        for solver in self._transient_solvers.values():
+            payloads.extend(solver.rom_payloads())
+        return payloads
+
     def build_schedule(
         self, trace: ActivityTrace, power: Optional[OniPowerConfig] = None
     ) -> SourceSchedule:
@@ -485,6 +495,7 @@ class ThermalAwareDesignFlow:
         theta: float = 1.0,
         initial: Union[str, float] = "ambient",
         snapshot_times_s: Sequence[float] = (),
+        method: str = "lu",
     ) -> TransientEvaluation:
         """Transient thermal analysis of one design point over a trace.
 
@@ -492,9 +503,11 @@ class ThermalAwareDesignFlow:
         TransientRequest`: ``"ambient"`` starts uniform at the convective
         ambient, ``"steady"`` from the steady state of the first phase
         (reusing the flow's cached steady factorisation), a float from that
-        uniform temperature.  A :class:`TransientRequest` may be passed in
-        place of the trace, in which case the remaining arguments are
-        ignored.
+        uniform temperature.  ``method`` selects the integration path
+        (``"lu"``, ``"rom"``, ``"auto"``; see
+        :meth:`repro.thermal.TransientSolver.solve`).  A
+        :class:`TransientRequest` may be passed in place of the trace, in
+        which case the remaining arguments are ignored.
         """
         if isinstance(trace, TransientRequest):
             request = trace
@@ -506,6 +519,7 @@ class ThermalAwareDesignFlow:
                 theta=theta,
                 initial=initial,
                 snapshot_times_s=tuple(snapshot_times_s),
+                method=method,
             )
         schedule = self.build_schedule(request.trace, request.power)
         solver = self.transient_solver(request.theta)
@@ -522,6 +536,7 @@ class ThermalAwareDesignFlow:
             initial_temperature_c=initial_field,
             snapshot_times_s=request.snapshot_times_s,
             probes=self.oni_probes(),
+            method=request.method,
         )
         series: Dict[str, OniTemperatureSeries] = {}
         for oni in self.scenario.onis:

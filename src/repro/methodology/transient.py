@@ -31,7 +31,7 @@ from ..activity import ActivityTrace
 from ..errors import AnalysisError, ConfigurationError
 from ..oni import OniPowerConfig
 from ..snr import BatchSnrReport, OniThermalState
-from ..thermal import TransientResult
+from ..thermal import TRANSIENT_METHODS, TransientResult
 
 
 @dataclass(frozen=True)
@@ -41,7 +41,9 @@ class TransientRequest:
     ``initial`` selects the starting field: ``"ambient"`` (uniform at the
     convective ambient — the package powering on), ``"steady"`` (the steady
     state of the first phase — the workload already running), or an explicit
-    uniform temperature in degC.
+    uniform temperature in degC.  ``method`` selects the integration path
+    (``"lu"``, ``"rom"`` or ``"auto"`` — see
+    :meth:`repro.thermal.TransientSolver.solve`).
     """
 
     trace: ActivityTrace
@@ -50,6 +52,7 @@ class TransientRequest:
     theta: float = 1.0
     initial: Union[str, float] = "ambient"
     snapshot_times_s: Tuple[float, ...] = ()
+    method: str = "lu"
 
     def __post_init__(self) -> None:
         if isinstance(self.initial, str) and self.initial not in (
@@ -59,6 +62,11 @@ class TransientRequest:
             raise ConfigurationError(
                 "initial must be 'ambient', 'steady' or a temperature in degC, "
                 f"got {self.initial!r}"
+            )
+        if self.method not in TRANSIENT_METHODS:
+            raise ConfigurationError(
+                f"method must be one of {TRANSIENT_METHODS}, got "
+                f"{self.method!r}"
             )
         # Accept any sequence of times but store a tuple: the request must
         # stay hashable-by-content for the sweep engine's cache key.
@@ -283,4 +291,5 @@ def transient_request_key(request: TransientRequest) -> Tuple:
         request.theta,
         request.initial,
         request.snapshot_times_s,
+        request.method,
     )

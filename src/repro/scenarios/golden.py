@@ -27,6 +27,11 @@ lineshapes, dB conversions) and gets the loosest band.  Strings, booleans,
 integer pairs, nulls and the spec hash must match exactly — a spec edit
 without a golden refresh therefore fails the comparison immediately, which
 is what the CI golden-drift job relies on.
+
+Solver-provenance subtrees (:data:`PROVENANCE_SUFFIXES`, currently the
+``results.transient.solver`` block) are excluded from the comparison: they
+record which integration path produced the numbers, and a reduced-order
+replay of a golden scenario must compare clean against its full-LU golden.
 """
 
 from __future__ import annotations
@@ -55,6 +60,18 @@ _SUFFIX_CLASSES = (
 #: child keys themselves have no suffix (e.g. per-link SNR maps keyed by
 #: communication name).
 _CONTAINER_CLASSES = {"links": "snr"}
+
+#: Path suffixes of provenance subtrees: they describe *how* a result was
+#: computed (which transient integration path ran, whether a reduced basis
+#: was built) rather than *what* was computed, and may legitimately differ
+#: between physically identical runs — a full-LU artifact and its
+#: reduced-order replay must compare clean.  Skipped on either side, so a
+#: golden recorded before the subtree existed also stays comparable.
+PROVENANCE_SUFFIXES = ("results.transient.solver",)
+
+
+def _is_provenance(path: str) -> bool:
+    return any(path.endswith(suffix) for suffix in PROVENANCE_SUFFIXES)
 
 
 def classify_quantity(key: str, inherited: str = "default") -> str:
@@ -100,17 +117,26 @@ def compare_artifact_dicts(
 
     def walk(ref: Any, new: Any, path: str, quantity: str) -> None:
         if isinstance(ref, Mapping) and isinstance(new, Mapping):
-            missing = sorted(set(ref) - set(new))
-            extra = sorted(set(new) - set(ref))
+            missing = sorted(
+                key for key in set(ref) - set(new)
+                if not _is_provenance(f"{path}.{key}")
+            )
+            extra = sorted(
+                key for key in set(new) - set(ref)
+                if not _is_provenance(f"{path}.{key}")
+            )
             if missing:
                 mismatches.append(f"{path}: missing keys {missing}")
             if extra:
                 mismatches.append(f"{path}: unexpected keys {extra}")
             for key in sorted(set(ref) & set(new)):
+                child = f"{path}.{key}"
+                if _is_provenance(child):
+                    continue
                 walk(
                     ref[key],
                     new[key],
-                    f"{path}.{key}",
+                    child,
                     classify_quantity(key, inherited=quantity),
                 )
             return

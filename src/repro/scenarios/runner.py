@@ -58,6 +58,7 @@ from ..methodology import (
 )
 from ..oni import OniPowerConfig
 from ..snr import LaserDriveConfig
+from ..thermal import TRANSIENT_METHODS
 from .spec import SCHEMA_VERSION, ScenarioSpec, TraceSpec, WorkloadSpec
 
 #: Analysis paths a runner can execute, in canonical order.
@@ -232,10 +233,20 @@ class ScenarioRunner:
     flow and shared sweep engine are materialised on first use and reused by
     every path, so the thermal mesh is built and factorised exactly once per
     runner regardless of how many paths run.
+
+    ``transient_method`` selects the transient integration path (``"lu"``,
+    ``"rom"`` or ``"auto"``; see :meth:`repro.thermal.TransientSolver.solve`)
+    and is recorded in the artifact's solver-provenance block.
     """
 
-    def __init__(self, spec: ScenarioSpec) -> None:
+    def __init__(self, spec: ScenarioSpec, transient_method: str = "lu") -> None:
+        if transient_method not in TRANSIENT_METHODS:
+            raise ConfigurationError(
+                f"transient_method must be one of {TRANSIENT_METHODS}, got "
+                f"{transient_method!r}"
+            )
         self.spec = spec
+        self.transient_method = transient_method
         self._architecture: Optional[SccArchitecture] = None
         self._scenario: Optional[OniRingScenario] = None
         self._flow: Optional[ThermalAwareDesignFlow] = None
@@ -454,9 +465,11 @@ class ScenarioRunner:
                     power=self.power_config(),
                     dt_s=trace_spec.dt_s,
                     initial=trace_spec.initial,
+                    method=self.transient_method,
                 )
                 evaluation = engine.evaluate_transient_one(request)
                 series = flow.run_transient_snr(evaluation, self.drive())
+                diagnostics = evaluation.result.diagnostics
                 per_oni_settling = {
                     name: evaluation.settling_time_s(name, SETTLING_TOLERANCE_C)
                     for name in evaluation.oni_series
@@ -474,6 +487,17 @@ class ScenarioRunner:
                         "max_settling_s": max(settled) if settled else None,
                     },
                     "snr": series.summary_dict(self.spec.snr_floor_db),
+                    # Solver provenance: which numerical path produced the
+                    # numbers above.  The raw residual is deliberately left
+                    # out — it sits near the comparison atol and would make
+                    # artifacts BLAS-sensitive.
+                    "solver": {
+                        "method_requested": self.transient_method,
+                        "method": diagnostics.solver_method,
+                        "rom_dim": diagnostics.rom_dim,
+                        "rom_basis_built": diagnostics.rom_basis_built,
+                        "rom_fallback": diagnostics.rom_fallback,
+                    },
                 }
 
         return ScenarioArtifact(

@@ -10,7 +10,26 @@ from .assembly import (
 )
 from .boundary import FACES, BoundaryConditions, FaceCondition
 from .compact import CompactResult, CompactThermalModel
+from .factorization import (
+    FactorizationCache,
+    clear_factorization_cache,
+    factorization_cache_stats,
+    factorize,
+    matrix_content_key,
+)
 from .mesh import Mesh3D, MeshBuilder, RefinementRegion, build_ticks, merge_close_ticks
+from .rom import (
+    TRANSIENT_METHODS,
+    ReducedBasis,
+    ReducedModel,
+    RomConfig,
+    basis_content_key,
+    build_basis,
+    clear_installed_bases,
+    install_basis,
+    install_payload,
+    installed_basis,
+)
 from .solver import BatchSolveResult, SolverDiagnostics, SteadyStateSolver
 from .sources import HeatSource, HeatSourceSet, power_density_field
 from .thermal_map import ThermalMap
@@ -37,6 +56,21 @@ __all__ = [
     "FaceCondition",
     "CompactResult",
     "CompactThermalModel",
+    "FactorizationCache",
+    "clear_factorization_cache",
+    "factorization_cache_stats",
+    "factorize",
+    "matrix_content_key",
+    "TRANSIENT_METHODS",
+    "ReducedBasis",
+    "ReducedModel",
+    "RomConfig",
+    "basis_content_key",
+    "build_basis",
+    "clear_installed_bases",
+    "install_basis",
+    "install_payload",
+    "installed_basis",
     "Mesh3D",
     "MeshBuilder",
     "RefinementRegion",

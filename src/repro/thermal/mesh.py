@@ -18,6 +18,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..caching import LruCache
 from ..errors import MeshError
 from ..geometry import Box, LayerStack, Rect
 from ..materials import AIR, Material
@@ -67,6 +68,11 @@ class BoxOverlap:
                 self.z_lengths,
             )
         )
+
+
+#: Cache sentinel for "this box does not overlap the mesh" (LruCache treats
+#: ``None`` as a miss, so the negative outcome needs its own marker).
+_NO_OVERLAP = object()
 
 
 @dataclass(frozen=True)
@@ -196,6 +202,13 @@ class Mesh3D:
                     "cell heat capacities must be strictly positive and finite"
                 )
         self.c_volumetric = c_volumetric
+        #: Box coordinates -> BoxOverlap (or the no-overlap sentinel).  The
+        #: same boxes are rasterised over and over — every segment of an
+        #: activity schedule re-projects the identical source geometry, only
+        #: the powers change — so profiles are memoised per mesh.  Bounded
+        #: LRU: large sweeps over moving probe windows must not accumulate
+        #: profiles without limit.
+        self._overlap_profiles: LruCache[object] = LruCache(max_entries=4096)
 
     @property
     def has_heat_capacity(self) -> bool:
@@ -346,7 +359,18 @@ class Mesh3D:
         index slices) lets hot paths work on the small sub-box instead of
         materialising a full ``(nx, ny, nz)`` array per box.  Returns ``None``
         when the box does not overlap the mesh.
+
+        The overlap is computed only on the tick window the interval can
+        touch (located by bisection) and memoised per box coordinates: the
+        rasterisation cost of a source set then scales with the sources'
+        footprint rather than the mesh size, and repeated projections of the
+        same geometry (every segment of an activity schedule, every probe of
+        a sweep) are free.
         """
+        key = (box.x_min, box.x_max, box.y_min, box.y_max, box.z_min, box.z_max)
+        cached = self._overlap_profiles.get(key)
+        if cached is not None:
+            return cached if isinstance(cached, BoxOverlap) else None
         profiles = []
         slices = []
         for ticks, lower, upper in (
@@ -354,14 +378,24 @@ class Mesh3D:
             (self.y_ticks, box.y_min, box.y_max),
             (self.z_ticks, box.z_min, box.z_max),
         ):
-            lengths = self._axis_overlap(ticks, lower, upper)
+            # Cells strictly outside [lower, upper] cannot overlap; restrict
+            # the vector work to the bisected candidate window.
+            window_start = max(int(np.searchsorted(ticks, lower, side="right")) - 1, 0)
+            window_stop = min(int(np.searchsorted(ticks, upper, side="left")), ticks.size - 1)
+            if window_start >= window_stop:
+                self._overlap_profiles.put(key, _NO_OVERLAP)
+                return None
+            starts = np.maximum(ticks[window_start:window_stop], lower)
+            ends = np.minimum(ticks[window_start + 1 : window_stop + 1], upper)
+            lengths = np.clip(ends - starts, 0.0, None)
             nonzero = np.flatnonzero(lengths)
             if nonzero.size == 0:
+                self._overlap_profiles.put(key, _NO_OVERLAP)
                 return None
-            start, stop = int(nonzero[0]), int(nonzero[-1]) + 1
-            profiles.append(lengths[start:stop])
-            slices.append(slice(start, stop))
-        return BoxOverlap(
+            first, last = int(nonzero[0]), int(nonzero[-1]) + 1
+            profiles.append(lengths[first:last])
+            slices.append(slice(window_start + first, window_start + last))
+        profile = BoxOverlap(
             x_slice=slices[0],
             y_slice=slices[1],
             z_slice=slices[2],
@@ -369,6 +403,8 @@ class Mesh3D:
             y_lengths=profiles[1],
             z_lengths=profiles[2],
         )
+        self._overlap_profiles.put(key, profile)
+        return profile
 
     def box_overlap_volumes(self, box: Box) -> np.ndarray:
         """Per-cell overlap volume with ``box`` [m^3], shape ``(nx, ny, nz)``."""

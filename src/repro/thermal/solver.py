@@ -18,10 +18,11 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
-from scipy.sparse.linalg import LinearOperator, cg, spilu, splu
+from scipy.sparse.linalg import LinearOperator, cg, spilu
 
 from ..errors import SolverError
 from .assembly import AssembledOperator, assemble_operator, boundary_rhs
+from .factorization import factorize
 from .boundary import BoundaryConditions
 from .mesh import Mesh3D
 from .sources import HeatSource, power_density_field
@@ -169,9 +170,12 @@ class SteadyStateSolver:
         if n_cells <= self._direct_cell_limit:
             reused = self._factorization is not None
             if self._factorization is None:
-                self._factorization = splu(
-                    operator.matrix.tocsc(), permc_spec="MMD_AT_PLUS_A"
-                )
+                # Shared content-keyed cache: another solver instance that
+                # assembled the identical matrix (common across a campaign's
+                # scenarios) already paid for this factorisation.  ``reused``
+                # deliberately tracks only this instance's memo so the
+                # diagnostics stay a pure function of its own call history.
+                self._factorization, _, _ = factorize(operator.matrix)
             return self._factorization.solve(rhs_matrix), "direct", reused
         # Iterative fallback for very large meshes.
         reused = self._factorization is not None

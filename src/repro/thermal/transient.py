@@ -38,16 +38,28 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+import hashlib
+
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import splu
 
 from ..caching import LruCache
 from ..errors import SolverError
 from ..geometry import Box
 from .assembly import AssembledOperator, assemble_operator, boundary_rhs
 from .boundary import FACES, BoundaryConditions
+from .factorization import factorize, matrix_content_key
 from .mesh import Mesh3D
+from .rom import (
+    DEFAULT_CONFIG,
+    ReducedBasis,
+    ReducedModel,
+    RomConfig,
+    TRANSIENT_METHODS,
+    basis_content_key,
+    build_basis,
+    installed_basis,
+)
 from .sources import HeatSource, power_density_field
 from .thermal_map import ThermalMap
 
@@ -234,6 +246,20 @@ class TransientDiagnostics:
     factorizations_computed: int
     #: Distinct effective step sizes encountered (one factorisation each).
     distinct_steps: int
+    #: Path that produced the result: ``"lu"`` (full-space sparse LU) or
+    #: ``"rom"`` (reduced-order Galerkin stepping).  A requested ROM solve
+    #: still reports ``"lu"`` when it built its basis on this solve or fell
+    #: back after a residual breach.
+    solver_method: str = "lu"
+    #: Dimension of the reduced basis used or built (0 for a pure LU solve).
+    rom_dim: int = 0
+    #: A reduced basis was built from this solve's trajectory.
+    rom_basis_built: bool = False
+    #: A reduced solve was attempted and rejected by the residual check.
+    rom_fallback: bool = False
+    #: Worst a-posteriori relative residual of the accepted reduced solve
+    #: (0.0 for a pure LU solve).
+    rom_residual: float = 0.0
 
     @property
     def method(self) -> str:
@@ -338,6 +364,42 @@ class _ProbeFunctional:
         return float(self.weights @ flat_temperatures[self.indices])
 
 
+class _SnapshotRecorder:
+    """Snapshot bookkeeping shared by the full and reduced integrators.
+
+    Targets are consumed in order; each is snapped to the end of the first
+    step at or after it.  The field is obtained from a provider callable
+    exactly once per step that records anything, so the reduced path only
+    lifts to full space at steps that actually keep a snapshot.
+    """
+
+    __slots__ = ("_mesh", "_targets", "_cursor", "snapshots")
+
+    def __init__(self, mesh: Mesh3D, targets: Sequence[float]) -> None:
+        self._mesh = mesh
+        self._targets = targets
+        self._cursor = 0
+        self.snapshots: List[TransientSnapshot] = []
+
+    def record(self, now: float, field_provider, flush: bool = False) -> None:
+        field: Optional[np.ndarray] = None
+        while self._cursor < len(self._targets) and (
+            flush or self._targets[self._cursor] <= now * (1.0 + 1.0e-12)
+        ):
+            if field is None:
+                field = field_provider()
+            self.snapshots.append(
+                TransientSnapshot(
+                    time_s=now,
+                    requested_time_s=self._targets[self._cursor],
+                    thermal_map=ThermalMap(
+                        self._mesh, field.reshape(self._mesh.shape).copy()
+                    ),
+                )
+            )
+            self._cursor += 1
+
+
 class TransientSolver:
     """θ-method time integrator on the finite-volume conduction system.
 
@@ -355,6 +417,10 @@ class TransientSolver:
         Implicitness of the θ-method; ``1.0`` is backward Euler (default),
         ``0.5`` Crank–Nicolson.  Values in ``[0.5, 1]`` are unconditionally
         stable.
+    rom_config:
+        Tuning of the reduced-order path (basis dimension cap, POD
+        truncation tolerance, a-posteriori residual bound); only consulted
+        when :meth:`solve` is called with ``method="rom"`` or ``"auto"``.
     """
 
     def __init__(
@@ -363,6 +429,7 @@ class TransientSolver:
         boundaries: BoundaryConditions,
         theta: float = 1.0,
         volumetric_heat_capacity: Optional[float] = None,
+        rom_config: RomConfig = DEFAULT_CONFIG,
     ) -> None:
         if not 0.5 <= theta <= 1.0:
             raise SolverError(
@@ -398,6 +465,21 @@ class TransientSolver:
         self._probe_functionals: LruCache[_ProbeFunctional] = LruCache(
             max_entries=512
         )
+        self._rom_config = rom_config
+        #: Reduced bases built by this instance, by content key.  Kept
+        #: per-instance (not process-global) so a solve's outcome is a pure
+        #: function of this solver's own request history — what keeps
+        #: artifacts byte-identical whatever the executor topology.
+        self._rom_bases: LruCache[ReducedBasis] = LruCache(max_entries=4)
+        #: Galerkin projections (``VᵀKV`` etc.) by basis content key.
+        self._rom_models: LruCache[ReducedModel] = LruCache(max_entries=4)
+        #: Source-set content -> rasterised load vector [W per cell].  A
+        #: schedule projects each segment's sources onto the mesh; sweeps
+        #: re-integrating the same trace (and traces revisiting a power
+        #: state) skip the rasterisation entirely.
+        self._source_loads: LruCache[np.ndarray] = LruCache(max_entries=32)
+        #: Content key of the assembled operator matrix, computed lazily.
+        self._matrix_key: Optional[str] = None
 
     # Properties -----------------------------------------------------------------
 
@@ -416,6 +498,11 @@ class TransientSolver:
         """Number of step sizes with a cached LU factorisation."""
         return len(self._steppers)
 
+    @property
+    def rom_config(self) -> RomConfig:
+        """Tuning knobs of the reduced-order path."""
+        return self._rom_config
+
     # Internal -------------------------------------------------------------------
 
     def _ensure_operator(self) -> AssembledOperator:
@@ -424,12 +511,42 @@ class TransientSolver:
             self._boundary_rhs = boundary_rhs(self._operator, self._boundaries)
         return self._operator
 
+    def _operator_key(self) -> str:
+        """Content key of the assembled operator matrix (cached)."""
+        if self._matrix_key is None:
+            self._matrix_key = matrix_content_key(self._ensure_operator().matrix)
+        return self._matrix_key
+
+    def _stepper_key(self, dt: float) -> str:
+        """Content key of the implicit matrix ``C/dt + θK``.
+
+        Derived from the operator key, θ, capacitance and dt instead of
+        hashing the assembled matrix — the matrix is a deterministic
+        function of exactly those inputs, and the derived key spares the
+        shared cache a ~100k-entry re-hash per lookup.
+        """
+        digest = hashlib.sha256()
+        digest.update(b"transient-stepper-v1:")
+        digest.update(self._operator_key().encode("ascii"))
+        digest.update(np.float64(self._theta).tobytes())
+        digest.update(np.float64(dt).tobytes())
+        digest.update(
+            np.ascontiguousarray(self._capacitance, dtype=np.float64).tobytes()
+        )
+        return digest.hexdigest()
+
     def _stepper(self, dt: float) -> Tuple[object, sparse.csr_matrix]:
         """LU of the implicit matrix and the explicit matrix for step ``dt``.
 
         Cached per distinct step size (bounded LRU), so a whole trace with
         equal segment durations — and any number of further traces on the
-        same mesh — pay for exactly one factorisation.
+        same mesh — pay for exactly one factorisation.  The LU itself is
+        obtained through the shared content-keyed factorisation cache, so
+        other solver instances assembling the identical system (the 60+
+        scenarios of a campaign sharing a mesh pattern) reuse it for free;
+        the instance-level count below is deliberately blind to that — the
+        per-solve diagnostics stay a pure function of this solver's own
+        history, which executor conformance relies on.
         """
         cached = self._steppers.get(dt)
         if cached is not None:
@@ -443,7 +560,7 @@ class TransientSolver:
         # For backward Euler the K term multiplies to exact zeros that would
         # otherwise stay stored and cost a full stencil matvec per step.
         explicit.eliminate_zeros()
-        factorization = splu(implicit, permc_spec="MMD_AT_PLUS_A")
+        factorization, _, _ = factorize(implicit, key=self._stepper_key(dt))
         stepper = (factorization, explicit)
         self._steppers.put(dt, stepper)
         self._factorizations_total += 1
@@ -502,6 +619,231 @@ class TransientSolver:
             plan.append((segment, count, segment.duration_s / count))
         return plan
 
+    def _source_load(self, sources: Sequence[HeatSource]) -> np.ndarray:
+        """Flattened rasterised power load of a source set [W per cell].
+
+        Memoised on the sources' field-relevant content (box and power, in
+        order — the accumulation order fixes the floating-point rounding),
+        so re-integrating a trace or revisiting a power state never
+        re-projects the geometry.  Callers must not mutate the returned
+        array (`solve` always adds the boundary load, which copies).
+        """
+        key = tuple(
+            (
+                source.power_w,
+                source.box.x_min,
+                source.box.x_max,
+                source.box.y_min,
+                source.box.y_max,
+                source.box.z_min,
+                source.box.z_max,
+            )
+            for source in sources
+        )
+        load = self._source_loads.get(key)
+        if load is None:
+            load = power_density_field(self._mesh, sources).ravel()
+            self._source_loads.put(key, load)
+        return load
+
+    # Reduced-order plumbing -------------------------------------------------------
+
+    def _resolve_basis(self, key: str, method: str) -> Optional[ReducedBasis]:
+        """Basis to attempt a reduced solve with, or ``None``.
+
+        ``auto`` only consults the process-wide *installed* registry (bases
+        shipped explicitly through store records / kernel warm-start
+        payloads, hence identical in every worker); ``rom`` additionally
+        falls back to bases this instance built organically.
+        """
+        basis = installed_basis(key)
+        if basis is not None:
+            return basis
+        if method == "rom":
+            return self._rom_bases.get(key)
+        return None
+
+    def _build_basis(
+        self,
+        key: str,
+        trajectory: np.ndarray,
+        segment_loads: Sequence[np.ndarray],
+    ) -> ReducedBasis:
+        """POD basis of a just-computed exact trajectory (plus the
+        per-segment steady states, which anchor long-time asymptotes)."""
+        operator = self._ensure_operator()
+        factorization, _, _ = factorize(operator.matrix, key=self._operator_key())
+        unique_loads: Dict[str, np.ndarray] = {}
+        for load in segment_loads:
+            unique_loads.setdefault(hashlib.sha256(load.tobytes()).hexdigest(), load)
+        steady_states = np.column_stack(
+            [factorization.solve(load) for load in unique_loads.values()]
+        )
+        basis = build_basis(key, trajectory, steady_states, self._rom_config)
+        self._rom_bases.put(key, basis)
+        return basis
+
+    def rom_payloads(self) -> List[str]:
+        """Serialised payloads of every basis built by this instance
+        (deterministic JSON; feed to the store / kernel warm-start)."""
+        return [basis.to_payload_json() for _, basis in self._rom_bases.items()]
+
+    def _integrate_full(
+        self,
+        plan: Sequence[Tuple[ScheduleSegment, int, float]],
+        segment_loads: Sequence[np.ndarray],
+        initial: np.ndarray,
+        functionals: Mapping[str, _ProbeFunctional],
+        snapshot_targets: Sequence[float],
+        total_steps: int,
+        collect_trajectory: bool = False,
+    ):
+        """Full-space LU integration (the reference path).
+
+        With ``collect_trajectory`` every state including the initial field
+        is kept as a column for POD basis construction.
+        """
+        temperatures = initial
+        times = np.empty(total_steps + 1, dtype=float)
+        times[0] = 0.0
+        probe_values = {
+            name: np.empty(total_steps + 1, dtype=float) for name in functionals
+        }
+        for name, functional in functionals.items():
+            probe_values[name][0] = functional.value(temperatures)
+        recorder = _SnapshotRecorder(self._mesh, snapshot_targets)
+        recorder.record(0.0, lambda: temperatures)
+        trajectory = [temperatures] if collect_trajectory else None
+
+        step_index = 0
+        now = 0.0
+        boundaries: List[float] = []
+        for (segment, count, dt_eff), constant_rhs in zip(plan, segment_loads):
+            factorization, explicit = self._stepper(dt_eff)
+            for _ in range(count):
+                rhs = explicit @ temperatures + constant_rhs
+                temperatures = factorization.solve(rhs)
+                step_index += 1
+                now += dt_eff
+                times[step_index] = now
+                for name, functional in functionals.items():
+                    probe_values[name][step_index] = functional.value(temperatures)
+                recorder.record(now, lambda: temperatures)
+                if trajectory is not None:
+                    trajectory.append(temperatures)
+            if not np.all(np.isfinite(temperatures)):
+                raise SolverError(
+                    f"transient solve produced non-finite temperatures in "
+                    f"segment {segment.label or len(boundaries)}"
+                )
+            boundaries.append(now)
+        # Targets within the validation tolerance of the schedule end may
+        # still be (marginally) beyond the last step time; record them from
+        # the final field so every accepted request yields a snapshot.
+        recorder.record(now, lambda: temperatures, flush=True)
+        return (
+            times,
+            probe_values,
+            recorder.snapshots,
+            temperatures,
+            boundaries,
+            np.column_stack(trajectory) if trajectory is not None else None,
+        )
+
+    def _integrate_reduced(
+        self,
+        basis: ReducedBasis,
+        plan: Sequence[Tuple[ScheduleSegment, int, float]],
+        segment_loads: Sequence[np.ndarray],
+        initial: np.ndarray,
+        functionals: Mapping[str, _ProbeFunctional],
+        snapshot_targets: Sequence[float],
+        total_steps: int,
+    ):
+        """Galerkin integration in the reduced space, or ``None`` on a
+        residual breach.
+
+        Probes contract to precomputed ``r``-vectors; full-space fields are
+        lifted only for requested snapshots, the final map and the
+        a-posteriori check.  At the end of every segment the *full*
+        equation's relative residual over the segment's last step is
+        evaluated — a breach (or any non-finite value) rejects the whole
+        solve so the caller reruns the reference path.
+        """
+        operator = self._ensure_operator()
+        if basis.n_cells != operator.n_cells:
+            raise SolverError(
+                f"reduced basis lifts to {basis.n_cells} cells but the mesh "
+                f"has {operator.n_cells}"
+            )
+        model = self._rom_models.get(basis.key)
+        if model is None:
+            model = ReducedModel(
+                basis, operator.matrix, self._capacitance, self._theta
+            )
+            self._rom_models.put(basis.key, model)
+        v = basis.matrix
+        matrix = operator.matrix
+        theta = self._theta
+
+        coefficients = model.reduce(initial)
+        times = np.empty(total_steps + 1, dtype=float)
+        times[0] = 0.0
+        probe_values = {
+            name: np.empty(total_steps + 1, dtype=float) for name in functionals
+        }
+        # The initial probe values come from the exact initial field — it is
+        # available for free and keeps step 0 identical to the LU path.
+        for name, functional in functionals.items():
+            probe_values[name][0] = functional.value(initial)
+        reduced_probes = {
+            name: v[functional.indices].T @ functional.weights
+            for name, functional in functionals.items()
+        }
+        recorder = _SnapshotRecorder(self._mesh, snapshot_targets)
+        recorder.record(0.0, lambda: initial)
+
+        step_index = 0
+        now = 0.0
+        boundaries: List[float] = []
+        max_residual = 0.0
+        for (segment, count, dt_eff), load in zip(plan, segment_loads):
+            stepper = model.stepper(dt_eff)
+            reduced_load = v.T @ load
+            previous = coefficients
+            for _ in range(count):
+                previous = coefficients
+                coefficients = model.step(stepper, coefficients, reduced_load)
+                step_index += 1
+                now += dt_eff
+                times[step_index] = now
+                for name, row in reduced_probes.items():
+                    probe_values[name][step_index] = float(row @ coefficients)
+                recorder.record(now, lambda: v @ coefficients)
+            x_prev = v @ previous
+            x_now = v @ coefficients
+            capacitance_over_dt = self._capacitance / dt_eff
+            rhs = capacitance_over_dt * x_prev + load
+            if theta != 1.0:
+                rhs -= (1.0 - theta) * (matrix @ x_prev)
+            defect = capacitance_over_dt * x_now + theta * (matrix @ x_now) - rhs
+            scale = float(np.linalg.norm(rhs))
+            residual = float(np.linalg.norm(defect)) / (scale if scale > 0.0 else 1.0)
+            if not math.isfinite(residual) or residual > self._rom_config.residual_tol:
+                return None
+            max_residual = max(max_residual, residual)
+            boundaries.append(now)
+        final_field = v @ coefficients
+        recorder.record(now, lambda: final_field, flush=True)
+        return (
+            times,
+            probe_values,
+            recorder.snapshots,
+            final_field,
+            boundaries,
+            max_residual,
+        )
+
     # Public API ------------------------------------------------------------------
 
     def solve(
@@ -511,6 +853,7 @@ class TransientSolver:
         initial_temperature_c: Union[float, np.ndarray, ThermalMap, None] = None,
         snapshot_times_s: Sequence[float] = (),
         probes: Optional[Mapping[str, ProbeSpec]] = None,
+        method: str = "lu",
     ) -> TransientResult:
         """Integrate the schedule and record probes / snapshots.
 
@@ -532,7 +875,23 @@ class TransientSolver:
         probes:
             Named regions recorded at *every* step: a ``Box`` (volume
             average) or a sequence of boxes (mean of per-box averages).
+        method:
+            ``"lu"`` (default) integrates in full space with sparse LU.
+            ``"rom"`` integrates in a reduced POD subspace when a basis for
+            this problem is installed or was built by this instance — the
+            first solve of a problem runs the LU path, harvests its
+            trajectory into a basis, and returns the (bit-exact) LU result.
+            ``"auto"`` uses the reduced path exactly when a basis was
+            *installed* (store / warm-start payload) and LU otherwise,
+            never building bases as a side effect.  Reduced solves that
+            fail the a-posteriori residual check fall back to LU
+            transparently (see :attr:`TransientDiagnostics.rom_fallback`).
         """
+        if method not in TRANSIENT_METHODS:
+            raise SolverError(
+                f"unknown transient method {method!r}; expected one of "
+                f"{TRANSIENT_METHODS}"
+            )
         if len(schedule) == 0:
             raise SolverError("the schedule has no segments")
         if not math.isfinite(dt_s) or dt_s <= 0.0:
@@ -562,86 +921,134 @@ class TransientSolver:
         plan = self._segment_steps(schedule, dt_s)
         total_steps = sum(count for _, count, _ in plan)
         factorizations_before = self._factorizations_total
+        initial = self._initial_field(initial_temperature_c)
+        segment_loads = [
+            self._source_load(segment.sources) + self._boundary_rhs
+            for segment, _, _ in plan
+        ]
 
-        temperatures = self._initial_field(initial_temperature_c)
-        times = np.empty(total_steps + 1, dtype=float)
-        times[0] = 0.0
-        probe_values = {
-            name: np.empty(total_steps + 1, dtype=float) for name in functionals
-        }
-        for name, functional in functionals.items():
-            probe_values[name][0] = functional.value(temperatures)
+        basis: Optional[ReducedBasis] = None
+        basis_key = ""
+        rom_fallback = False
+        rom_basis_built = False
+        rom_dim = 0
+        if method != "lu":
+            basis_key = basis_content_key(
+                self._operator_key(),
+                self._capacitance,
+                self._theta,
+                initial,
+                [
+                    (count, dt_eff, load)
+                    for (_, count, dt_eff), load in zip(plan, segment_loads)
+                ],
+            )
+            basis = self._resolve_basis(basis_key, method)
 
-        snapshots: List[TransientSnapshot] = []
-        target_cursor = 0
-
-        def record_snapshots(now: float, flush: bool = False) -> None:
-            nonlocal target_cursor
-            while target_cursor < len(snapshot_targets) and (
-                flush
-                or snapshot_targets[target_cursor] <= now * (1.0 + 1.0e-12)
-            ):
-                snapshots.append(
-                    TransientSnapshot(
-                        time_s=now,
-                        requested_time_s=snapshot_targets[target_cursor],
-                        thermal_map=ThermalMap(
-                            self._mesh,
-                            temperatures.reshape(self._mesh.shape).copy(),
-                        ),
-                    )
+        if basis is not None:
+            rom_dim = basis.dim
+            reduced = self._integrate_reduced(
+                basis,
+                plan,
+                segment_loads,
+                initial,
+                functionals,
+                snapshot_targets,
+                total_steps,
+            )
+            if reduced is not None:
+                times, probe_values, snapshots, final, boundaries, residual = reduced
+                return self._assemble_result(
+                    times=times,
+                    probe_values=probe_values,
+                    snapshots=snapshots,
+                    final_field=final,
+                    boundaries=boundaries,
+                    plan=plan,
+                    dt_s=dt_s,
+                    total_duration=total_duration,
+                    factorizations_before=factorizations_before,
+                    solver_method="rom",
+                    rom_dim=rom_dim,
+                    rom_basis_built=False,
+                    rom_fallback=False,
+                    rom_residual=residual,
                 )
-                target_cursor += 1
+            rom_fallback = True
 
-        record_snapshots(0.0)
+        collect = method == "rom" and basis is None
+        times, probe_values, snapshots, final, boundaries, trajectory = (
+            self._integrate_full(
+                plan,
+                segment_loads,
+                initial,
+                functionals,
+                snapshot_targets,
+                total_steps,
+                collect_trajectory=collect,
+            )
+        )
+        if collect:
+            assert trajectory is not None
+            built = self._build_basis(basis_key, trajectory, segment_loads)
+            rom_basis_built = True
+            rom_dim = built.dim
+        return self._assemble_result(
+            times=times,
+            probe_values=probe_values,
+            snapshots=snapshots,
+            final_field=final,
+            boundaries=boundaries,
+            plan=plan,
+            dt_s=dt_s,
+            total_duration=total_duration,
+            factorizations_before=factorizations_before,
+            solver_method="lu",
+            rom_dim=rom_dim,
+            rom_basis_built=rom_basis_built,
+            rom_fallback=rom_fallback,
+            rom_residual=0.0,
+        )
 
-        step_index = 0
-        now = 0.0
-        boundaries: List[float] = []
-        distinct_dts = set()
-        for segment, count, dt_eff in plan:
-            distinct_dts.add(dt_eff)
-            factorization, explicit = self._stepper(dt_eff)
-            power = power_density_field(self._mesh, segment.sources).ravel()
-            constant_rhs = power + self._boundary_rhs
-            for _ in range(count):
-                rhs = explicit @ temperatures + constant_rhs
-                temperatures = factorization.solve(rhs)
-                step_index += 1
-                now += dt_eff
-                times[step_index] = now
-                for name, functional in functionals.items():
-                    probe_values[name][step_index] = functional.value(temperatures)
-                record_snapshots(now)
-            if not np.all(np.isfinite(temperatures)):
-                raise SolverError(
-                    f"transient solve produced non-finite temperatures in "
-                    f"segment {segment.label or len(boundaries)}"
-                )
-            boundaries.append(now)
-        # Targets within the validation tolerance of the schedule end may
-        # still be (marginally) beyond the last step time; record them from
-        # the final field so every accepted request yields a snapshot.
-        record_snapshots(now, flush=True)
-
+    def _assemble_result(
+        self,
+        times: np.ndarray,
+        probe_values: Mapping[str, np.ndarray],
+        snapshots: List[TransientSnapshot],
+        final_field: np.ndarray,
+        boundaries: List[float],
+        plan: Sequence[Tuple[ScheduleSegment, int, float]],
+        dt_s: float,
+        total_duration: float,
+        factorizations_before: int,
+        solver_method: str,
+        rom_dim: int,
+        rom_basis_built: bool,
+        rom_fallback: bool,
+        rom_residual: float,
+    ) -> TransientResult:
+        operator = self._ensure_operator()
         final_map = ThermalMap(
-            self._mesh, temperatures.reshape(self._mesh.shape).copy()
+            self._mesh, final_field.reshape(self._mesh.shape).copy()
         )
         diagnostics = TransientDiagnostics(
             n_cells=operator.n_cells,
-            steps=total_steps,
+            steps=int(times.size - 1),
             theta=self._theta,
             dt_s=dt_s,
             total_duration_s=total_duration,
             factorizations_computed=self._factorizations_total
             - factorizations_before,
-            distinct_steps=len(distinct_dts),
+            distinct_steps=len({dt_eff for _, _, dt_eff in plan}),
+            solver_method=solver_method,
+            rom_dim=rom_dim,
+            rom_basis_built=rom_basis_built,
+            rom_fallback=rom_fallback,
+            rom_residual=rom_residual,
         )
         probe_series = {
-            name: ProbeSeries(
-                name=name, times_s=times, temperatures_c=probe_values[name]
-            )
-            for name in functionals
+            name: ProbeSeries(name=name, times_s=times, temperatures_c=values)
+            for name, values in probe_values.items()
         }
         return TransientResult(
             times_s=times,

@@ -11,6 +11,7 @@ proven per backend, not just on the seed layout.
 import json
 from concurrent.futures import ThreadPoolExecutor
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -22,6 +23,7 @@ from repro.campaigns import (
     make_backend,
 )
 from repro.scenarios import ALL_PATHS, ScenarioArtifact, ScenarioSpec
+from repro.thermal import ReducedBasis, clear_installed_bases, install_payload
 
 
 def make_spec(index: int = 0) -> ScenarioSpec:
@@ -402,3 +404,74 @@ class TestBackends:
         assert len(list(store.backend.iter_object_paths())) == 1
         store._index_path.unlink()
         assert len(store.entries()) == 1
+
+
+class TestRomBasisRecords:
+    @staticmethod
+    def make_payload(key="a1b2c3d4e5f6a7b8", seed=0):
+        rng = np.random.default_rng(seed)
+        matrix, _ = np.linalg.qr(rng.standard_normal((10, 3)))
+        return ReducedBasis(matrix, key).to_payload_json()
+
+    def test_round_trip_and_warm_start_bundle(self, store):
+        first = self.make_payload("a" * 16, seed=1)
+        second = self.make_payload("b" * 16, seed=2)
+        store.store_rom_basis(first)
+        store.store_rom_basis(second)
+        assert store.load_rom_basis("a" * 16) == first
+        assert store.load_rom_basis("b" * 16) == second
+        assert store.rom_basis_payloads() == sorted([first, second])
+        # A served payload installs cleanly.
+        assert install_payload(store.load_rom_basis("a" * 16)) == "a" * 16
+        clear_installed_bases()
+
+    def test_miss_returns_none_and_counts(self, store):
+        misses_before = store.stats.misses
+        assert store.load_rom_basis("nope") is None
+        assert store.stats.misses == misses_before + 1
+
+    def test_malformed_payload_rejected(self, store):
+        with pytest.raises(ConfigurationError, match="reduced-basis"):
+            store.store_rom_basis(json.dumps(["not", "a", "dict"]))
+        with pytest.raises(ConfigurationError, match="content key"):
+            store.store_rom_basis(json.dumps({"data": "zz"}))
+
+    def test_basis_records_coexist_with_artifacts(self, store):
+        spec = make_spec()
+        artifact_key = store.store(spec, make_artifact(spec), ALL_PATHS)
+        store.store_rom_basis(self.make_payload("c" * 16, seed=3))
+        assert store.load(spec, ALL_PATHS) is not None
+        assert len(store.rom_basis_payloads()) == 1
+        kinds = {entry.paths for entry in store.entries()}
+        assert ("rom_basis",) in kinds
+        assert any(entry.key == artifact_key for entry in store.entries())
+
+    def test_corrupt_basis_record_is_a_miss(self, store):
+        store.store_rom_basis(self.make_payload("d" * 16, seed=4))
+        key = next(
+            entry.key
+            for entry in store.entries()
+            if entry.paths == ("rom_basis",)
+        )
+        path = store._object_path(key)
+        path.write_text(path.read_text(encoding="utf-8")[:-25], encoding="utf-8")
+        assert store.load_rom_basis("d" * 16) is None
+
+
+class TestTransientMethodKeying:
+    def test_method_folds_into_the_key_only_when_not_lu(self, store):
+        spec = make_spec()
+        default = store.key_for(spec, ALL_PATHS)
+        assert default == store.key_for(spec, ALL_PATHS, transient_method="lu")
+        assert default != store.key_for(spec, ALL_PATHS, transient_method="rom")
+        assert store.key_for(
+            spec, ALL_PATHS, transient_method="rom"
+        ) != store.key_for(spec, ALL_PATHS, transient_method="auto")
+
+    def test_artifacts_of_different_methods_never_answer_for_each_other(self, store):
+        spec = make_spec()
+        artifact = make_artifact(spec)
+        store.store(spec, artifact, ALL_PATHS, transient_method="rom")
+        assert store.load(spec, ALL_PATHS) is None
+        served = store.load(spec, ALL_PATHS, transient_method="rom")
+        assert served is not None and served.scenario == spec.name

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.campaigns.cli import main
 from repro.campaigns import ArtifactStore, get_matrix
 from repro.scenarios import ScenarioSpec
@@ -178,3 +180,55 @@ class TestRunAndDiff:
         code, _, err = run_cli(capsys, "run", "campaign_smoke", "--paths", ",")
         assert code == 2
         assert "at least one analysis" in err
+
+
+class TestSeedRomAndWarmStart:
+    def test_seed_then_warm_started_rom_run(self, capsys, tmp_path):
+        from repro.thermal import clear_installed_bases
+
+        store_dir = str(tmp_path / "store")
+        code, out, _ = run_cli(
+            capsys, "seed-rom", "campaign_smoke", "--store", store_dir
+        )
+        assert code == 0
+        assert "4 reduced bases persisted from 4 scenarios" in out
+        assert len(ArtifactStore(store_dir).rom_basis_payloads()) == 4
+
+        report_path = tmp_path / "report.json"
+        try:
+            code, out, _ = run_cli(
+                capsys,
+                "run",
+                "campaign_smoke",
+                "--store",
+                store_dir,
+                "--transient-method",
+                "auto",
+                "--warm-start",
+                "--output",
+                str(report_path),
+            )
+        finally:
+            clear_installed_bases()
+        assert code == 0
+        assert "warm start: 4 reduced bases from the store" in out
+        assert "0 LU / 4 ROM transient solves" in out
+        assert "4 ROM hits, 0 basis builds, 0 fallbacks" in out
+        report = json.loads(report_path.read_text())
+        assert report["engine"]["transient_rom_solves"] == 4
+        for artifact in report["artifacts"].values():
+            assert artifact["results"]["transient"]["solver"]["method"] == "rom"
+
+    def test_warm_start_requires_a_store(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "campaign_smoke", "--warm-start"
+        )
+        assert code == 2
+        assert "--warm-start needs a --store" in err
+
+    def test_seed_rom_requires_a_store(self, capsys):
+        # argparse enforces --store on the producer side.
+        with pytest.raises(SystemExit):
+            main(["seed-rom", "campaign_smoke"])
+        _, err = capsys.readouterr()
+        assert "--store" in err

@@ -35,7 +35,8 @@ from repro.campaigns import (
     SpecExecutionError,
     make_executor,
 )
-from repro.scenarios import ScenarioSpec
+from repro.scenarios import ScenarioRunner, ScenarioSpec
+from repro.thermal import clear_installed_bases
 
 #: Smallest campaign exercising every analysis path: 2 tiny specs.
 MATRIX = ScenarioMatrix(
@@ -165,6 +166,89 @@ class TestExecutorConformance:
             ).run()
             assert warm.summary["store_hits"] == 2, executor_id
             assert warm.artifacts == reference.artifacts, executor_id
+
+
+@pytest.fixture(scope="module")
+def rom_payloads():
+    """Reduced bases of both conformance specs, harvested by a build pass."""
+    payloads = []
+    for point in MATRIX.points():
+        runner = ScenarioRunner(point.spec, transient_method="rom")
+        runner.run(("transient",))
+        payloads.extend(runner.flow().rom_basis_payloads())
+    return tuple(sorted(payloads))
+
+
+@pytest.fixture(scope="module")
+def rom_serial_reference(tmp_path_factory, rom_payloads):
+    """Serial warm-started reduced-order campaign: the ROM conformance
+    reference."""
+    root = tmp_path_factory.mktemp("rom_serial_store")
+    report = CampaignRunner(
+        MATRIX,
+        store=ArtifactStore(root),
+        executor="serial",
+        transient_method="auto",
+        warm_start=rom_payloads,
+    ).run()
+    return report, store_object_digests(root)
+
+
+class TestRomWarmStartConformance:
+    """The reduced-order transient path must not break substrate parity.
+
+    Warm-start payloads are part of the kernel value, so every worker —
+    in-process or in a pool — installs the identical bases and the reduced
+    integration stays byte-deterministic whatever the process topology.
+    """
+
+    @pytest.fixture(scope="module", autouse=True)
+    def _clean_registry(self):
+        # In-process executors install the payloads into this process's
+        # global registry; drop them when the module is done.
+        yield
+        clear_installed_bases()
+
+    @pytest.mark.parametrize("executor_id", sorted(EXECUTORS))
+    def test_rom_report_and_store_parity(
+        self, executor_id, rom_serial_reference, rom_payloads, tmp_path
+    ):
+        reference, reference_objects = rom_serial_reference
+        store = ArtifactStore(tmp_path / "store")
+        report = CampaignRunner(
+            MATRIX,
+            store=store,
+            executor=EXECUTORS[executor_id](),
+            transient_method="auto",
+            warm_start=rom_payloads,
+        ).run()
+        assert report.to_json() == reference.to_json()
+        assert store_object_digests(tmp_path / "store") == reference_objects
+        # The reduced path genuinely ran: every artifact was integrated in
+        # the reduced space, none fell back.
+        assert report.engine["transient_rom_solves"] == len(MATRIX.points())
+        assert report.engine["rom_fallbacks"] == 0
+        for artifact in report.artifacts.values():
+            assert artifact["results"]["transient"]["solver"]["method"] == "rom"
+
+    def test_rom_store_does_not_answer_lu_requests(
+        self, rom_serial_reference, rom_payloads, tmp_path
+    ):
+        """Artifacts computed by different transient numerics have different
+        store keys, so a ROM-populated store never serves an LU campaign."""
+        store = ArtifactStore(tmp_path / "store")
+        CampaignRunner(
+            MATRIX,
+            store=store,
+            executor="serial",
+            transient_method="auto",
+            warm_start=rom_payloads,
+        ).run()
+        lu_report = CampaignRunner(
+            MATRIX, store=ArtifactStore(tmp_path / "store"), executor="serial"
+        ).run()
+        assert lu_report.summary["store_hits"] == 0
+        assert lu_report.summary["store_misses"] == len(MATRIX.points())
 
 
 class TestKernel:

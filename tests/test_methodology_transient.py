@@ -1,5 +1,7 @@
 """Tests for the transient flow integration, engine caching and SNR chaining."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -244,3 +246,43 @@ class TestEngineTransientCache:
         assert engine.transient_cache_size == 1
         engine.clear_cache()
         assert engine.transient_cache_size == 0
+
+
+class TestRomProvenance:
+    def test_method_is_validated_and_part_of_the_key(self, ramp_trace, power):
+        base = TransientRequest(trace=ramp_trace, power=power, dt_s=0.5)
+        assert base.method == "lu"
+        rom = TransientRequest(trace=ramp_trace, power=power, dt_s=0.5, method="rom")
+        assert transient_request_key(base) != transient_request_key(rom)
+        with pytest.raises(ConfigurationError, match="method"):
+            TransientRequest(trace=ramp_trace, method="qr")
+
+    def test_engine_counts_builds_and_organic_rom_hits(self, flow, ramp_trace, power):
+        engine = SweepEngine(flow)
+        build = TransientRequest(
+            trace=ramp_trace, power=power, dt_s=0.5, method="rom"
+        )
+        first = engine.evaluate_transient_one(build)
+        assert first.result.diagnostics.solver_method == "lu"
+        assert first.result.diagnostics.rom_basis_built
+        assert engine.stats.basis_builds == 1
+        assert engine.stats.transient_lu_solves == 1
+        assert engine.stats.transient_rom_solves == 0
+        assert engine.stats.rom_hits == 0
+
+        # Different instrumentation of the same physics: a distinct engine
+        # cache entry, but the identical basis key — an organic ROM hit.
+        replay_request = dataclasses.replace(build, snapshot_times_s=(0.0,))
+        replay = engine.evaluate_transient_one(replay_request)
+        assert replay.result.diagnostics.solver_method == "rom"
+        assert engine.stats.transient_rom_solves == 1
+        assert engine.stats.rom_hits == 1
+        assert engine.stats.rom_fallbacks == 0
+        assert engine.stats.basis_builds == 1
+
+        # The flow exposes the harvested basis for persistence / warm-start.
+        assert len(flow.rom_basis_payloads()) >= 1
+
+    def test_run_transient_accepts_method_argument(self, flow, ramp_trace, power):
+        evaluation = flow.run_transient(ramp_trace, power, dt_s=0.5, method="auto")
+        assert evaluation.result.diagnostics.solver_method == "lu"

@@ -31,7 +31,11 @@ from repro.thermal import (
     BoundaryConditions,
     HeatSource,
     MeshBuilder,
+    RomConfig,
+    ScheduleSegment,
+    SourceSchedule,
     SteadyStateSolver,
+    TransientSolver,
     assemble_operator,
 )
 
@@ -148,6 +152,91 @@ class TestRandomMeshInvariants:
         assert len(floorplan) == columns * rows
         for instance in floorplan:
             assert outline.contains_rect(instance.rect)
+
+
+def random_schedule(rng: random.Random, sources) -> SourceSchedule:
+    """2-4 segments of random duration, each with a random source subset."""
+    segments = []
+    for _ in range(rng.randint(2, 4)):
+        active = tuple(s for s in sources if rng.random() < 0.7)
+        if not active:
+            active = (rng.choice(sources),)
+        segments.append(ScheduleSegment(rng.uniform(0.3, 1.5), active))
+    return SourceSchedule(segments)
+
+
+class TestRandomRomParity:
+    """Reduced-order transient solves on seeded random problems.
+
+    The invariants the reduced path must hold for *any* well-posed problem:
+    the basis-building solve is byte-identical to plain LU (it IS the LU
+    path plus a harvest), a reduced replay stays inside the golden
+    temperature band (rtol 1e-5 / atol 1e-6), and a basis too starved to
+    represent the trajectory is rejected by the residual check and replaced
+    by the exact LU result, never silently served.
+    """
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_rom_replay_within_temperature_bands(self, seed):
+        mesh, rng = random_mesh(seed + 300)
+        boundaries = random_boundaries(rng, ambient_c=30.0)
+        sources = random_sources(rng, mesh, rng.randint(2, 3))
+        schedule = random_schedule(rng, sources)
+        dt = rng.uniform(0.1, 0.4)
+        probes = {"whole": mesh.bounding_box()}
+        reference = TransientSolver(mesh, boundaries).solve(
+            schedule, dt_s=dt, probes=probes
+        )
+        solver = TransientSolver(mesh, boundaries)
+        built = solver.solve(schedule, dt_s=dt, probes=probes, method="rom")
+        assert built.diagnostics.rom_basis_built
+        np.testing.assert_array_equal(
+            built.probe("whole").temperatures_c,
+            reference.probe("whole").temperatures_c,
+        )
+        replay = solver.solve(schedule, dt_s=dt, probes=probes, method="rom")
+        assert replay.diagnostics.solver_method == "rom"
+        assert (
+            replay.diagnostics.rom_residual
+            < solver.rom_config.residual_tol
+        )
+        np.testing.assert_allclose(
+            replay.probe("whole").temperatures_c,
+            reference.probe("whole").temperatures_c,
+            rtol=1.0e-5,
+            atol=1.0e-6,
+        )
+        np.testing.assert_allclose(
+            replay.final_map.temperatures_c,
+            reference.final_map.temperatures_c,
+            rtol=1.0e-5,
+            atol=1.0e-6,
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_starved_basis_falls_back_to_exact_lu(self, seed):
+        mesh, rng = random_mesh(seed + 400)
+        boundaries = random_boundaries(rng, ambient_c=25.0)
+        sources = random_sources(rng, mesh, 2)
+        # Millisecond alternation between two loads: a rank-1 basis cannot
+        # track the switching, so the residual check must reject the replay.
+        schedule = SourceSchedule(
+            [
+                ScheduleSegment(0.002, (sources[index % 2],))
+                for index in range(6)
+            ]
+        )
+        reference = TransientSolver(mesh, boundaries).solve(schedule, dt_s=0.001)
+        solver = TransientSolver(
+            mesh, boundaries, rom_config=RomConfig(max_dim=1)
+        )
+        solver.solve(schedule, dt_s=0.001, method="rom")
+        second = solver.solve(schedule, dt_s=0.001, method="rom")
+        assert second.diagnostics.rom_fallback
+        assert second.diagnostics.solver_method == "lu"
+        np.testing.assert_array_equal(
+            second.final_map.temperatures_c, reference.final_map.temperatures_c
+        )
 
 
 def random_spec(seed: int) -> ScenarioSpec:

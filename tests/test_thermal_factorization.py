@@ -1,0 +1,110 @@
+"""Tests for the shared content-keyed sparse LU factorisation cache."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.thermal import (
+    FactorizationCache,
+    clear_factorization_cache,
+    factorization_cache_stats,
+    factorize,
+    matrix_content_key,
+)
+
+
+def spd_matrix(n=12, seed=0, scale=1.0):
+    """A small sparse SPD matrix (diffusion-like tridiagonal plus noise)."""
+    rng = np.random.default_rng(seed)
+    diag = 2.0 + rng.random(n)
+    off = -rng.random(n - 1)
+    matrix = sparse.diags([off, diag, off], [-1, 0, 1], format="csc")
+    return (scale * matrix).tocsc()
+
+
+class TestMatrixContentKey:
+    def test_content_addressed(self):
+        a = spd_matrix(seed=1)
+        b = spd_matrix(seed=1)
+        assert a is not b
+        assert matrix_content_key(a) == matrix_content_key(b)
+
+    def test_layout_independent(self):
+        a = spd_matrix(seed=2)
+        assert matrix_content_key(a) == matrix_content_key(a.tocsr())
+        assert matrix_content_key(a) == matrix_content_key(a.tocoo())
+
+    def test_sensitive_to_values_and_pattern(self):
+        a = spd_matrix(seed=3)
+        scaled = spd_matrix(seed=3, scale=1.0 + 1e-12)
+        assert matrix_content_key(a) != matrix_content_key(scaled)
+        widened = sparse.lil_matrix(a)
+        widened[0, 5] = 1.0e-30
+        assert matrix_content_key(a) != matrix_content_key(widened.tocsc())
+        assert matrix_content_key(a) != matrix_content_key(spd_matrix(n=13, seed=3))
+
+
+class TestFactorizationCache:
+    def test_reuse_is_keyed_by_content(self):
+        cache = FactorizationCache()
+        matrix = spd_matrix(seed=4)
+        first, key, reused = cache.factorize(matrix)
+        assert not reused
+        # An independently assembled but identical matrix is served the same
+        # factorisation object.
+        second, same_key, reused = cache.factorize(spd_matrix(seed=4))
+        assert reused and same_key == key and second is first
+        other, other_key, reused = cache.factorize(spd_matrix(seed=5))
+        assert not reused and other_key != key
+        assert cache.stats() == {"built": 2, "reused": 1, "entries": 2}
+
+    def test_served_factorization_solves_identically(self):
+        cache = FactorizationCache()
+        matrix = spd_matrix(seed=6)
+        rhs = np.arange(matrix.shape[0], dtype=np.float64)
+        built, _, _ = cache.factorize(matrix)
+        served, _, reused = cache.factorize(spd_matrix(seed=6))
+        assert reused
+        np.testing.assert_array_equal(built.solve(rhs), served.solve(rhs))
+
+    def test_precomputed_key_is_trusted(self):
+        cache = FactorizationCache()
+        matrix = spd_matrix(seed=7)
+        key = matrix_content_key(matrix)
+        _, returned, reused = cache.factorize(matrix, key=key)
+        assert returned == key and not reused
+        _, _, reused = cache.factorize(matrix, key=key)
+        assert reused
+
+    def test_lru_eviction_is_bounded(self):
+        cache = FactorizationCache(max_entries=1)
+        cache.factorize(spd_matrix(seed=8))
+        cache.factorize(spd_matrix(seed=9))  # evicts seed-8
+        assert len(cache) == 1
+        _, _, reused = cache.factorize(spd_matrix(seed=8))
+        assert not reused  # was evicted: rebuilt
+        assert cache.stats()["built"] == 3
+
+    def test_clear_keeps_lifetime_counters(self):
+        cache = FactorizationCache()
+        cache.factorize(spd_matrix(seed=10))
+        cache.factorize(spd_matrix(seed=10))
+        cache.clear()
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["built"] == 1 and stats["reused"] == 1
+
+
+class TestSharedCache:
+    def test_module_level_cache_round_trip(self):
+        clear_factorization_cache()
+        before = factorization_cache_stats()
+        matrix = spd_matrix(seed=11)
+        _, key, reused = factorize(matrix)
+        assert not reused
+        _, _, reused = factorize(spd_matrix(seed=11), key=key)
+        assert reused
+        after = factorization_cache_stats()
+        assert after["built"] == before["built"] + 1
+        assert after["reused"] == before["reused"] + 1
+        clear_factorization_cache()

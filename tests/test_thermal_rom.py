@@ -1,0 +1,324 @@
+"""Tests for the reduced-order transient engine (bases, payloads, fallback)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.geometry import Box, Layer, LayerStack, Rect
+from repro.materials import SILICON
+from repro.thermal import (
+    BoundaryConditions,
+    FaceCondition,
+    HeatSource,
+    MeshBuilder,
+    ReducedBasis,
+    RomConfig,
+    ScheduleSegment,
+    SourceSchedule,
+    TransientSolver,
+    basis_content_key,
+    build_basis,
+    clear_installed_bases,
+    install_payload,
+    installed_basis,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """The installed-basis registry is process-global; never leak across tests."""
+    clear_installed_bases()
+    yield
+    clear_installed_bases()
+
+
+def slab_problem(side_mm=5.0, thickness_um=400.0, cells_um=1000.0):
+    footprint = Rect.from_size_mm(0.0, 0.0, side_mm, side_mm)
+    stack = LayerStack(footprint)
+    stack.add_layer(Layer(name="bulk", thickness=thickness_um * 1e-6, material=SILICON))
+    mesh = MeshBuilder(stack, base_cell_size_um=cells_um, vertical_target_um=100.0).build()
+    boundaries = BoundaryConditions()
+    boundaries.set_face("z_max", FaceCondition.convective(25.0, 1500.0))
+    source = HeatSource.from_rect("sheet", footprint, 0.0, 10e-6, 5.0)
+    corner = HeatSource.from_rect(
+        "corner", Rect.from_size_mm(0.0, 0.0, 1.0, 1.0), 0.0, 10e-6, 3.0
+    )
+    return mesh, boundaries, source, corner
+
+
+def smooth_schedule(source, corner):
+    """Three segments of distinct load and duration: a well-behaved trace."""
+    return SourceSchedule(
+        [
+            ScheduleSegment(1.0, (source,)),
+            ScheduleSegment(0.8, (corner,)),
+            ScheduleSegment(0.6, (source, corner)),
+        ]
+    )
+
+
+def fast_schedule(source, corner):
+    """Millisecond alternation between two loads: adversarial for a tiny
+    basis, whose trajectory POD cannot track the sharp switching."""
+    return SourceSchedule(
+        [
+            ScheduleSegment(0.002, (source,) if index % 2 == 0 else (corner,))
+            for index in range(6)
+        ]
+    )
+
+
+def orthonormal(n_rows, n_cols, seed=0):
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n_rows, n_cols)))
+    return q[:, :n_cols]
+
+
+class TestRomConfig:
+    def test_defaults_are_valid(self):
+        config = RomConfig()
+        assert config.max_dim >= 1
+        assert 0.0 < config.svd_tol < 1.0
+        assert config.residual_tol > 0.0
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(SolverError, match="max_dim"):
+            RomConfig(max_dim=0)
+        for svd_tol in (0.0, 1.0, -1.0e-9):
+            with pytest.raises(SolverError, match="svd_tol"):
+                RomConfig(svd_tol=svd_tol)
+        with pytest.raises(SolverError, match="residual_tol"):
+            RomConfig(residual_tol=0.0)
+
+
+class TestReducedBasis:
+    def test_rejects_degenerate_matrices(self):
+        with pytest.raises(SolverError, match="non-empty"):
+            ReducedBasis(np.zeros((0, 3)), "k")
+        with pytest.raises(SolverError, match="non-empty"):
+            ReducedBasis(np.zeros(5), "k")
+        bad = np.ones((4, 2))
+        bad[1, 1] = np.nan
+        with pytest.raises(SolverError, match="finite"):
+            ReducedBasis(bad, "k")
+
+    def test_payload_round_trip(self):
+        basis = ReducedBasis(orthonormal(12, 4), "abc123")
+        payload = json.loads(basis.to_payload_json())
+        rebuilt = ReducedBasis.from_payload(payload)
+        assert rebuilt.key == "abc123"
+        assert rebuilt.n_cells == 12 and rebuilt.dim == 4
+        np.testing.assert_array_equal(rebuilt.matrix, basis.matrix)
+
+    def test_malformed_payloads_rejected(self):
+        good = ReducedBasis(orthonormal(6, 2), "k").to_payload()
+        with pytest.raises(SolverError, match="format"):
+            ReducedBasis.from_payload({**good, "format": "something-else"})
+        with pytest.raises(SolverError, match="version"):
+            ReducedBasis.from_payload({**good, "version": 999})
+        with pytest.raises(SolverError, match="malformed"):
+            ReducedBasis.from_payload({**good, "data": "!!! not base64 !!!"})
+        with pytest.raises(SolverError, match="bytes"):
+            ReducedBasis.from_payload({**good, "dim": 3})
+        missing = dict(good)
+        del missing["data"]
+        with pytest.raises(SolverError, match="malformed"):
+            ReducedBasis.from_payload(missing)
+
+
+class TestBasisContentKey:
+    def test_key_pins_every_input(self):
+        capacitance = np.linspace(1.0, 2.0, 8)
+        initial = np.full(8, 25.0)
+        load = np.ones(8)
+        segments = [(4, 0.25, load)]
+        reference = basis_content_key("op", capacitance, 1.0, initial, segments)
+        assert reference == basis_content_key(
+            "op", capacitance.copy(), 1.0, initial.copy(), [(4, 0.25, load.copy())]
+        )
+        assert reference != basis_content_key("other", capacitance, 1.0, initial, segments)
+        assert reference != basis_content_key("op", capacitance, 0.5, initial, segments)
+        assert reference != basis_content_key(
+            "op", capacitance, 1.0, initial + 1.0, segments
+        )
+        assert reference != basis_content_key(
+            "op", capacitance, 1.0, initial, [(5, 0.25, load)]
+        )
+        assert reference != basis_content_key(
+            "op", capacitance, 1.0, initial, [(4, 0.2, load)]
+        )
+        assert reference != basis_content_key(
+            "op", capacitance, 1.0, initial, [(4, 0.25, 2.0 * load)]
+        )
+
+
+class TestBuildBasis:
+    def test_all_zero_snapshots_rejected(self):
+        with pytest.raises(SolverError, match="all-zero"):
+            build_basis("k", np.zeros((6, 3)))
+
+    def test_dim_cap_and_orthonormality(self):
+        rng = np.random.default_rng(7)
+        trajectory = rng.standard_normal((20, 10))
+        basis = build_basis("k", trajectory, config=RomConfig(max_dim=3))
+        assert basis.dim == 3
+        np.testing.assert_allclose(
+            basis.matrix.T @ basis.matrix, np.eye(3), atol=1e-12
+        )
+
+    def test_steady_states_are_spanned(self):
+        rng = np.random.default_rng(11)
+        trajectory = rng.standard_normal((16, 4))
+        steady = rng.standard_normal((16, 2))
+        basis = build_basis("k", trajectory, steady_states=steady)
+        projected = basis.matrix @ (basis.matrix.T @ steady)
+        np.testing.assert_allclose(projected, steady, atol=1e-9)
+
+
+class TestInstalledRegistry:
+    def test_install_payload_idempotent(self):
+        basis = ReducedBasis(orthonormal(10, 3), "key-1")
+        document = basis.to_payload_json()
+        assert install_payload(document) == "key-1"
+        assert install_payload(document) == "key-1"
+        served = installed_basis("key-1")
+        assert served is not None
+        np.testing.assert_array_equal(served.matrix, basis.matrix)
+        assert installed_basis("unknown") is None
+
+    def test_install_payload_accepts_mapping(self):
+        basis = ReducedBasis(orthonormal(10, 3), "key-2")
+        assert install_payload(basis.to_payload()) == "key-2"
+        assert installed_basis("key-2") is not None
+
+    def test_clear_installed_bases(self):
+        install_payload(ReducedBasis(orthonormal(4, 2), "key-3").to_payload())
+        clear_installed_bases()
+        assert installed_basis("key-3") is None
+
+
+class TestRomSolve:
+    def test_build_solve_is_lu_exact_and_harvestable(self):
+        mesh, boundaries, source, corner = slab_problem()
+        schedule = smooth_schedule(source, corner)
+        probes = {"whole": mesh.bounding_box()}
+        reference = TransientSolver(mesh, boundaries).solve(
+            schedule, dt_s=0.2, probes=probes, snapshot_times_s=[0.5]
+        )
+        solver = TransientSolver(mesh, boundaries)
+        built = solver.solve(
+            schedule, dt_s=0.2, probes=probes, snapshot_times_s=[0.5], method="rom"
+        )
+        # The build solve runs the exact LU path and harvests its trajectory:
+        # byte-identical numbers, provenance flags the basis build.
+        assert built.diagnostics.solver_method == "lu"
+        assert built.diagnostics.rom_basis_built
+        assert built.diagnostics.rom_dim > 0
+        assert not built.diagnostics.rom_fallback
+        np.testing.assert_array_equal(
+            built.probe("whole").temperatures_c,
+            reference.probe("whole").temperatures_c,
+        )
+        np.testing.assert_array_equal(
+            built.final_map.temperatures_c, reference.final_map.temperatures_c
+        )
+        payloads = solver.rom_payloads()
+        assert len(payloads) == 1
+        harvested = ReducedBasis.from_payload(json.loads(payloads[0]))
+        assert harvested.dim == built.diagnostics.rom_dim
+        assert harvested.n_cells == mesh.n_cells
+
+    def test_replay_stays_inside_golden_bands(self):
+        mesh, boundaries, source, corner = slab_problem()
+        schedule = smooth_schedule(source, corner)
+        probes = {"whole": mesh.bounding_box()}
+        solver = TransientSolver(mesh, boundaries)
+        reference = TransientSolver(mesh, boundaries).solve(
+            schedule, dt_s=0.2, probes=probes, snapshot_times_s=[0.5]
+        )
+        solver.solve(schedule, dt_s=0.2, probes=probes, method="rom")
+        replay = solver.solve(
+            schedule, dt_s=0.2, probes=probes, snapshot_times_s=[0.5], method="rom"
+        )
+        assert replay.diagnostics.solver_method == "rom"
+        assert not replay.diagnostics.rom_basis_built
+        assert 0.0 < replay.diagnostics.rom_residual < solver.rom_config.residual_tol
+        # The golden temperature band is rtol 1e-5 / atol 1e-6; an adequate
+        # own-trajectory basis reproduces probes orders of magnitude tighter.
+        np.testing.assert_allclose(
+            replay.probe("whole").temperatures_c,
+            reference.probe("whole").temperatures_c,
+            rtol=1e-5,
+            atol=1e-6,
+        )
+        np.testing.assert_allclose(
+            replay.final_map.temperatures_c,
+            reference.final_map.temperatures_c,
+            rtol=1e-5,
+            atol=1e-6,
+        )
+        assert len(replay.snapshots) == len(reference.snapshots) == 1
+        np.testing.assert_allclose(
+            replay.snapshots[0].thermal_map.temperatures_c,
+            reference.snapshots[0].thermal_map.temperatures_c,
+            rtol=1e-5,
+            atol=1e-6,
+        )
+
+    def test_basis_serves_different_instrumentation(self):
+        # Probes and snapshot times are excluded from the basis key: one
+        # basis replays any instrumentation of the same physical problem.
+        mesh, boundaries, source, corner = slab_problem()
+        schedule = smooth_schedule(source, corner)
+        solver = TransientSolver(mesh, boundaries)
+        solver.solve(schedule, dt_s=0.2, method="rom")
+        replay = solver.solve(
+            schedule,
+            dt_s=0.2,
+            probes={"corner": Box.from_rect(Rect.from_size_mm(0.0, 0.0, 1.0, 1.0), 0.0, 10e-6)},
+            snapshot_times_s=[1.2],
+            method="rom",
+        )
+        assert replay.diagnostics.solver_method == "rom"
+
+    def test_auto_never_builds_and_uses_installed_bases(self):
+        mesh, boundaries, source, corner = slab_problem()
+        schedule = smooth_schedule(source, corner)
+        auto = TransientSolver(mesh, boundaries).solve(
+            schedule, dt_s=0.2, method="auto"
+        )
+        assert auto.diagnostics.solver_method == "lu"
+        assert not auto.diagnostics.rom_basis_built
+
+        builder = TransientSolver(mesh, boundaries)
+        builder.solve(schedule, dt_s=0.2, method="rom")
+        for payload in builder.rom_payloads():
+            install_payload(payload)
+        warmed = TransientSolver(mesh, boundaries).solve(
+            schedule, dt_s=0.2, method="auto"
+        )
+        assert warmed.diagnostics.solver_method == "rom"
+
+    def test_residual_breach_falls_back_to_lu(self):
+        mesh, boundaries, source, corner = slab_problem()
+        schedule = fast_schedule(source, corner)
+        reference = TransientSolver(mesh, boundaries).solve(schedule, dt_s=0.001)
+        solver = TransientSolver(
+            mesh, boundaries, rom_config=RomConfig(max_dim=2)
+        )
+        solver.solve(schedule, dt_s=0.001, method="rom")
+        fallback = solver.solve(schedule, dt_s=0.001, method="rom")
+        assert fallback.diagnostics.solver_method == "lu"
+        assert fallback.diagnostics.rom_fallback
+        assert not fallback.diagnostics.rom_basis_built
+        np.testing.assert_array_equal(
+            fallback.final_map.temperatures_c, reference.final_map.temperatures_c
+        )
+
+    def test_unknown_method_rejected(self):
+        mesh, boundaries, source, corner = slab_problem()
+        solver = TransientSolver(mesh, boundaries)
+        with pytest.raises(SolverError, match="unknown transient method"):
+            solver.solve(smooth_schedule(source, corner), dt_s=0.2, method="qr")

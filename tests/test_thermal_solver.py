@@ -201,19 +201,24 @@ class TestSolveMany:
             assert np.allclose(thermal_map.temperatures_c, expected, atol=1e-9)
 
     def test_factorises_exactly_once(self, monkeypatch):
-        import repro.thermal.solver as solver_module
+        import repro.thermal.factorization as factorization_module
 
         mesh, boundaries, _, footprint = slab_problem()
         calls = []
-        original = solver_module.splu
+        original = factorization_module.splu
 
         def counting_splu(*args, **kwargs):
             calls.append(1)
             return original(*args, **kwargs)
 
-        monkeypatch.setattr(solver_module, "splu", counting_splu)
+        monkeypatch.setattr(factorization_module, "splu", counting_splu)
+        factorization_module.clear_factorization_cache()
         solver = SteadyStateSolver(mesh, boundaries)
         solver.solve_many(self.source_sets(footprint))
+        assert len(calls) == 1
+        # A second solver assembling the identical system is served by the
+        # shared content-keyed cache: still exactly one factorisation.
+        SteadyStateSolver(mesh, boundaries).solve_many(self.source_sets(footprint))
         assert len(calls) == 1
 
     def test_diagnostics_per_column(self):
@@ -252,6 +257,31 @@ class TestSolveMany:
             assert np.allclose(
                 iterative_map.temperatures_c, direct_map.temperatures_c, atol=1e-4
             )
+
+    def test_iterative_preconditioner_reused_across_solves(self):
+        mesh, boundaries, source, _ = slab_problem()
+        solver = SteadyStateSolver(mesh, boundaries, direct_cell_limit=1)
+        solver.solve([source])
+        first = solver.last_diagnostics
+        assert first.method == "ilu_cg" and first.factorization_reused is False
+        solver.solve([source])
+        second = solver.last_diagnostics
+        assert second.method == "ilu_cg" and second.factorization_reused is True
+
+    def test_iterative_non_convergence_raises(self, monkeypatch):
+        import repro.thermal.solver as solver_module
+
+        mesh, boundaries, source, _ = slab_problem()
+        solver = SteadyStateSolver(mesh, boundaries, direct_cell_limit=1)
+
+        # An exhausted iteration budget (scipy reports it as info > 0) must
+        # surface as a SolverError, not as silently wrong temperatures.
+        def exhausted_cg(matrix, rhs, **kwargs):
+            return np.zeros_like(rhs), 20_000
+
+        monkeypatch.setattr(solver_module, "cg", exhausted_cg)
+        with pytest.raises(SolverError, match="failed to converge"):
+            solver.solve([source])
 
     def test_solve_delegates_to_batch_path(self):
         mesh, boundaries, source, _ = slab_problem()

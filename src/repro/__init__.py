@@ -22,6 +22,11 @@ The package is organised as the paper's methodology (Figure 3):
 # version into every store key and reads it back from the parent package.
 __version__ = "0.2.0"
 
+# Imported early: nearly every subpackage instruments through it, and it
+# depends only on repro.errors and the standard library.
+from . import telemetry
+from .log import configure_logging, get_logger
+
 from .activity import (
     ActivityPattern,
     ActivityTrace,
@@ -102,6 +107,9 @@ from .thermal import (
 
 __all__ = [
     "__version__",
+    "telemetry",
+    "configure_logging",
+    "get_logger",
     "TechnologyParameters",
     "SimulationSettings",
     "ReproError",

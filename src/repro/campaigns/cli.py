@@ -23,6 +23,18 @@ Subcommands
 ``diff A B``
     Two artifacts — artifact/report JSON files on disk or stored keys — with
     the golden per-quantity tolerance bands; exits non-zero on drift.
+``trace CAMPAIGN``
+    Run a campaign with telemetry enabled (or re-read a report JSON that
+    already carries a trace) and render the span profile tree; ``--output``
+    writes the Chrome trace-event JSON for ``chrome://tracing`` / Perfetto.
+    ``all`` traces the full generative scenario population.
+``stats [REPORT]``
+    Deterministically sorted engine counters and telemetry metrics of a
+    report JSON, or — without an argument — the live in-process telemetry
+    snapshot.
+
+Global ``-v/--verbose`` (repeatable) and ``-q/--quiet`` flags, placed before
+the subcommand, configure the ``repro`` logger hierarchy.
 """
 
 from __future__ import annotations
@@ -33,8 +45,11 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+from .. import telemetry as telemetry_mod
 from ..errors import ReproError
+from ..log import configure_logging
 from ..scenarios import ALL_PATHS, ScenarioRunner, compare_artifact_dicts
+from ..telemetry import chrome_json, profile_tree
 from ..thermal import TRANSIENT_METHODS
 from .backends import BACKEND_NAMES
 from .executors import EXECUTOR_NAMES
@@ -63,6 +78,26 @@ def _parse_paths(raw: Optional[str]) -> Sequence[str]:
     return tuple(part.strip() for part in raw.split(",") if part.strip())
 
 
+def _print_engine_counters(engine: Dict[str, Any]) -> None:
+    """Non-zero engine counters, one line, in deterministic sorted order."""
+    nonzero = {name: value for name, value in sorted(engine.items()) if value}
+    if nonzero:
+        print(
+            "engine: "
+            + ", ".join(f"{name}={value}" for name, value in nonzero.items())
+        )
+
+
+def _load_json_object(token: str) -> Dict[str, Any]:
+    try:
+        data = json.loads(Path(token).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise ReproError(f"cannot read {token!r}: {error}") from None
+    if not isinstance(data, dict):
+        raise ReproError(f"{token!r} does not hold a JSON object")
+    return data
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     matrix = get_matrix(args.campaign)
     store = _open_store(args.store, args.store_backend)
@@ -83,6 +118,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         on_error=args.on_error,
         max_retries=args.max_retries,
         timeout_s=args.timeout,
+        telemetry=True if args.telemetry else None,
     )
     report = runner.run()
     summary = report.summary
@@ -122,16 +158,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"after {provenance['attempts']} attempt(s): "
                 f"{last['type']}: {last['message']}"
             )
-    engine = report.engine
-    if engine.get("transient_solves"):
+    _print_engine_counters(report.engine)
+    if report.telemetry:
+        wall_s = report.telemetry.get("wall_s")
         print(
-            f"solver: {engine.get('transient_lu_solves', 0)} LU / "
-            f"{engine.get('transient_rom_solves', 0)} ROM transient solves, "
-            f"{engine.get('rom_hits', 0)} ROM hits, "
-            f"{engine.get('basis_builds', 0)} basis builds, "
-            f"{engine.get('rom_fallbacks', 0)} fallbacks; factorizations "
-            f"{engine.get('factorizations_built', 0)} built / "
-            f"{engine.get('factorizations_reused', 0)} reused"
+            f"telemetry: {len(report.telemetry['trace'])} spans over "
+            f"{_fmt(wall_s)} s (render with `repro trace --output ...`)"
         )
     if store is not None:
         stats = store.stats
@@ -183,7 +215,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"  {name:<18} {len(points):>3} scenarios  ({axes})")
     registry = campaign_registry()
     print(f"scenarios: {len(registry)} registered")
-    if args.verbose:
+    if args.list_verbose:
         for spec in registry:
             print(f"  {spec.name:<44} {spec.short_hash()}")
     if args.store is not None:
@@ -236,12 +268,7 @@ def _load_diff_operand(token: str, store: Optional[ArtifactStore]) -> Dict[str, 
     store keys/prefixes."""
     path = Path(token)
     if path.exists():
-        try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError) as error:
-            raise ReproError(f"cannot read {token!r}: {error}") from None
-        if not isinstance(data, dict):
-            raise ReproError(f"{token!r} does not hold a JSON object")
+        data = _load_json_object(token)
         # A store object file: unwrap to the artifact payload.
         if "payload" in data and isinstance(data["payload"], dict):
             return data["payload"]
@@ -299,10 +326,108 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 1
 
 
+def _trace_section(args: argparse.Namespace) -> tuple:
+    """(campaign name, telemetry section) behind one ``trace`` operand.
+
+    A report JSON file written by ``run --telemetry --output`` renders
+    without re-running anything; a built-in campaign name (or ``all``, the
+    full generative population) executes with telemetry enabled.
+    """
+    if Path(args.campaign).exists():
+        document = _load_json_object(args.campaign)
+        section = document.get("telemetry")
+        if not isinstance(section, dict) or not section.get("trace"):
+            raise ReproError(
+                f"{args.campaign!r} carries no telemetry trace; produce one "
+                "with `run --telemetry --output ...` or pass a campaign name"
+            )
+        return document.get("campaign", Path(args.campaign).stem), section
+    if args.campaign == "all":
+        campaign: Any = list(campaign_registry())
+        name: Optional[str] = "all"
+    else:
+        campaign = get_matrix(args.campaign)
+        name = None
+    runner = CampaignRunner(
+        campaign,
+        store=_open_store(args.store, args.store_backend),
+        paths=_parse_paths(args.paths),
+        name=name,
+        workers=args.workers,
+        executor=args.executor,
+        transient_method=args.transient_method,
+        telemetry=True,
+    )
+    report = runner.run()
+    return report.campaign, report.telemetry
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    campaign_name, section = _trace_section(args)
+    spans = section["trace"]
+    aggregates = section.get("spans", {})
+    print(f"campaign {campaign_name}: {len(spans)} spans")
+    print(profile_tree(spans))
+    wall_s = section.get("wall_s")
+    spec_s = sum(
+        entry["total_s"]
+        for name, entry in aggregates.items()
+        if name.startswith("spec:")
+    )
+    if wall_s:
+        print(
+            f"scenario spans cover {spec_s / wall_s:.0%} of the "
+            f"{wall_s:.2f} s campaign wall time"
+        )
+    if args.output:
+        Path(args.output).write_text(chrome_json(spans), encoding="utf-8")
+        print(
+            f"chrome trace written to {args.output} "
+            "(load in chrome://tracing or Perfetto)"
+        )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.report is None:
+        print(json.dumps(telemetry_mod.snapshot(), indent=2, sort_keys=True))
+        return 0
+    document = _load_json_object(args.report)
+    _print_engine_counters(document.get("engine") or {})
+    section = document.get("telemetry")
+    if not isinstance(section, dict):
+        print("telemetry: disabled for this report")
+        return 0
+    metrics = section.get("metrics") or {}
+    for name, value in sorted((metrics.get("counters") or {}).items()):
+        print(f"counter {name} = {value}")
+    for name, value in sorted((metrics.get("gauges") or {}).items()):
+        print(f"gauge {name} = {_fmt(value, 6)}")
+    for name, entry in sorted((section.get("spans") or {}).items()):
+        print(
+            f"span {name}: {entry['count']}x total {_fmt(entry['total_s'], 4)} s "
+            f"(min {_fmt(entry['min_s'], 4)}, max {_fmt(entry['max_s'], 4)})"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Campaign runner over the declarative scenario subsystem.",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log more (-v: INFO, -vv: DEBUG); place before the subcommand",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="log errors only; place before the subcommand",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -363,6 +488,12 @@ def build_parser() -> argparse.ArgumentParser:
         "matching transient solves replay in the reduced space",
     )
     run.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect spans and metrics across every worker and fold the "
+        "timing breakdown into the report",
+    )
+    run.add_argument(
         "--output", default=None, help="write the full report JSON here"
     )
     run.set_defaults(handler=_cmd_run)
@@ -388,7 +519,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lister.add_argument("--store", default=None, help="also list this store")
     lister.add_argument(
-        "-v", "--verbose", action="store_true", help="list every scenario"
+        "-v",
+        "--verbose",
+        dest="list_verbose",
+        action="store_true",
+        help="list every scenario",
     )
     lister.set_defaults(handler=_cmd_list)
 
@@ -406,12 +541,71 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("b", help="artifact JSON file or store key (fresh)")
     diff.add_argument("--store", default=None, help="store to resolve keys in")
     diff.set_defaults(handler=_cmd_diff)
+
+    trace = commands.add_parser(
+        "trace",
+        help="run a campaign with telemetry and render the span profile",
+    )
+    trace.add_argument(
+        "campaign",
+        help="built-in campaign name, 'all' (the full generative scenario "
+        "population) or a report JSON written by `run --telemetry --output`",
+    )
+    trace.add_argument(
+        "--store", default=None, help="artifact store directory (persistent)"
+    )
+    trace.add_argument(
+        "--store-backend",
+        default=None,
+        choices=list(BACKEND_NAMES) + ["auto"],
+        help="store directory layout (default: auto-detect, flat for new stores)",
+    )
+    trace.add_argument(
+        "--workers", type=int, default=None, help="executor worker/concurrency width"
+    )
+    trace.add_argument(
+        "--executor",
+        default=None,
+        choices=list(EXECUTOR_NAMES),
+        help="execution strategy (default: process pool when --workers > 1, else serial)",
+    )
+    trace.add_argument(
+        "--paths",
+        default=None,
+        help=f"comma-separated analysis paths (default: {','.join(ALL_PATHS)})",
+    )
+    trace.add_argument(
+        "--transient-method",
+        default="lu",
+        choices=list(TRANSIENT_METHODS),
+        help="transient integration path",
+    )
+    trace.add_argument(
+        "--output",
+        default=None,
+        help="write the Chrome trace-event JSON here (chrome://tracing)",
+    )
+    trace.set_defaults(handler=_cmd_trace)
+
+    stats = commands.add_parser(
+        "stats",
+        help="sorted engine counters and telemetry metrics of a report, or "
+        "the live telemetry snapshot",
+    )
+    stats.add_argument(
+        "report",
+        nargs="?",
+        default=None,
+        help="report JSON file (omit for the in-process telemetry snapshot)",
+    )
+    stats.set_defaults(handler=_cmd_stats)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``python -m repro`` (returns the exit code)."""
     args = build_parser().parse_args(argv)
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
     try:
         return int(args.handler(args))
     except ReproError as error:

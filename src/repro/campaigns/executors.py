@@ -41,11 +41,15 @@ from concurrent.futures import ThreadPoolExecutor as _FuturesThreadPool
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from .. import telemetry
 from ..errors import ConfigurationError
+from ..log import get_logger
 from .kernel import EvaluationKernel
 
 #: Executor registry names, in documentation order.
 EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "process", "async", "queue")
+
+logger = get_logger("executors")
 
 
 @dataclass(frozen=True)
@@ -71,11 +75,17 @@ class ExecutionResult:
     ``incidents`` lists every failed attempt (``{"attempt", "type",
     "message"}``) even when a later retry succeeded, so the campaign report
     can show that a spec crashed twice before completing.
+
+    ``telemetry`` is the kernel's serialised span/metrics payload (see
+    :meth:`~repro.campaigns.kernel.EvaluationKernel.run`), ``None`` while
+    telemetry is off — executors ship it back verbatim and the campaign
+    runner merges the payloads onto one timeline.
     """
 
     item: WorkItem
     artifact: Optional[Dict[str, Any]] = None
     stats: Optional[Dict[str, int]] = None
+    telemetry: Optional[str] = None
     attempts: int = 1
     incidents: List[Dict[str, Any]] = field(default_factory=list)
 
@@ -123,15 +133,17 @@ class SerialExecutor(Executor):
         self, kernel: EvaluationKernel, items: Sequence[WorkItem]
     ) -> Iterator[ExecutionResult]:
         for item in items:
+            telemetry.count("executor.dispatches")
             try:
-                artifact, stats = kernel.run(item.spec_dict)
+                artifact, stats, payload = kernel.run(item.spec_dict)
             except Exception as error:
+                telemetry.count("executor.failures")
                 yield ExecutionResult(
                     item,
                     incidents=[_incident(1, type(error).__name__, str(error))],
                 )
             else:
-                yield ExecutionResult(item, artifact, stats)
+                yield ExecutionResult(item, artifact, stats, payload)
 
 
 class ProcessExecutor(Executor):
@@ -161,10 +173,12 @@ class ProcessExecutor(Executor):
             futures = [
                 pool.submit(kernel.run, item.spec_dict) for item in items
             ]
+            telemetry.count("executor.dispatches", len(items))
             for item, future in zip(items, futures):
                 try:
-                    artifact, stats = future.result()
+                    artifact, stats, payload = future.result()
                 except Exception as error:
+                    telemetry.count("executor.failures")
                     yield ExecutionResult(
                         item,
                         incidents=[
@@ -172,7 +186,7 @@ class ProcessExecutor(Executor):
                         ],
                     )
                 else:
-                    yield ExecutionResult(item, artifact, stats)
+                    yield ExecutionResult(item, artifact, stats, payload)
 
 
 class AsyncExecutor(Executor):
@@ -205,19 +219,26 @@ class AsyncExecutor(Executor):
 
         def call(item: WorkItem) -> ExecutionResult:
             try:
-                artifact, stats = kernel.run(item.spec_dict)
+                artifact, stats, payload = kernel.run(item.spec_dict)
             except Exception as error:
                 return ExecutionResult(
                     item,
                     incidents=[_incident(1, type(error).__name__, str(error))],
                 )
-            return ExecutionResult(item, artifact, stats)
+            return ExecutionResult(item, artifact, stats, payload)
 
         with _FuturesThreadPool(max_workers=self.concurrency) as pool:
 
             async def one(item: WorkItem) -> ExecutionResult:
                 async with semaphore:
-                    return await loop.run_in_executor(pool, call, item)
+                    # Counted here (tasks inherit the caller's context) so
+                    # the tally lands in the campaign collector; the pool
+                    # threads do not see the coordinator's contextvars.
+                    telemetry.count("executor.dispatches")
+                    result = await loop.run_in_executor(pool, call, item)
+                    if not result.ok:
+                        telemetry.count("executor.failures")
+                    return result
 
             return list(await asyncio.gather(*(one(item) for item in items)))
 
@@ -236,13 +257,15 @@ def _queue_worker(task_queue, result_queue, kernel: EvaluationKernel) -> None:
             return
         index, attempt, spec_dict = task
         try:
-            artifact, stats = kernel.run(spec_dict)
+            artifact, stats, payload = kernel.run(spec_dict)
         except BaseException as error:  # ship the failure, keep serving
             result_queue.put(
                 (index, attempt, False, (type(error).__name__, str(error)))
             )
         else:
-            result_queue.put((index, attempt, True, (artifact, stats)))
+            result_queue.put(
+                (index, attempt, True, (artifact, stats, payload))
+            )
 
 
 class _WorkerHandle:
@@ -355,6 +378,7 @@ class QueueExecutor(Executor):
                     if handle.current is None and pending:
                         item, attempt, incidents = pending.popleft()
                         outstanding[item.index] = (attempt, incidents, item)
+                        telemetry.count("executor.dispatches")
                         handle.dispatch(
                             item.index, attempt, item.spec_dict, self.timeout_s
                         )
@@ -393,10 +417,13 @@ class QueueExecutor(Executor):
             if handle.current == (index, attempt):
                 handle.current = None
         if ok:
-            artifact, stats = payload
-            return ExecutionResult(item, artifact, stats, attempt, incidents)
+            artifact, stats, telemetry_json = payload
+            return ExecutionResult(
+                item, artifact, stats, telemetry_json, attempt, incidents
+            )
         error_type, message = payload
         incidents.append(_incident(attempt, error_type, message))
+        telemetry.count("executor.task_failures")
         return self._retry_or_quarantine(item, attempt, incidents, pending)
 
     def _check_health(
@@ -424,12 +451,21 @@ class QueueExecutor(Executor):
                 )
                 handle.process.terminate()
                 handle.process.join(timeout=2.0)
+                telemetry.count("executor.timeouts")
             else:
                 error_type = "WorkerCrashed"
                 message = (
                     f"worker exited with code {handle.process.exitcode} "
                     "mid-task"
                 )
+                telemetry.count("executor.crashes")
+            logger.warning(
+                "queue worker %s on task %d (attempt %d): %s",
+                "hung" if alive else "crashed",
+                index,
+                attempt,
+                message,
+            )
             workers[position] = _WorkerHandle(context, result_queue, kernel)
             record = outstanding.pop(index, None)
             if record is None or record[0] != attempt:
@@ -448,8 +484,16 @@ class QueueExecutor(Executor):
     ) -> Optional[ExecutionResult]:
         """Requeue a failed attempt, or finalise the item as quarantined."""
         if attempt <= self.max_retries:
+            telemetry.count("executor.retries")
             pending.append((item, attempt + 1, incidents))
             return None
+        telemetry.count("executor.quarantined")
+        logger.warning(
+            "spec %r quarantined after %d attempt(s): %s",
+            item.name,
+            attempt,
+            incidents[-1]["message"] if incidents else "no incident recorded",
+        )
         return ExecutionResult(item, attempts=attempt, incidents=incidents)
 
 

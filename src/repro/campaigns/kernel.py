@@ -21,8 +21,9 @@ traceback always names its spec.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..errors import ConfigurationError
 from ..scenarios import ALL_PATHS, ScenarioArtifact, ScenarioRunner, ScenarioSpec
 from ..thermal import TRANSIENT_METHODS, install_payload
@@ -75,6 +76,11 @@ class EvaluationKernel:
         kernel's value: every worker receiving the kernel installs the same
         payloads, so a warm-started campaign stays byte-identical across
         execution substrates.
+    telemetry:
+        Record spans and metrics during :meth:`run`.  Carried on the kernel
+        (rather than read from the module switch alone) because worker
+        processes do not inherit the coordinator's switch state — a pickled
+        kernel deterministically re-enables telemetry wherever it lands.
 
     The kernel is a frozen dataclass of plain data, so it pickles cheaply
     (process pools, queue workers) and hashes/compares by value.  Subclasses
@@ -86,6 +92,7 @@ class EvaluationKernel:
     paths: Tuple[str, ...] = ALL_PATHS
     transient_method: str = "lu"
     warm_start: Tuple[str, ...] = ()
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "paths", tuple(self.paths))
@@ -124,16 +131,44 @@ class EvaluationKernel:
 
     def run(
         self, spec_dict: Mapping[str, Any]
-    ) -> Tuple[Dict[str, Any], Dict[str, int]]:
+    ) -> Tuple[Dict[str, Any], Dict[str, int], Optional[str]]:
         """Worker entry point: plain data in, plain data out.
 
-        Ships the spec as its validated dict form and returns
-        ``(artifact dict, engine counters dict)`` — both cheap to pickle
-        back from a worker process.  Deterministic: the same spec dict
-        always yields the identical artifact bytes.
+        Ships the spec as its validated dict form and returns ``(artifact
+        dict, engine counters dict, telemetry payload)`` — all cheap to
+        pickle back from a worker process.  Deterministic: the same spec
+        dict always yields the identical artifact bytes (modulo the
+        ``telemetry`` provenance subdict, present only when telemetry is
+        on).
+
+        The telemetry payload is the serialised
+        :class:`~repro.telemetry.SpanCollector` capture of this one
+        evaluation — every span nested under a ``spec:<name>`` root, plus
+        the per-call metrics registry and a wall-clock anchor — or ``None``
+        while telemetry is off.
         """
-        self._install_warm_start()
-        spec = ScenarioSpec.from_dict(dict(spec_dict))
-        runner = ScenarioRunner(spec, transient_method=self.transient_method)
-        artifact = runner.run(self.paths)
-        return artifact.to_dict(), runner.engine().stats.to_dict()
+        enabled = self.telemetry or telemetry.is_enabled()
+        if not enabled:
+            self._install_warm_start()
+            spec = ScenarioSpec.from_dict(dict(spec_dict))
+            runner = ScenarioRunner(
+                spec, transient_method=self.transient_method
+            )
+            artifact = runner.run(self.paths)
+            return artifact.to_dict(), runner.engine().stats.to_dict(), None
+
+        with telemetry.enabled_scope(True), telemetry.collect() as collector:
+            spec = ScenarioSpec.from_dict(dict(spec_dict))
+            with telemetry.span(
+                f"spec:{spec.name}", design_hash=spec.design_hash()[:8]
+            ):
+                self._install_warm_start()
+                runner = ScenarioRunner(
+                    spec, transient_method=self.transient_method
+                )
+                artifact = runner.run(self.paths)
+        return (
+            artifact.to_dict(),
+            runner.engine().stats.to_dict(),
+            collector.to_json(),
+        )

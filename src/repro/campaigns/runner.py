@@ -34,8 +34,10 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from .. import telemetry as telemetry_mod
 from ..errors import ConfigurationError
 from ..methodology.engine import EngineStats
+from ..telemetry import MetricsRegistry, aggregate_spans, payload_spans
 from ..scenarios import (
     ALL_PATHS,
     SCHEMA_VERSION,
@@ -121,6 +123,12 @@ class CampaignReport:
     engine: Dict[str, int]
     store: Optional[Dict[str, int]] = None
     failures: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Timing breakdown of a telemetry-enabled run (``None`` when telemetry
+    #: was off, which keeps reports byte-identical to pre-telemetry ones):
+    #: the campaign wall time, per-span-name aggregates, the merged metrics
+    #: registry of every worker, and the full normalised span list
+    #: (``trace``) the Chrome export is generated from.
+    telemetry: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict view of the report."""
@@ -134,6 +142,7 @@ class CampaignReport:
             "engine": self.engine,
             "store": self.store,
             "failures": self.failures,
+            "telemetry": self.telemetry,
         }
 
     def to_json(self) -> str:
@@ -217,6 +226,13 @@ class CampaignRunner:
         Evaluation kernel override (fault-injection tests, future reduced
         kernels); defaults to
         ``EvaluationKernel(paths, transient_method, warm_start)``.
+    telemetry:
+        Record a timing breakdown for the run: per-spec spans collected in
+        every worker, merged with the coordinator's own spans and metrics
+        into the report's ``telemetry`` section.  ``None`` (default) follows
+        the module switch (:func:`repro.telemetry.is_enabled`), so enabling
+        telemetry globally instruments campaigns without threading the flag
+        through; ``False`` forces it off for this run.
     """
 
     def __init__(
@@ -233,6 +249,7 @@ class CampaignRunner:
         transient_method: str = "lu",
         warm_start: Sequence[str] = (),
         kernel: Optional[EvaluationKernel] = None,
+        telemetry: Optional[bool] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -278,11 +295,15 @@ class CampaignRunner:
         self.paths: Tuple[str, ...] = tuple(paths)
         self.workers = workers
         self.on_error = on_error
+        self.telemetry = (
+            telemetry_mod.is_enabled() if telemetry is None else bool(telemetry)
+        )
         self.kernel = (
             EvaluationKernel(
                 self.paths,
                 transient_method=transient_method,
                 warm_start=tuple(warm_start),
+                telemetry=self.telemetry,
             )
             if kernel is None
             else kernel
@@ -313,7 +334,25 @@ class CampaignRunner:
         persisted the moment it exists, so if a later spec fails the
         completed work is already in the store and a retry only recomputes
         what is genuinely new.
+
+        With telemetry on, the whole run executes under a
+        ``campaign:<name>`` root span inside its own collector; worker
+        payloads shipped back with each result are merged with the
+        coordinator capture into the report's ``telemetry`` section.
         """
+        if not self.telemetry:
+            return self._run(None)
+        with telemetry_mod.enabled_scope(True), telemetry_mod.collect() as collector:
+            payloads: List[str] = []
+            with telemetry_mod.span(
+                f"campaign:{self.name}", scenarios=len(self.points)
+            ):
+                report = self._run(payloads)
+        report.telemetry = self._telemetry_section(collector, payloads)
+        return report
+
+    def _run(self, payloads: Optional[List[str]]) -> CampaignReport:
+        """The store-then-execute core of :meth:`run`."""
         artifacts: Dict[str, Optional[Dict[str, Any]]] = {}
         from_store: Dict[str, bool] = {}
         failures: Dict[str, Dict[str, Any]] = {}
@@ -355,6 +394,7 @@ class CampaignRunner:
                     artifacts,
                     failures,
                     engine_totals,
+                    payloads,
                 )
 
         scenarios = [
@@ -389,6 +429,7 @@ class CampaignRunner:
         artifacts: Dict[str, Optional[Dict[str, Any]]],
         failures: Dict[str, Dict[str, Any]],
         engine_totals: EngineStats,
+        payloads: Optional[List[str]] = None,
     ) -> None:
         """Fold one execution result into the campaign state.
 
@@ -398,6 +439,8 @@ class CampaignRunner:
         "raise"``) or is quarantined and the campaign keeps going.
         """
         item = result.item
+        if payloads is not None and result.telemetry is not None:
+            payloads.append(result.telemetry)
         if result.incidents:
             failures[item.name] = {
                 "spec_hash": item.spec_hash,
@@ -426,6 +469,34 @@ class CampaignRunner:
                 error_type=error["type"],
                 message=error["message"],
             )
+
+    def _telemetry_section(
+        self, collector: "telemetry_mod.SpanCollector", payloads: List[str]
+    ) -> Dict[str, Any]:
+        """Merge the coordinator capture and worker payloads into one view.
+
+        Spans from every process are normalised onto the wall clock through
+        their payload anchors; metrics merge commutatively (counters add,
+        gauges max, histograms bucket-wise), so the section is independent
+        of the order the executor delivered results in.
+        """
+        own = collector.to_payload()
+        spans = payload_spans(own)
+        metrics = MetricsRegistry.from_dict(own["metrics"])
+        for text in payloads:
+            payload = json.loads(text)
+            spans.extend(payload_spans(payload))
+            metrics.merge(payload.get("metrics", {}))
+        aggregates = aggregate_spans(spans)
+        campaign_entry = aggregates.get(f"campaign:{self.name}")
+        spans.sort(key=lambda record: (record["ts_us"], record["pid"]))
+        return {
+            "enabled": True,
+            "wall_s": None if campaign_entry is None else campaign_entry["total_s"],
+            "spans": aggregates,
+            "metrics": metrics.to_dict(),
+            "trace": spans,
+        }
 
     def _summary(
         self,
@@ -520,6 +591,7 @@ def run_campaign(
     timeout_s: Optional[float] = None,
     transient_method: str = "lu",
     warm_start: Sequence[str] = (),
+    telemetry: Optional[bool] = None,
 ) -> CampaignReport:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(
@@ -534,4 +606,5 @@ def run_campaign(
         timeout_s=timeout_s,
         transient_method=transient_method,
         warm_start=warm_start,
+        telemetry=telemetry,
     ).run()

@@ -42,7 +42,9 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .. import __version__ as _code_version
+from .. import telemetry
 from ..errors import ConfigurationError
+from ..log import get_logger
 from .backends import StoreBackend, make_backend
 from ..scenarios import (
     ALL_PATHS,
@@ -54,6 +56,8 @@ from ..scenarios import (
 
 #: Store layout version; bumped on breaking changes of the object format.
 STORE_VERSION = 1
+
+logger = get_logger("store")
 
 
 def _payload_digest(payload: Mapping[str, Any]) -> str:
@@ -317,6 +321,13 @@ class ArtifactStore:
     def _quarantine(self, path: Path, count: bool, unlink: bool) -> None:
         if count:
             self.stats.corrupt += 1
+            telemetry.count("store.corrupt")
+            logger.warning(
+                "corrupt store object %s (failed parse or integrity re-hash)"
+                "%s",
+                path.name,
+                "; quarantined" if unlink else "",
+            )
         if not unlink:
             return
         try:
@@ -353,13 +364,21 @@ class ArtifactStore:
         not the requested content, so it stays on disk.
         """
         key = self.key_for(spec, paths, transient_method)
-        record = self._read_object(key)
-        if record is None or record["payload"].get("spec_hash") != spec.content_hash():
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        self._pending_touches.append(key)
-        return ScenarioArtifact.from_dict(record["payload"])
+        with telemetry.span("store.load", scenario=spec.name) as load_span:
+            record = self._read_object(key)
+            if (
+                record is None
+                or record["payload"].get("spec_hash") != spec.content_hash()
+            ):
+                self.stats.misses += 1
+                telemetry.count("store.misses")
+                load_span.set(hit=False)
+                return None
+            self.stats.hits += 1
+            telemetry.count("store.hits")
+            load_span.set(hit=True)
+            self._pending_touches.append(key)
+            return ScenarioArtifact.from_dict(record["payload"])
 
     def store(
         self,
@@ -412,21 +431,25 @@ class ArtifactStore:
         }
         temp_dir = self.backend.temp_dir(key)
         text = json.dumps(record, sort_keys=True, indent=2) + "\n"
-        _atomic_write(temp_dir, f".{key[:16]}", text, self._object_path(key))
-        self.stats.writes += 1
+        with telemetry.span("store.put", scenario=scenario):
+            _atomic_write(
+                temp_dir, f".{key[:16]}", text, self._object_path(key)
+            )
+            self.stats.writes += 1
+            telemetry.count("store.writes")
 
-        index = self._load_index()
-        self._apply_pending(index)
-        index["entries"][key] = {
-            "scenario": scenario,
-            "spec_hash": spec_hash,
-            "paths": paths,
-            "size_bytes": len(text.encode("utf-8")),
-            "last_used": 0,
-        }
-        self._touch(index, key)
-        self._evict(index, protect=key)
-        self._write_index(index)
+            index = self._load_index()
+            self._apply_pending(index)
+            index["entries"][key] = {
+                "scenario": scenario,
+                "spec_hash": spec_hash,
+                "paths": paths,
+                "size_bytes": len(text.encode("utf-8")),
+                "last_used": 0,
+            }
+            self._touch(index, key)
+            self._evict(index, protect=key)
+            self._write_index(index)
         return key
 
     # Reduced-basis records ---------------------------------------------------
@@ -529,6 +552,7 @@ class ArtifactStore:
             except OSError:  # pragma: no cover - racing unlink is fine
                 pass
             self.stats.evictions += 1
+            telemetry.count("store.evictions")
 
     def get_record(self, key: str) -> Optional[Dict[str, Any]]:
         """Raw object record stored under ``key`` (CLI ``show``/``diff``).

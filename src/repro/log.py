@@ -1,0 +1,72 @@
+"""The ``repro`` logger hierarchy.
+
+Every module of the library logs through a child of the ``repro`` root
+logger (``repro.store``, ``repro.executors``, ``repro.thermal``, ...), so an
+application — or the CLI via ``--verbose``/``-q`` — controls the whole
+library with one knob.  The library itself never installs handlers at import
+time: without configuration, Python's last-resort handler prints WARNING and
+above to stderr, which is exactly the visibility the previously *silent*
+events (store corruption quarantine, reduced-order fallback, worker crashes)
+should have.
+
+:func:`configure_logging` is the CLI entry point: it installs a single
+stream handler on the ``repro`` root (idempotently — repeated calls
+reconfigure instead of stacking handlers) and maps the verbosity knobs to
+levels: ``-q`` → ERROR, default → WARNING, ``-v`` → INFO, ``-vv`` → DEBUG.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import IO, Optional
+
+#: Name of the library's root logger.
+ROOT_LOGGER = "repro"
+
+#: Marker attribute identifying the handler installed by configure_logging.
+_HANDLER_MARK = "_repro_cli_handler"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Logger ``repro.<name>`` (the ``repro`` root for an empty name)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def verbosity_level(verbose: int = 0, quiet: bool = False) -> int:
+    """Logging level for the CLI knobs (``-q`` wins over ``-v``)."""
+    if quiet:
+        return logging.ERROR
+    if verbose <= 0:
+        return logging.WARNING
+    if verbose == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(
+    verbose: int = 0,
+    quiet: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install (or reconfigure) the CLI handler on the ``repro`` root.
+
+    Idempotent: the handler installed by a previous call is replaced, never
+    stacked, so tests and long-running processes can reconfigure freely.
+    Returns the configured root logger.
+    """
+    root = get_logger()
+    level = verbosity_level(verbose, quiet)
+    root.setLevel(level)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    # The handler on the repro root makes the last-resort handler redundant
+    # (and would double-print through an application's root handlers).
+    root.propagate = False
+    return root

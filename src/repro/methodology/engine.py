@@ -35,12 +35,14 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass, fields
+from dataclasses import dataclass
 from math import ceil
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple, Union
 
+from .. import telemetry
 from ..caching import LruCache
 from ..errors import ConfigurationError
+from ..telemetry import MetricsRegistry
 from ..snr import LaserDriveConfig, SnrReport
 from .flow import ThermalAwareDesignFlow, ThermalEvaluation, ThermalRequest
 from .transient import TransientEvaluation, TransientRequest, transient_request_key
@@ -56,48 +58,86 @@ class SweepPoint:
     flow_key: str = DEFAULT_FLOW_KEY
 
 
-@dataclass
 class EngineStats:
-    """Execution counters of a :class:`SweepEngine` (cumulative)."""
+    """Execution counters of a :class:`SweepEngine` (cumulative).
 
-    points_requested: int = 0
-    cache_hits: int = 0
-    thermal_solves: int = 0
-    batches: int = 0
-    worker_batches: int = 0
-    #: SNR points requested through :meth:`SweepEngine.evaluate_snr`.
-    snr_points_requested: int = 0
-    #: SNR points served from the SNR-report cache.
-    snr_cache_hits: int = 0
-    #: SNR points evaluated through the vectorized link engine.
-    snr_evaluations: int = 0
-    #: Batched ``run_snr_many`` calls issued (one per flow with misses).
-    snr_batches: int = 0
-    #: Transient points requested through :meth:`SweepEngine.evaluate_transient`.
-    transient_points_requested: int = 0
-    #: Transient points served from the transient-evaluation cache.
-    transient_cache_hits: int = 0
-    #: Transient traces actually integrated.
-    transient_solves: int = 0
-    #: Transient integrations that ran in full space (sparse LU).
-    transient_lu_solves: int = 0
-    #: Transient integrations accepted on the reduced-order (ROM) path.
-    transient_rom_solves: int = 0
-    #: Alias view of accepted reduced solves, named for the campaign report.
-    rom_hits: int = 0
-    #: Reduced solves rejected by the a-posteriori residual check (each also
-    #: counts one LU solve — the fallback integration that replaced it).
-    rom_fallbacks: int = 0
-    #: Reduced bases built from full-solve trajectories.
-    basis_builds: int = 0
-    #: LU factorisations of stepper matrices computed by transient solves.
-    factorizations_built: int = 0
-    #: Stepper factorisations served from a solver's per-step-size cache.
-    factorizations_reused: int = 0
+    Since the telemetry subsystem landed this is a thin *view* over a
+    :class:`~repro.telemetry.MetricsRegistry`: every counter attribute reads
+    and writes a registry counter of the same name, so engine counters are
+    ordinary metrics (mergeable with worker payloads, servable through the
+    health endpoint) while the historical surface — attribute access,
+    ``EngineStats(cache_hits=3)``, :meth:`to_dict`, :meth:`merge` — is
+    unchanged.
+    """
+
+    #: Canonical counter names, in declaration order.  ``points_requested``
+    #: through ``worker_batches`` cover the steady sweep path; ``snr_*`` the
+    #: vectorized link evaluation; ``transient_*`` / ``rom_*`` / ``basis_*``
+    #: / ``factorizations_*`` the transient integrator (LU vs reduced-order,
+    #: a-posteriori fallbacks, stepper-factorisation reuse).
+    COUNTER_NAMES: Tuple[str, ...] = (
+        "points_requested",
+        "cache_hits",
+        "thermal_solves",
+        "batches",
+        "worker_batches",
+        "snr_points_requested",
+        "snr_cache_hits",
+        "snr_evaluations",
+        "snr_batches",
+        "transient_points_requested",
+        "transient_cache_hits",
+        "transient_solves",
+        "transient_lu_solves",
+        "transient_rom_solves",
+        "rom_hits",
+        "rom_fallbacks",
+        "basis_builds",
+        "factorizations_built",
+        "factorizations_reused",
+    )
+
+    __slots__ = ("_registry",)
+
+    def __init__(self, **counters: int) -> None:
+        object.__setattr__(self, "_registry", MetricsRegistry())
+        unknown = sorted(set(counters) - set(self.COUNTER_NAMES))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown engine stats counters {unknown}; "
+                f"known: {sorted(self.COUNTER_NAMES)}"
+            )
+        for name, value in counters.items():
+            self._registry.set_counter(name, int(value))
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The backing metrics registry (counters keyed by counter name)."""
+        return self._registry
+
+    def __getattr__(self, name: str) -> int:
+        # Only reached when normal lookup fails, i.e. for counter names
+        # (everything else lives in __slots__ or on the class).
+        if name in EngineStats.COUNTER_NAMES:
+            return self._registry.counter_value(name)
+        raise AttributeError(
+            f"'EngineStats' object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in EngineStats.COUNTER_NAMES:
+            self._registry.set_counter(name, int(value))
+            return
+        raise AttributeError(
+            f"'EngineStats' object has no attribute {name!r}"
+        )
 
     def to_dict(self) -> Dict[str, int]:
-        """Plain-dict view of every counter (campaign reports, benchmarks)."""
-        return dict(asdict(self))
+        """Plain-dict view of every counter, in sorted (deterministic) order."""
+        return {
+            name: self._registry.counter_value(name)
+            for name in sorted(self.COUNTER_NAMES)
+        }
 
     def merge(self, other: Union["EngineStats", Mapping[str, int]]) -> "EngineStats":
         """Add another engine's counters into this one (returns ``self``).
@@ -107,15 +147,34 @@ class EngineStats:
         processes; unknown keys in a mapping are rejected loudly.
         """
         counters = other.to_dict() if isinstance(other, EngineStats) else dict(other)
-        known = {field.name for field in fields(self)}
+        known = set(self.COUNTER_NAMES)
         unknown = sorted(set(counters) - known)
         if unknown:
             raise ConfigurationError(
                 f"unknown engine stats counters {unknown}; known: {sorted(known)}"
             )
         for name, value in counters.items():
-            setattr(self, name, getattr(self, name) + int(value))
+            self._registry.inc(name, int(value))
         return self
+
+    def __getstate__(self) -> Dict[str, int]:
+        return self.to_dict()
+
+    def __setstate__(self, state: Dict[str, int]) -> None:
+        object.__setattr__(self, "_registry", MetricsRegistry())
+        for name, value in state.items():
+            self._registry.set_counter(name, int(value))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EngineStats):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        nonzero = {
+            name: value for name, value in self.to_dict().items() if value
+        }
+        return f"EngineStats({nonzero})"
 
 
 def evaluation_key(flow_key: str, request: ThermalRequest) -> Tuple[Hashable, ...]:
@@ -324,7 +383,10 @@ class SweepEngine:
         )
         if use_pool:
             pool_width = min(effective_workers, len(groups))
-            with ProcessPoolExecutor(max_workers=pool_width) as pool:
+            points = sum(len(work) for _, work in groups)
+            with telemetry.span(
+                "engine.thermal_pool", groups=len(groups), points=points
+            ), ProcessPoolExecutor(max_workers=pool_width) as pool:
                 futures = [
                     (
                         work,
@@ -347,9 +409,12 @@ class SweepEngine:
         else:
             for flow_key, work in groups:
                 flow = self._flows[flow_key]
-                evaluations = flow.run_thermal_many(
-                    [request for _, request in work], batch_size=self._batch_size
-                )
+                with telemetry.span(
+                    "engine.thermal_batch", flow=flow_key, points=len(work)
+                ):
+                    evaluations = flow.run_thermal_many(
+                        [request for _, request in work], batch_size=self._batch_size
+                    )
                 for (key, _), evaluation in zip(work, evaluations):
                     resolved[key] = evaluation
                     self._cache.put(key, evaluation)
@@ -393,7 +458,16 @@ class SweepEngine:
                 self.stats.transient_cache_hits += 1
                 results.append(cached)
                 continue
-            evaluation = flow.run_transient(request)
+            with telemetry.span(
+                "engine.transient_solve", flow=flow_key
+            ) as solve_span:
+                evaluation = flow.run_transient(request)
+                diagnostics = evaluation.result.diagnostics
+                solve_span.set(
+                    method=diagnostics.solver_method,
+                    rom_fallback=diagnostics.rom_fallback,
+                    factorizations_computed=diagnostics.factorizations_computed,
+                )
             self.stats.transient_solves += 1
             self._absorb_transient_diagnostics(evaluation)
             self._transient_cache.put(key, evaluation)
@@ -511,7 +585,10 @@ class SweepEngine:
         for flow_key, group in pending.items():
             flow_evaluations = evaluations[cursor : cursor + len(group)]
             cursor += len(group)
-            batch = self._flows[flow_key].run_snr_many(flow_evaluations, drive)
+            with telemetry.span(
+                "engine.snr_batch", flow=flow_key, points=len(group)
+            ):
+                batch = self._flows[flow_key].run_snr_many(flow_evaluations, drive)
             for index, key in enumerate(group):
                 report = batch.report(index)
                 resolved[key] = report

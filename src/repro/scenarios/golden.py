@@ -63,11 +63,13 @@ _CONTAINER_CLASSES = {"links": "snr"}
 
 #: Path suffixes of provenance subtrees: they describe *how* a result was
 #: computed (which transient integration path ran, whether a reduced basis
-#: was built) rather than *what* was computed, and may legitimately differ
-#: between physically identical runs — a full-LU artifact and its
-#: reduced-order replay must compare clean.  Skipped on either side, so a
-#: golden recorded before the subtree existed also stays comparable.
-PROVENANCE_SUFFIXES = ("results.transient.solver",)
+#: was built, how long each analysis path took) rather than *what* was
+#: computed, and may legitimately differ between physically identical runs —
+#: a full-LU artifact and its reduced-order replay must compare clean, and a
+#: telemetry-enabled run against a telemetry-off golden.  Skipped on either
+#: side, so a golden recorded before the subtree existed also stays
+#: comparable.
+PROVENANCE_SUFFIXES = ("results.transient.solver", "results.telemetry")
 
 
 def _is_provenance(path: str) -> bool:

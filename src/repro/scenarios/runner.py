@@ -24,9 +24,12 @@ regression harness in ``tests/golden/`` relies on.
 from __future__ import annotations
 
 import json
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..activity import (
     ActivityPattern,
     ActivityTrace,
@@ -384,8 +387,25 @@ class ScenarioRunner:
             for scale in self.spec.sweep_scales
         ]
 
+    @contextmanager
+    def _timed_path(
+        self, name: str, timings: Dict[str, float]
+    ) -> Iterator[None]:
+        """Span + wall-time capture of one analysis path."""
+        with telemetry.span(f"path.{name}", scenario=self.spec.name):
+            start = time.perf_counter()
+            yield
+            timings[name] = time.perf_counter() - start
+
     def run(self, paths: Sequence[str] = ALL_PATHS) -> ScenarioArtifact:
-        """Execute the requested analysis paths and assemble the artifact."""
+        """Execute the requested analysis paths and assemble the artifact.
+
+        While telemetry is enabled the artifact gains a ``telemetry``
+        provenance subdict (per-path wall times); the golden comparator
+        skips it via ``PROVENANCE_SUFFIXES``, and with telemetry disabled
+        (the default) it is absent entirely so artifacts stay byte-identical
+        to the pre-telemetry ones.
+        """
         requested = list(paths)
         unknown = sorted(set(requested) - set(ALL_PATHS))
         if unknown:
@@ -396,16 +416,18 @@ class ScenarioRunner:
         engine = self.engine()
         self._configure_network(flow)
         results: Dict[str, Any] = {}
+        timings: Dict[str, float] = {}
 
         if "steady" in requested:
-            evaluation = engine.evaluate_one(
-                ThermalRequest(
-                    activity=self.activity(),
-                    power=self.power_config(),
-                    zoom_oni="auto",
+            with self._timed_path("steady", timings):
+                evaluation = engine.evaluate_one(
+                    ThermalRequest(
+                        activity=self.activity(),
+                        power=self.power_config(),
+                        zoom_oni="auto",
+                    )
                 )
-            )
-            results["steady"] = evaluation.summary_dict()
+                results["steady"] = evaluation.summary_dict()
 
         if "sweep" in requested or "snr" in requested:
             requests = self._sweep_requests()
@@ -414,7 +436,8 @@ class ScenarioRunner:
                 for scale in self.spec.sweep_scales
             ]
             if "sweep" in requested:
-                evaluations = engine.evaluate(requests)
+                with self._timed_path("sweep", timings):
+                    evaluations = engine.evaluate(requests)
                 results["sweep"] = {
                     "vcsel_power_mw": powers_mw,
                     "average_oni_temperature_c": [
@@ -439,9 +462,10 @@ class ScenarioRunner:
                     power=self.power_config(),
                     zoom_oni=None,
                 )
-                reports = engine.evaluate_snr(
-                    requests + [nominal_request], self.drive()
-                )
+                with self._timed_path("snr", timings):
+                    reports = engine.evaluate_snr(
+                        requests + [nominal_request], self.drive()
+                    )
                 results["snr"] = {
                     "per_point": [
                         {
@@ -467,8 +491,9 @@ class ScenarioRunner:
                     initial=trace_spec.initial,
                     method=self.transient_method,
                 )
-                evaluation = engine.evaluate_transient_one(request)
-                series = flow.run_transient_snr(evaluation, self.drive())
+                with self._timed_path("transient", timings):
+                    evaluation = engine.evaluate_transient_one(request)
+                    series = flow.run_transient_snr(evaluation, self.drive())
                 diagnostics = evaluation.result.diagnostics
                 per_oni_settling = {
                     name: evaluation.settling_time_s(name, SETTLING_TOLERANCE_C)
@@ -499,6 +524,15 @@ class ScenarioRunner:
                         "rom_fallback": diagnostics.rom_fallback,
                     },
                 }
+
+        if telemetry.is_enabled():
+            # Timing provenance, skipped by the golden comparator (the
+            # "results.telemetry" entry of PROVENANCE_SUFFIXES) and absent
+            # with telemetry off, so artifacts stay byte-identical.
+            results["telemetry"] = {
+                "paths_s": {name: timings[name] for name in sorted(timings)},
+                "total_s": sum(timings.values()),
+            }
 
         return ScenarioArtifact(
             scenario=self.spec.name,

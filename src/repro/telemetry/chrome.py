@@ -1,0 +1,179 @@
+"""Trace rendering: Chrome trace-event export and the profile tree.
+
+Consumes the wall-clock-normalised span dicts produced by
+:func:`repro.telemetry.trace.payload_spans` — i.e. spans from any number of
+worker processes already mapped onto one wall-clock axis — and renders them
+two ways:
+
+* :func:`chrome_document` — the Chrome trace-event JSON format (complete
+  ``"ph": "X"`` duration events), loadable in ``chrome://tracing`` or
+  Perfetto for interactive inspection;
+* :func:`profile_tree` — a terminal profile: spans folded by name along
+  their parent chain, one line per (depth, name) with call count, total
+  time and share of the root span.
+
+Both are pure functions of the span list, so the same spans render
+identically whatever executor produced them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+
+def trace_events(spans: Iterable[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Chrome ``"ph": "X"`` duration events for normalised span dicts."""
+    events = []
+    for record in spans:
+        event: Dict[str, Any] = {
+            "name": record["name"],
+            "ph": "X",
+            "ts": record["ts_us"],
+            "dur": record["dur_us"],
+            "pid": record.get("pid", 0),
+            "tid": record.get("tid", 0),
+        }
+        attrs = record.get("attrs") or {}
+        if attrs:
+            event["args"] = dict(attrs)
+        events.append(event)
+    events.sort(key=lambda event: (event["ts"], event["pid"], event["tid"]))
+    return events
+
+
+def chrome_document(spans: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """The complete Chrome trace-event JSON document."""
+    return {
+        "traceEvents": trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+
+
+def chrome_json(spans: Iterable[Mapping[str, Any]]) -> str:
+    """Serialised :func:`chrome_document` (what ``repro trace`` writes)."""
+    return json.dumps(chrome_document(spans), sort_keys=True)
+
+
+def aggregate_spans(
+    spans: Iterable[Mapping[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """Per-name aggregates ``{count, total_s, min_s, max_s}``, sorted by name."""
+    aggregates: Dict[str, Dict[str, Any]] = {}
+    for record in spans:
+        duration_s = float(record["duration_ns"]) / 1.0e9
+        entry = aggregates.get(record["name"])
+        if entry is None:
+            aggregates[record["name"]] = {
+                "count": 1,
+                "total_s": duration_s,
+                "min_s": duration_s,
+                "max_s": duration_s,
+            }
+        else:
+            entry["count"] += 1
+            entry["total_s"] += duration_s
+            entry["min_s"] = min(entry["min_s"], duration_s)
+            entry["max_s"] = max(entry["max_s"], duration_s)
+    return {name: aggregates[name] for name in sorted(aggregates)}
+
+
+class _Fold:
+    """Aggregation node of the profile tree: one (parent chain, name)."""
+
+    __slots__ = ("name", "count", "total_us", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_us = 0.0
+        self.children: Dict[str, "_Fold"] = {}
+
+
+def _fold_spans(spans: List[Mapping[str, Any]]) -> _Fold:
+    """Fold spans along their parent chains, merging same-name siblings.
+
+    Parent links are only meaningful within one process, so nodes are keyed
+    by ``(pid, span_id)``; spans whose parent did not make it into the
+    capture (e.g. finished outside the collector) fold in at the root.
+    """
+    by_id: Dict[Tuple[int, int], Mapping[str, Any]] = {
+        (record.get("pid", 0), record["span_id"]): record for record in spans
+    }
+    root = _Fold("")
+    # Chain cache: (pid, span_id) -> fold node, built parent-first.
+    folds: Dict[Tuple[int, int], _Fold] = {}
+
+    def fold_for(key: Tuple[int, int]) -> _Fold:
+        known = folds.get(key)
+        if known is not None:
+            return known
+        record = by_id[key]
+        parent_id = record.get("parent_id")
+        parent_key = (key[0], parent_id) if parent_id is not None else None
+        parent = (
+            fold_for(parent_key)
+            if parent_key is not None and parent_key in by_id
+            else root
+        )
+        node = parent.children.get(record["name"])
+        if node is None:
+            node = parent.children[record["name"]] = _Fold(record["name"])
+        folds[key] = node
+        return node
+
+    for key in by_id:
+        record = by_id[key]
+        node = fold_for(key)
+        node.count += 1
+        node.total_us += float(record["dur_us"])
+    return root
+
+
+def _format_seconds(total_us: float) -> str:
+    seconds = total_us / 1.0e6
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    return f"{seconds * 1.0e3:8.3f} ms"
+
+
+def profile_tree(spans: Iterable[Mapping[str, Any]]) -> str:
+    """Terminal profile tree of normalised span dicts.
+
+    Spans fold by name along their parent chain; each line shows the call
+    count, the summed time and the share of the top-level total.  Siblings
+    sort by total time (descending), so the expensive path reads top-down.
+    """
+    span_list = list(spans)
+    if not span_list:
+        return "(no spans recorded)"
+    root = _fold_spans(span_list)
+    top_total_us = sum(child.total_us for child in root.children.values())
+    width = max(
+        (len(fold.name) + 2 * depth for fold, depth in _walk(root)),
+        default=0,
+    )
+    lines = []
+    for fold, depth in _walk(root):
+        share = 100.0 * fold.total_us / top_total_us if top_total_us else 0.0
+        label = "  " * depth + fold.name
+        lines.append(
+            f"{label:<{width}}  {fold.count:6d}x  "
+            f"{_format_seconds(fold.total_us)}  {share:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def _walk(root: _Fold) -> List[Tuple[_Fold, int]]:
+    """Depth-first (fold, depth) order, siblings by total time descending."""
+    ordered: List[Tuple[_Fold, int]] = []
+
+    def visit(node: _Fold, depth: int) -> None:
+        for child in sorted(
+            node.children.values(), key=lambda fold: -fold.total_us
+        ):
+            ordered.append((child, depth))
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return ordered

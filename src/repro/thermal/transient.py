@@ -46,6 +46,7 @@ from scipy import sparse
 from ..caching import LruCache
 from ..errors import SolverError
 from ..geometry import Box
+from ..log import get_logger
 from .assembly import AssembledOperator, assemble_operator, boundary_rhs
 from .boundary import FACES, BoundaryConditions
 from .factorization import factorize, matrix_content_key
@@ -62,6 +63,8 @@ from .rom import (
 )
 from .sources import HeatSource, power_density_field
 from .thermal_map import ThermalMap
+
+logger = get_logger("thermal.transient")
 
 #: A probe is one box (volume-weighted average) or several boxes (mean of
 #: the per-box averages, e.g. "all VCSELs of one ONI").
@@ -975,6 +978,12 @@ class TransientSolver:
                     rom_residual=residual,
                 )
             rom_fallback = True
+            logger.warning(
+                "reduced-order solve rejected by the residual check "
+                "(basis %s..., dim %d); falling back to full LU integration",
+                basis_key[:12],
+                rom_dim,
+            )
 
         collect = method == "rom" and basis is None
         times, probe_values, snapshots, final, boundaries, trajectory = (

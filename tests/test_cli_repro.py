@@ -212,8 +212,11 @@ class TestSeedRomAndWarmStart:
             clear_installed_bases()
         assert code == 0
         assert "warm start: 4 reduced bases from the store" in out
-        assert "0 LU / 4 ROM transient solves" in out
-        assert "4 ROM hits, 0 basis builds, 0 fallbacks" in out
+        assert "transient_rom_solves=4" in out
+        assert "rom_hits=4" in out
+        # Zero counters are omitted from the deterministic engine line.
+        assert "transient_lu_solves" not in out
+        assert "rom_fallbacks" not in out
         report = json.loads(report_path.read_text())
         assert report["engine"]["transient_rom_solves"] == 4
         for artifact in report["artifacts"].values():
@@ -232,3 +235,163 @@ class TestSeedRomAndWarmStart:
             main(["seed-rom", "campaign_smoke"])
         _, err = capsys.readouterr()
         assert "--store" in err
+
+
+class TestTraceAndStats:
+    @pytest.fixture(scope="class")
+    def telemetry_report(self, tmp_path_factory):
+        """One telemetry-enabled campaign run, shared by the class."""
+        report_path = tmp_path_factory.mktemp("trace") / "report.json"
+        code = main(
+            [
+                "run",
+                "campaign_smoke",
+                "--paths",
+                "steady",
+                "--telemetry",
+                "--output",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        return report_path
+
+    def test_run_reports_engine_counters_sorted(self, capsys, telemetry_report):
+        report = json.loads(telemetry_report.read_text())
+        assert report["telemetry"]["enabled"] is True
+        # The deterministic engine line: sorted, non-zero counters only.
+        code, out, _ = run_cli(capsys, "stats", str(telemetry_report))
+        assert code == 0
+        engine_line = next(
+            line for line in out.splitlines() if line.startswith("engine:")
+        )
+        names = [part.split("=")[0] for part in engine_line[8:].split(", ")]
+        assert names == sorted(names)
+        assert "thermal_solves" in names
+
+    def test_stats_prints_counters_and_span_aggregates(
+        self, capsys, telemetry_report
+    ):
+        code, out, _ = run_cli(capsys, "stats", str(telemetry_report))
+        assert code == 0
+        assert "counter executor.dispatches = 4" in out
+        assert "span campaign:campaign_smoke: 1x" in out
+        assert "span path.steady: 4x" in out
+
+    def test_stats_snapshot_without_report(self, capsys):
+        code, out, _ = run_cli(capsys, "stats")
+        assert code == 0
+        snapshot = json.loads(out)
+        assert snapshot["enabled"] is False
+        assert "metrics" in snapshot
+
+    def test_trace_renders_report_and_writes_chrome_json(
+        self, capsys, telemetry_report, tmp_path
+    ):
+        chrome_path = tmp_path / "trace.json"
+        code, out, _ = run_cli(
+            capsys,
+            "trace",
+            str(telemetry_report),
+            "--output",
+            str(chrome_path),
+        )
+        assert code == 0
+        assert "campaign campaign_smoke:" in out
+        assert "campaign:campaign_smoke" in out
+        assert "spec:campaign_smoke-kind_uniform-pvcsel_3.6" in out
+        assert "campaign wall time" in out
+        document = json.loads(chrome_path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert all(event["ph"] == "X" for event in events)
+        spec_events = [
+            event for event in events if event["name"].startswith("spec:")
+        ]
+        assert len(spec_events) == 4
+
+    def test_trace_runs_a_campaign_directly(self, capsys, tmp_path):
+        chrome_path = tmp_path / "trace.json"
+        code, out, _ = run_cli(
+            capsys,
+            "trace",
+            "campaign_smoke",
+            "--paths",
+            "steady",
+            "--output",
+            str(chrome_path),
+        )
+        assert code == 0
+        assert "spec:campaign_smoke-kind_hotspot-pvcsel_3.6" in out
+        assert json.loads(chrome_path.read_text())["traceEvents"]
+
+    def test_trace_rejects_report_without_telemetry(self, capsys, tmp_path):
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps({"campaign": "x", "telemetry": None}))
+        code, _, err = run_cli(capsys, "trace", str(bare))
+        assert code == 2
+        assert "carries no telemetry trace" in err
+
+    def test_trace_unknown_campaign(self, capsys):
+        code, _, err = run_cli(capsys, "trace", "bogus")
+        assert code == 2
+        assert "unknown campaign" in err
+
+
+class TestLogging:
+    def test_global_verbosity_flags_set_the_repro_root(self, capsys):
+        import logging
+
+        from repro.log import ROOT_LOGGER
+
+        root = logging.getLogger(ROOT_LOGGER)
+        assert run_cli(capsys, "-v", "list")[0] == 0
+        assert root.level == logging.INFO
+        assert run_cli(capsys, "-vv", "list")[0] == 0
+        assert root.level == logging.DEBUG
+        assert run_cli(capsys, "-q", "list")[0] == 0
+        assert root.level == logging.ERROR
+        assert run_cli(capsys, "list")[0] == 0
+        assert root.level == logging.WARNING
+        # Idempotent: repeated configuration never stacks handlers.
+        assert (
+            len([h for h in root.handlers if getattr(h, "_repro_cli_handler", False)])
+            == 1
+        )
+
+    def test_verbosity_level_mapping(self):
+        import logging
+
+        from repro.log import verbosity_level
+
+        assert verbosity_level() == logging.WARNING
+        assert verbosity_level(verbose=1) == logging.INFO
+        assert verbosity_level(verbose=2) == logging.DEBUG
+        assert verbosity_level(verbose=3, quiet=True) == logging.ERROR
+
+    def test_store_quarantine_warns(self, tmp_path, caplog):
+        """The previously silent corruption quarantine now logs a warning."""
+        import logging
+
+        store_dir = tmp_path / "store"
+        assert main(
+            ["run", "campaign_smoke", "--store", str(store_dir), "--paths", "steady"]
+        ) == 0
+        store = ArtifactStore(str(store_dir))
+        objects = sorted((store_dir / "objects").glob("**/*.json"))
+        objects[0].write_text("{ corrupt", encoding="utf-8")
+        # The CLI handler disables propagation; caplog listens upstream.
+        root = logging.getLogger("repro")
+        previous = root.propagate
+        root.propagate = True
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.store"):
+                fresh = ArtifactStore(str(store_dir))
+                fresh.entries()
+                for key in [e.key for e in store.entries()]:
+                    fresh.get_record(key)
+        finally:
+            root.propagate = previous
+        assert any(
+            "corrupt store object" in record.message for record in caplog.records
+        )

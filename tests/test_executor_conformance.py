@@ -12,6 +12,7 @@ per-spec failure provenance in the report.
 """
 
 import hashlib
+import json
 import os
 import pickle
 import time
@@ -21,6 +22,7 @@ from typing import Tuple
 
 import pytest
 
+from repro import telemetry
 from repro.errors import ConfigurationError
 from repro.campaigns import (
     ArtifactStore,
@@ -35,7 +37,11 @@ from repro.campaigns import (
     SpecExecutionError,
     make_executor,
 )
-from repro.scenarios import ScenarioRunner, ScenarioSpec
+from repro.scenarios import (
+    ScenarioRunner,
+    ScenarioSpec,
+    compare_artifact_dicts,
+)
 from repro.thermal import clear_installed_bases
 
 #: Smallest campaign exercising every analysis path: 2 tiny specs.
@@ -168,6 +174,71 @@ class TestExecutorConformance:
             assert warm.artifacts == reference.artifacts, executor_id
 
 
+def strip_telemetry(artifact):
+    """The artifact with its ``results.telemetry`` provenance removed."""
+    return {
+        **artifact,
+        "results": {
+            key: value
+            for key, value in artifact["results"].items()
+            if key != "telemetry"
+        },
+    }
+
+
+class TestTelemetryConformance:
+    """Telemetry must observe campaigns, not change what they compute.
+
+    An instrumented run may add exactly one thing to an artifact — the
+    ``results.telemetry`` provenance subdict — and everything else must stay
+    byte-identical to the uninstrumented serial reference, whatever executor
+    carried the spans home.
+    """
+
+    @pytest.mark.parametrize("executor_id", sorted(EXECUTORS))
+    def test_artifacts_identical_modulo_telemetry_subdict(
+        self, executor_id, serial_reference
+    ):
+        reference, _ = serial_reference
+        report = CampaignRunner(
+            MATRIX, executor=EXECUTORS[executor_id](), telemetry=True
+        ).run()
+        assert not telemetry.is_enabled()  # the scope was torn down
+        assert report.telemetry and report.telemetry["enabled"] is True
+        assert sorted(report.artifacts) == sorted(reference.artifacts)
+        for name, artifact in report.artifacts.items():
+            assert "telemetry" in artifact["results"], executor_id
+            assert json.dumps(
+                strip_telemetry(artifact), sort_keys=True
+            ) == json.dumps(reference.artifacts[name], sort_keys=True), name
+            # The golden comparator skips the provenance subdict outright.
+            assert compare_artifact_dicts(
+                reference.artifacts[name], artifact
+            ) == []
+        assert report.engine == reference.engine
+
+    @pytest.mark.parametrize("executor_id", sorted(EXECUTORS))
+    def test_every_spec_span_reaches_the_report(
+        self, executor_id, serial_reference
+    ):
+        """Cross-process aggregation: one ``spec:`` span per scenario lands
+        in the merged trace whatever process evaluated it."""
+        report = CampaignRunner(
+            MATRIX, executor=EXECUTORS[executor_id](), telemetry=True
+        ).run()
+        names = [record["name"] for record in report.telemetry["trace"]]
+        for point in MATRIX.points():
+            assert names.count(f"spec:{point.spec.name}") == 1, executor_id
+        assert f"campaign:{MATRIX.name}" in names
+        counters = report.telemetry["metrics"]["counters"]
+        assert counters["executor.dispatches"] == len(MATRIX.points())
+
+    def test_disabled_report_has_no_telemetry_section(self, serial_reference):
+        reference, _ = serial_reference
+        assert reference.telemetry is None
+        assert json.loads(reference.to_json())["telemetry"] is None
+
+
 @pytest.fixture(scope="module")
 def rom_payloads():
     """Reduced bases of both conformance specs, harvested by a build pass."""
@@ -257,10 +328,27 @@ class TestKernel:
         clone = pickle.loads(pickle.dumps(kernel))
         assert clone == kernel
         spec_dict = FAULT_MATRIX.points()[0].spec.to_dict()
-        first_artifact, first_stats = kernel.run(spec_dict)
-        second_artifact, second_stats = clone.run(spec_dict)
+        first_artifact, first_stats, first_payload = kernel.run(spec_dict)
+        second_artifact, second_stats, second_payload = clone.run(spec_dict)
         assert first_artifact == second_artifact
         assert first_stats == second_stats
+        # Telemetry is off by default: no payload, no artifact pollution.
+        assert first_payload is None and second_payload is None
+        assert "telemetry" not in first_artifact["results"]
+
+    def test_kernel_telemetry_payload(self):
+        """An enabled kernel returns a span payload without flipping the
+        module switch for the rest of the process."""
+        kernel = EvaluationKernel(("steady",), telemetry=True)
+        spec_dict = FAULT_MATRIX.points()[0].spec.to_dict()
+        assert not telemetry.is_enabled()
+        artifact, _, payload = kernel.run(spec_dict)
+        assert not telemetry.is_enabled()
+        document = json.loads(payload)
+        names = [record["name"] for record in document["spans"]]
+        assert f"spec:{spec_dict['name']}" in names
+        assert "path.steady" in names
+        assert artifact["results"]["telemetry"]["paths_s"].keys() == {"steady"}
 
     def test_kernel_validates_paths(self):
         with pytest.raises(ConfigurationError, match="unknown analysis"):

@@ -6,7 +6,6 @@ deduplication behind the content-derived evaluation key, batch chunking, and
 the optional process pool across independent meshes.
 """
 
-import dataclasses
 import random
 
 import numpy as np
@@ -301,7 +300,7 @@ class TestEngineStatsMergeIdentity:
     totals.  Randomized with a pinned seed so failures replay.
     """
 
-    COUNTERS = [field.name for field in dataclasses.fields(EngineStats)]
+    COUNTERS = list(EngineStats.COUNTER_NAMES)
 
     def random_stats_dicts(self, rng, count):
         return [

@@ -1,0 +1,98 @@
+"""Evaluation service quickstart: boot `repro serve` and drive it over HTTP.
+
+Starts the resident evaluation service in-process on an ephemeral port
+(exactly what ``python -m repro serve`` does), then acts as its clients:
+
+* a cold request computes and persists the artifact;
+* a warm re-request of the same spec is answered from the resident store
+  in a few milliseconds;
+* two *concurrent* requests for a new spec hash are coalesced into one
+  solve — both clients receive the byte-identical response document;
+* ``/stats`` shows the service counters and store hit rate afterwards.
+
+Equivalent CLI:
+
+    python -m repro serve --store ./store --paths steady &
+    python -m repro show small_die_uniform > spec.json
+    curl -s -X POST --data @spec.json http://127.0.0.1:8732/evaluate
+"""
+
+import asyncio
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.campaigns import ArtifactStore, EvaluationService, ServiceServer
+from repro.scenarios import ScenarioSpec
+
+
+async def request(address, method, path, body=None):
+    """One HTTP request over a raw asyncio stream; returns parsed JSON."""
+    reader, writer = await asyncio.open_connection(*address)
+    payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\nHost: example\r\n"
+        f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n".encode()
+        + payload
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    body = raw.partition(b"\r\n\r\n")[2].decode("utf-8")
+    return [json.loads(line) for line in body.splitlines() if line.strip()]
+
+
+async def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        service = EvaluationService(
+            store=ArtifactStore(Path(tmp) / "store"),
+            paths=("steady",),
+            concurrency=2,
+        )
+        server = ServiceServer(service, port=0)  # ephemeral port
+        await server.start()
+        print(f"serving on {server.endpoints[0]}")
+        address = server.address
+
+        spec = ScenarioSpec(name="service_demo").to_dict()
+        start = time.perf_counter()
+        (cold,) = await request(address, "POST", "/evaluate", spec)
+        cold_ms = (time.perf_counter() - start) * 1e3
+        print(f"cold request : {cold['source']:>8}  {cold_ms:6.1f} ms")
+
+        start = time.perf_counter()
+        (warm,) = await request(address, "POST", "/evaluate", spec)
+        warm_ms = (time.perf_counter() - start) * 1e3
+        print(f"warm request : {warm['source']:>8}  {warm_ms:6.1f} ms")
+        assert warm["artifact"] == cold["artifact"]
+
+        # Two concurrent clients, one new spec hash -> ONE solve, shared.
+        racing = ScenarioSpec(name="service_demo_racing").to_dict()
+        (first,), (second,) = await asyncio.gather(
+            request(address, "POST", "/evaluate", racing),
+            request(address, "POST", "/evaluate", racing),
+        )
+        assert first == second
+        coalesced = service.counters.get("service.coalesced", 0)
+        print(f"racing pair  : coalesced={coalesced}, identical responses")
+
+        # Streaming: the same request as line-delimited progress events.
+        events = await request(
+            address, "POST", "/evaluate?stream=1", spec
+        )
+        print(f"stream       : {' -> '.join(e['event'] for e in events)}")
+
+        (health,) = await request(address, "GET", "/health")
+        (stats,) = await request(address, "GET", "/stats")
+        print(
+            f"health={health['status']}  "
+            f"requests={health['requests']}  "
+            f"store hit rate={stats['store']['hit_rate']:.0%}"
+        )
+        await server.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,4 +1,11 @@
-"""``python -m repro`` — the campaign command-line interface."""
+"""``python -m repro`` — the campaign command-line interface.
+
+Batch subcommands (``run`` / ``list`` / ``show`` / ``diff`` / ``trace`` /
+``stats``) execute in-process and exit; ``serve`` stays resident — it keeps
+the artifact store and hot caches open behind an asyncio HTTP/unix-socket
+service that coalesces concurrent requests for the same spec hash into one
+computation.
+"""
 
 import sys
 

@@ -11,9 +11,12 @@ content-addressed :class:`ArtifactStore` — behind a flat or sharded
 directory :class:`~repro.campaigns.backends.StoreBackend` — persists every
 artifact on disk so re-running a campaign only computes specs whose content
 hash is new.  Every executor is pinned byte-identical to serial by the
-executor-conformance suite.  ``python -m repro`` exposes the whole layer on
-the command line (``run --executor ...`` / ``list`` / ``show`` / ``diff``).
-See ``docs/architecture.md`` ("Execution kernel").
+executor-conformance suite.  The :class:`EvaluationService` keeps all of
+this resident behind an asyncio HTTP/unix-socket server with spec-hash
+request coalescing (``python -m repro serve``).  ``python -m repro``
+exposes the whole layer on the command line (``run --executor ...`` /
+``list`` / ``show`` / ``diff`` / ``serve``).  See
+``docs/architecture.md`` ("Execution kernel", "Evaluation service").
 """
 
 from .backends import (
@@ -54,6 +57,7 @@ from .runner import (
     run_campaign,
     scenario_metrics,
 )
+from .service import EvaluationService, ServiceServer
 from .store import STORE_VERSION, ArtifactStore, StoreEntry, StoreStats
 
 __all__ = [
@@ -67,6 +71,7 @@ __all__ = [
     "CampaignReport",
     "CampaignRunner",
     "EvaluationKernel",
+    "EvaluationService",
     "ExecutionResult",
     "Executor",
     "FlatDirBackend",
@@ -75,6 +80,7 @@ __all__ = [
     "QueueExecutor",
     "ScenarioMatrix",
     "SerialExecutor",
+    "ServiceServer",
     "ShardedDirBackend",
     "SpecExecutionError",
     "StoreBackend",

@@ -32,6 +32,13 @@ Subcommands
     Deterministically sorted engine counters and telemetry metrics of a
     report JSON, or — without an argument — the live in-process telemetry
     snapshot.
+``serve``
+    Resident evaluation service: keeps the store and hot caches open across
+    requests, coalesces concurrent requests for the same spec hash into one
+    solve, and streams progress as line-delimited JSON.  Binds TCP
+    (``--host``/``--port``) and/or a unix socket (``--socket``); exposes
+    ``/health``, ``/stats``, ``/scenarios``, ``POST /evaluate`` and
+    ``POST /campaign/<name>``.
 
 Global ``-v/--verbose`` (repeatable) and ``-q/--quiet`` flags, placed before
 the subcommand, configure the ``repro`` logger hierarchy.
@@ -411,6 +418,50 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resident evaluation service until interrupted."""
+    import asyncio
+
+    from .service import EvaluationService, serve
+
+    if not args.no_telemetry:
+        telemetry_mod.enable()
+    store = _open_store(args.store, args.store_backend)
+    warm_start: Sequence[str] = ()
+    if args.warm_start:
+        if store is None:
+            raise ReproError("--warm-start needs a --store to load bases from")
+        warm_start = store.rom_basis_payloads()
+    service = EvaluationService(
+        store=store,
+        paths=_parse_paths(args.paths),
+        transient_method=args.transient_method,
+        warm_start=warm_start,
+        concurrency=args.concurrency,
+    )
+
+    def ready(server: Any) -> None:
+        for endpoint in server.endpoints:
+            print(f"repro serve: listening on {endpoint}", flush=True)
+
+    if args.no_tcp and not args.socket:
+        raise ReproError("--no-tcp needs a --socket to serve on")
+    host = None if args.no_tcp else args.host
+    try:
+        asyncio.run(
+            serve(
+                service,
+                host=host,
+                port=args.port,
+                socket_path=args.socket,
+                ready=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -599,6 +650,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="report JSON file (omit for the in-process telemetry snapshot)",
     )
     stats.set_defaults(handler=_cmd_stats)
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="resident evaluation service with spec-hash request coalescing",
+    )
+    serve_cmd.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind address (default: 127.0.0.1)",
+    )
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=8732,
+        help="TCP port (default: 8732; 0 picks an ephemeral port)",
+    )
+    serve_cmd.add_argument(
+        "--socket",
+        default=None,
+        help="also serve on this unix domain socket path",
+    )
+    serve_cmd.add_argument(
+        "--no-tcp",
+        action="store_true",
+        help="serve on the --socket only (no TCP listener)",
+    )
+    serve_cmd.add_argument(
+        "--store",
+        default=None,
+        help="artifact store directory; warm specs are answered from here",
+    )
+    serve_cmd.add_argument(
+        "--store-backend",
+        default=None,
+        choices=list(BACKEND_NAMES) + ["auto"],
+        help="store directory layout (default: auto-detect, flat for new stores)",
+    )
+    serve_cmd.add_argument(
+        "--paths",
+        default=None,
+        help=f"comma-separated analysis paths (default: {','.join(ALL_PATHS)})",
+    )
+    serve_cmd.add_argument(
+        "--transient-method",
+        default="lu",
+        choices=list(TRANSIENT_METHODS),
+        help="transient integration path",
+    )
+    serve_cmd.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="ship every reduced basis held by --store to the kernel",
+    )
+    serve_cmd.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="kernel calls in flight at once (default: 4)",
+    )
+    serve_cmd.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="leave telemetry disabled (/stats shows counters only)",
+    )
+    serve_cmd.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -194,9 +194,18 @@ class AsyncExecutor(Executor):
 
     The shape the long-running evaluation service runs on: an event loop
     owns the campaign, kernel calls are awaited concurrently.  Compute is
-    GIL-bound, so this buys overlap with I/O (store reads, future network
+    GIL-bound, so this buys overlap with I/O (store reads, network
     handlers), not parallel solves — and because every kernel call builds
     its own runner, concurrency cannot change a byte of any artifact.
+
+    Two entry points share one implementation: the synchronous
+    :meth:`execute` (the :class:`Executor` contract) spins up its own event
+    loop via :func:`asyncio.run`, while the awaitable :meth:`execute_async`
+    runs on the *caller's* loop — the path the evaluation service
+    (:mod:`repro.campaigns.service`) drives, where ``asyncio.run`` would
+    raise ``RuntimeError``.  :meth:`execute` detects a running loop and
+    fails with a clear :class:`~repro.errors.ConfigurationError` instead of
+    letting that ``RuntimeError`` escape from deep inside asyncio.
     """
 
     name = "async"
@@ -209,11 +218,27 @@ class AsyncExecutor(Executor):
     def execute(
         self, kernel: EvaluationKernel, items: Sequence[WorkItem]
     ) -> Iterator[ExecutionResult]:
-        yield from asyncio.run(self._gather(kernel, items))
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return iter(asyncio.run(self.execute_async(kernel, items)))
+        raise ConfigurationError(
+            "AsyncExecutor.execute cannot be called from a running event "
+            "loop (it owns its own loop via asyncio.run); await "
+            "execute_async(kernel, items) on the host loop instead"
+        )
 
-    async def _gather(
+    async def execute_async(
         self, kernel: EvaluationKernel, items: Sequence[WorkItem]
     ) -> List[ExecutionResult]:
+        """Awaitable form of :meth:`execute`, driven by the caller's loop.
+
+        Semantics are identical — one :class:`ExecutionResult` per item, at
+        most ``concurrency`` kernel calls in flight on the thread pool —
+        but the coroutine composes with whatever else the host loop is
+        doing (the evaluation service awaits one of these per computed
+        request, concurrently across requests).
+        """
         loop = asyncio.get_running_loop()
         semaphore = asyncio.Semaphore(self.concurrency)
 

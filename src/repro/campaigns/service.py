@@ -1,0 +1,828 @@
+"""``repro serve``: a resident evaluation service with request coalescing.
+
+Every consumer of the campaign layer so far has been a one-shot CLI process
+paying import plus engine construction on every invocation, even though the
+warm path serves a full scenario in ~2 ms.  The :class:`EvaluationService`
+keeps the hot state resident across requests instead:
+
+* the content-addressed :class:`~repro.campaigns.store.ArtifactStore` stays
+  open, so a warm spec is answered from disk without a process start;
+* process-global caches (the factorization LRU, installed reduced bases)
+  stay warm, so even *cold* specs of a seen geometry reuse the expensive
+  symbolic work;
+* the :class:`~repro.campaigns.executors.AsyncExecutor` is driven natively
+  on the service's event loop via
+  :meth:`~repro.campaigns.executors.AsyncExecutor.execute_async` — kernel
+  calls run on a thread pool while the loop keeps accepting requests.
+
+**Spec-hash request coalescing** is the "millions of users" lever: requests
+are keyed by the exact store address of their computation (spec content
+hash × analysis paths × transient method × code version), and concurrent
+requests for the same key share one in-flight future — N identical clients
+cost one solve, and every one of them receives the byte-identical response
+document.
+
+The wire protocol is deliberately minimal HTTP/1.1 over asyncio streams
+(stdlib only), served on TCP and/or a unix domain socket:
+
+``GET /health``
+    Liveness document: pid, uptime, in-flight count, request totals.
+``GET /stats``
+    The live :func:`repro.telemetry.snapshot` plus service counters and
+    store counters/hit rate — per-request worker captures are folded in via
+    :func:`repro.telemetry.absorb_payload`, so per-spec spans show up here.
+``GET /scenarios``
+    Registered scenario and campaign names (what ``POST`` bodies can say).
+``POST /evaluate``
+    One :class:`~repro.scenarios.spec.ScenarioSpec` JSON document in, one
+    response document out (``status``/``source``/``artifact`` or
+    ``failure`` provenance).  ``?stream=1`` upgrades the response to
+    line-delimited JSON progress events (``accepted`` / ``coalesced`` /
+    ``store_hit`` / ``computing`` / ``result``).
+``POST /campaign/<name>``
+    Runs a whole campaign matrix through the same coalescing evaluate path
+    and streams one ``scenario`` event per point as it completes, then a
+    ``summary`` event — always line-delimited JSON.
+
+A failing spec never kills the server loop: evaluation failures come back
+as structured failure-provenance documents (the same shape campaign reports
+record), and protocol or validation errors map to 4xx/5xx JSON bodies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from typing import (
+    Any,
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+from urllib.parse import parse_qs, urlsplit
+
+from .. import telemetry
+from ..errors import ConfigurationError, ReproError
+from ..log import get_logger
+from ..scenarios import ALL_PATHS, ScenarioArtifact, ScenarioSpec
+from .executors import AsyncExecutor, WorkItem
+from .kernel import EvaluationKernel
+from .matrix import ScenarioMatrix, builtin_matrices
+from .store import ArtifactStore
+
+logger = get_logger("service")
+
+#: Default TCP bind of ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8732
+
+#: Largest request body the server will read (specs are a few KiB).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: An async event sink: receives one JSON-ready dict per progress event.
+EventSink = Callable[[Dict[str, Any]], Awaitable[None]]
+
+
+async def _emit(on_event: Optional[EventSink], event: Dict[str, Any]) -> None:
+    if on_event is not None:
+        await on_event(event)
+
+
+class EvaluationService:
+    """Resident evaluation state: kernel, executor, store, in-flight map.
+
+    Parameters
+    ----------
+    store:
+        Artifact store consulted before computing and updated after;
+        ``None`` computes every request.
+    paths:
+        Analysis paths every evaluation runs (fixed per service instance so
+        request keys stay exact store addresses).  Ignored when ``kernel``
+        is given — the kernel's own paths win.
+    transient_method / warm_start:
+        Forwarded to the default :class:`~repro.campaigns.kernel.
+        EvaluationKernel` (see :class:`~repro.campaigns.runner.
+        CampaignRunner` for semantics).
+    concurrency:
+        Bound on kernel calls in flight across *all* requests (one shared
+        semaphore), and the width of the default executor's thread pool.
+    kernel:
+        Evaluation kernel override (tests, fault injection).
+    executor:
+        Executor override; must expose an awaitable ``execute_async`` —
+        anything else cannot run on the service loop and is rejected at
+        construction.
+    matrices:
+        Campaign-name registry for ``POST /campaign/<name>``; defaults to
+        the built-in matrices.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        paths: Sequence[str] = ALL_PATHS,
+        transient_method: str = "lu",
+        warm_start: Sequence[str] = (),
+        concurrency: int = 4,
+        kernel: Optional[EvaluationKernel] = None,
+        executor: Optional[AsyncExecutor] = None,
+        matrices: Optional[Mapping[str, ScenarioMatrix]] = None,
+    ) -> None:
+        if concurrency < 1:
+            raise ConfigurationError("service concurrency must be >= 1")
+        self.kernel = (
+            EvaluationKernel(
+                tuple(paths),
+                transient_method=transient_method,
+                warm_start=tuple(warm_start),
+            )
+            if kernel is None
+            else kernel
+        )
+        self.paths: Tuple[str, ...] = tuple(self.kernel.paths)
+        self.executor = (
+            AsyncExecutor(concurrency) if executor is None else executor
+        )
+        if not hasattr(self.executor, "execute_async"):
+            raise ConfigurationError(
+                f"the service loop needs an executor with execute_async; "
+                f"{type(self.executor).__name__} has none"
+            )
+        self.store = store
+        self.concurrency = concurrency
+        self.matrices = None if matrices is None else dict(matrices)
+        #: Store key -> future of the in-flight computation (coalescing).
+        self._inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self.counters: Dict[str, int] = {}
+        self._started_perf = time.perf_counter()
+
+    # Bookkeeping ------------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        """Bump a service counter (plain dict always, telemetry when on)."""
+        self.counters[name] = self.counters.get(name, 0) + 1
+        telemetry.count(name)
+
+    def _transient_method(self) -> str:
+        return getattr(self.kernel, "transient_method", "lu")
+
+    def _kernel_semaphore(self) -> asyncio.Semaphore:
+        """The shared compute bound, created lazily on the serving loop."""
+        if self._semaphore is None:
+            self._semaphore = asyncio.Semaphore(self.concurrency)
+        return self._semaphore
+
+    def request_key(self, spec: ScenarioSpec) -> str:
+        """Coalescing key of one request: the exact store address.
+
+        With a store attached this *is* :meth:`~repro.campaigns.store.
+        ArtifactStore.key_for`, so two requests coalesce exactly when they
+        would read/write the same store object; without one, an equivalent
+        content hash over the same fields.
+        """
+        if self.store is not None:
+            return self.store.key_for(
+                spec, self.paths, self._transient_method()
+            )
+        import hashlib
+
+        from ..scenarios import canonical_json
+
+        document = {
+            "spec_hash": spec.content_hash(),
+            "paths": sorted(set(self.paths)),
+            "transient_method": self._transient_method(),
+        }
+        return hashlib.sha256(
+            canonical_json(document).encode("utf-8")
+        ).hexdigest()
+
+    # Evaluation -------------------------------------------------------------
+
+    async def evaluate(
+        self,
+        spec_dict: Mapping[str, Any],
+        on_event: Optional[EventSink] = None,
+    ) -> Dict[str, Any]:
+        """Serve one spec: validate, coalesce, store-or-compute, persist.
+
+        Returns the response document; never raises for a *failing* spec
+        (the document carries the failure provenance instead).  Invalid
+        specs raise :class:`~repro.errors.ReproError` — the transport maps
+        those to a 400.
+        """
+        self._count("service.requests")
+        spec = ScenarioSpec.from_dict(dict(spec_dict))
+        key = self.request_key(spec)
+        await _emit(
+            on_event, {"event": "accepted", "scenario": spec.name, "key": key}
+        )
+        future = self._inflight.get(key)
+        if future is not None:
+            # Coalesce: ride the in-flight computation.  shield() keeps one
+            # cancelled follower (client disconnect) from cancelling the
+            # shared future under everyone else.
+            self._count("service.coalesced")
+            await _emit(on_event, {"event": "coalesced", "key": key})
+            return await asyncio.shield(future)
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            document = await self._resolve(spec, key, on_event)
+            future.set_result(document)
+            return document
+        except BaseException:
+            # Only cancellation (or a genuine bug) escapes _resolve; wake
+            # the followers with the same fate instead of hanging them.
+            if not future.done():
+                future.cancel()
+            raise
+        finally:
+            self._inflight.pop(key, None)
+
+    async def _resolve(
+        self,
+        spec: ScenarioSpec,
+        key: str,
+        on_event: Optional[EventSink],
+    ) -> Dict[str, Any]:
+        """Store lookup, then one executor dispatch; returns the document."""
+        if self.store is not None:
+            artifact = self.store.load(
+                spec, self.paths, self._transient_method()
+            )
+            if artifact is not None:
+                self._count("service.store_served")
+                await _emit(on_event, {"event": "store_hit", "key": key})
+                return self._document(
+                    spec, key, "store", artifact=artifact.to_dict()
+                )
+        await _emit(on_event, {"event": "computing", "key": key})
+        item = WorkItem(
+            index=0,
+            name=spec.name,
+            spec_hash=spec.content_hash(),
+            design_hash=spec.design_hash(),
+            spec_dict=spec.to_dict(),
+        )
+        async with self._kernel_semaphore():
+            results = await self.executor.execute_async(self.kernel, [item])
+        result = results[0]
+        if result.telemetry is not None:
+            telemetry.absorb_payload(json.loads(result.telemetry))
+        if result.ok:
+            self._count("service.computed")
+            if self.store is not None:
+                self.store.store(
+                    spec,
+                    ScenarioArtifact.from_dict(result.artifact),
+                    self.paths,
+                    self._transient_method(),
+                )
+            return self._document(
+                spec, key, "computed", artifact=result.artifact
+            )
+        self._count("service.failures")
+        error = result.error
+        logger.warning(
+            "spec %r failed in service: %s: %s",
+            spec.name,
+            error["type"],
+            error["message"],
+        )
+        return self._document(
+            spec,
+            key,
+            "computed",
+            failure={
+                "spec_hash": item.spec_hash,
+                "design_hash": item.design_hash,
+                "attempts": result.attempts,
+                "incidents": list(result.incidents),
+                "resolved": False,
+            },
+        )
+
+    def _document(
+        self,
+        spec: ScenarioSpec,
+        key: str,
+        source: str,
+        artifact: Optional[Dict[str, Any]] = None,
+        failure: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """One response document.  ``source`` describes how the *result* was
+        produced (``store``/``computed``), not the request path — coalesced
+        followers share the leader's document byte for byte."""
+        document: Dict[str, Any] = {
+            "status": "ok" if artifact is not None else "failed",
+            "scenario": spec.name,
+            "key": key,
+            "spec_hash": spec.content_hash(),
+            "design_hash": spec.design_hash(),
+            "paths": list(self.paths),
+            "transient_method": self._transient_method(),
+            "source": source,
+        }
+        if artifact is not None:
+            document["artifact"] = artifact
+        if failure is not None:
+            document["failure"] = failure
+        return document
+
+    # Campaigns --------------------------------------------------------------
+
+    def _matrix(self, name: str) -> ScenarioMatrix:
+        matrices = (
+            builtin_matrices() if self.matrices is None else self.matrices
+        )
+        if name not in matrices:
+            raise ConfigurationError(
+                f"unknown campaign {name!r}; available: {sorted(matrices)}"
+            )
+        return matrices[name]
+
+    async def run_campaign(
+        self, name: str, on_event: Optional[EventSink] = None
+    ) -> Dict[str, Any]:
+        """Fan a campaign matrix through :meth:`evaluate` concurrently.
+
+        Every point rides the same coalescing/store path a single request
+        does (so a re-run is all store hits, and a point another client is
+        already computing is joined, not recomputed).  Emits one
+        ``scenario`` event per point in completion order and returns the
+        summary document.
+        """
+        matrix = self._matrix(name)
+        points = matrix.points()
+        await _emit(
+            on_event,
+            {
+                "event": "campaign",
+                "campaign": matrix.name,
+                "scenarios": len(points),
+            },
+        )
+
+        async def one(point: Any) -> Dict[str, Any]:
+            document = await self.evaluate(point.spec.to_dict())
+            await _emit(
+                on_event,
+                {
+                    "event": "scenario",
+                    "scenario": point.spec.name,
+                    "status": document["status"],
+                    "source": document["source"],
+                    "key": document["key"],
+                },
+            )
+            return document
+
+        documents = await asyncio.gather(*(one(point) for point in points))
+        summary = {
+            "event": "summary",
+            "campaign": matrix.name,
+            "scenarios": len(points),
+            "ok": sum(1 for d in documents if d["status"] == "ok"),
+            "failed": sum(1 for d in documents if d["status"] == "failed"),
+            "store_served": sum(1 for d in documents if d["source"] == "store"),
+            "computed": sum(1 for d in documents if d["source"] == "computed"),
+        }
+        await _emit(on_event, summary)
+        return summary
+
+    # Introspection ----------------------------------------------------------
+
+    def health_document(self) -> Dict[str, Any]:
+        """The ``/health`` liveness document."""
+        return {
+            "status": "ok",
+            "pid": os.getpid(),
+            "uptime_s": time.perf_counter() - self._started_perf,
+            "inflight": len(self._inflight),
+            "requests": self.counters.get("service.requests", 0),
+            "paths": list(self.paths),
+            "transient_method": self._transient_method(),
+            "store_attached": self.store is not None,
+            "telemetry_enabled": telemetry.is_enabled(),
+        }
+
+    def stats_document(self) -> Dict[str, Any]:
+        """The ``/stats`` document: live telemetry snapshot + counters."""
+        document = telemetry.snapshot()
+        document["service"] = {
+            "counters": {
+                name: self.counters[name] for name in sorted(self.counters)
+            },
+            "inflight": len(self._inflight),
+            "uptime_s": time.perf_counter() - self._started_perf,
+            "concurrency": self.concurrency,
+        }
+        if self.store is None:
+            document["store"] = None
+        else:
+            stats = self.store.stats
+            document["store"] = {
+                **stats.to_dict(),
+                "hit_rate": stats.hit_rate,
+                "objects": len(self.store),
+                "root": str(self.store.root),
+            }
+        return document
+
+    def scenarios_document(self) -> Dict[str, Any]:
+        """The ``/scenarios`` listing (what POST bodies can reference)."""
+        from ..scenarios import default_registry
+
+        matrices = (
+            builtin_matrices() if self.matrices is None else self.matrices
+        )
+        return {
+            "scenarios": default_registry().names(),
+            "campaigns": sorted(matrices),
+        }
+
+
+# HTTP transport -------------------------------------------------------------
+
+
+class _HttpError(ReproError):
+    """A protocol-level failure with an HTTP status attached."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(message)
+
+
+class _Request:
+    """One parsed HTTP request (method, path, query, headers, body)."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, List[str]],
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    def flag(self, name: str) -> bool:
+        """Truthiness of query parameter ``name`` (``?stream=1``)."""
+        values = self.query.get(name, [])
+        return bool(values) and values[-1].lower() not in ("0", "false", "no")
+
+    @property
+    def wants_stream(self) -> bool:
+        return self.flag("stream") or "ndjson" in self.headers.get(
+            "accept", ""
+        )
+
+    @property
+    def wants_close(self) -> bool:
+        return self.headers.get("connection", "").lower() == "close"
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _json_line(document: Mapping[str, Any]) -> bytes:
+    return (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[_Request]:
+    """Parse one request off the stream (``None`` on clean EOF)."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise _HttpError(400, "malformed request line")
+    method, target = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise _HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _HttpError(400, "malformed Content-Length") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    split = urlsplit(target)
+    return _Request(
+        method, split.path, parse_qs(split.query), headers, body
+    )
+
+
+class ServiceServer:
+    """Binds an :class:`EvaluationService` to TCP and/or a unix socket.
+
+    One connection handler serves both transports; connections are
+    keep-alive for plain JSON responses and close-delimited for streaming
+    (ndjson) ones.  Every handler error is answered as a JSON document —
+    the serving loop itself never dies with a request.
+    """
+
+    def __init__(
+        self,
+        service: EvaluationService,
+        host: Optional[str] = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        socket_path: Optional[Union[str, os.PathLike]] = None,
+    ) -> None:
+        if host is None and socket_path is None:
+            raise ConfigurationError(
+                "the server needs a TCP host/port, a unix socket path, or both"
+            )
+        self.service = service
+        self.host = host
+        self.port = port
+        self.socket_path = None if socket_path is None else str(socket_path)
+        self.address: Optional[Tuple[str, int]] = None
+        self._servers: List[asyncio.AbstractServer] = []
+
+    # Lifecycle --------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listeners; ``self.address`` carries the actual TCP port
+        (ephemeral binds via ``port=0`` resolve here)."""
+        if self.host is not None:
+            server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port
+            )
+            bound = server.sockets[0].getsockname()
+            self.address = (bound[0], bound[1])
+            self._servers.append(server)
+        if self.socket_path is not None:
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.socket_path
+            )
+            self._servers.append(server)
+
+    @property
+    def endpoints(self) -> List[str]:
+        """Human-readable bound endpoints (log lines, CLI banner)."""
+        endpoints = []
+        if self.address is not None:
+            endpoints.append(f"http://{self.address[0]}:{self.address[1]}")
+        if self.socket_path is not None:
+            endpoints.append(f"unix:{self.socket_path}")
+        return endpoints
+
+    async def serve_forever(self) -> None:
+        if not self._servers:
+            raise ConfigurationError("server not started; call start() first")
+        await asyncio.gather(
+            *(server.serve_forever() for server in self._servers)
+        )
+
+    async def stop(self) -> None:
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    # Connection handling ----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _HttpError as error:
+                    await self._send_json(
+                        writer,
+                        error.status,
+                        {"status": "error", "error": str(error)},
+                        keep_alive=False,
+                    )
+                    break
+                except asyncio.IncompleteReadError:
+                    break
+                if request is None:
+                    break
+                keep_alive = await self._dispatch(request, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except Exception:  # pragma: no cover - defensive: never kill the loop
+            logger.exception("unhandled error in connection handler")
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _dispatch(
+        self, request: _Request, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Route one request; returns whether to keep the connection."""
+        keep_alive = not request.wants_close
+        try:
+            if request.method == "GET" and request.path == "/health":
+                document = self.service.health_document()
+            elif request.method == "GET" and request.path == "/stats":
+                document = self.service.stats_document()
+            elif request.method == "GET" and request.path == "/scenarios":
+                document = self.service.scenarios_document()
+            elif request.method == "POST" and request.path == "/evaluate":
+                return await self._handle_evaluate(request, writer, keep_alive)
+            elif request.method == "POST" and request.path.startswith(
+                "/campaign/"
+            ):
+                name = request.path[len("/campaign/") :]
+                return await self._handle_campaign(name, writer)
+            else:
+                await self._send_json(
+                    writer,
+                    404 if request.path not in ("/evaluate",) else 405,
+                    {
+                        "status": "error",
+                        "error": f"no route {request.method} {request.path}",
+                    },
+                    keep_alive=keep_alive,
+                )
+                return keep_alive
+        except ReproError as error:
+            await self._send_json(
+                writer,
+                400,
+                {"status": "error", "error": str(error)},
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+        except Exception as error:  # keep serving on unexpected failures
+            logger.exception("request handler failed")
+            await self._send_json(
+                writer,
+                500,
+                {
+                    "status": "error",
+                    "error": f"{type(error).__name__}: {error}",
+                },
+                keep_alive=False,
+            )
+            return False
+        await self._send_json(writer, 200, document, keep_alive=keep_alive)
+        return keep_alive
+
+    def _parse_spec_body(self, request: _Request) -> Dict[str, Any]:
+        try:
+            document = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise _HttpError(400, f"request body is not JSON: {error}")
+        if not isinstance(document, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return document
+
+    async def _handle_evaluate(
+        self, request: _Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        try:
+            spec_dict = self._parse_spec_body(request)
+        except _HttpError as error:
+            await self._send_json(
+                writer,
+                error.status,
+                {"status": "error", "error": str(error)},
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+        if not request.wants_stream:
+            document = await self.service.evaluate(spec_dict)
+            await self._send_json(
+                writer, 200, document, keep_alive=keep_alive
+            )
+            return keep_alive
+        emit = await self._start_stream(writer)
+        try:
+            document = await self.service.evaluate(spec_dict, on_event=emit)
+            await emit({"event": "result", **document})
+        except ReproError as error:
+            await emit({"event": "error", "error": str(error)})
+        return False
+
+    async def _handle_campaign(
+        self, name: str, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Campaign runs always stream (that is their point)."""
+        emit = await self._start_stream(writer)
+        try:
+            await self.service.run_campaign(name, on_event=emit)
+        except ReproError as error:
+            await emit({"event": "error", "error": str(error)})
+        return False
+
+    # Response writing -------------------------------------------------------
+
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        document: Mapping[str, Any],
+        keep_alive: bool = True,
+    ) -> None:
+        body = _json_line(document)
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    async def _start_stream(self, writer: asyncio.StreamWriter) -> EventSink:
+        """Send ndjson headers; returns a locked per-connection event sink.
+
+        The lock serialises concurrent emitters (a campaign's points finish
+        concurrently) so event lines never interleave mid-line; the body is
+        close-delimited (``Connection: close``), which every HTTP/1.1
+        client understands without chunked encoding.
+        """
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Cache-Control: no-store\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        lock = asyncio.Lock()
+
+        async def emit(event: Dict[str, Any]) -> None:
+            async with lock:
+                writer.write(_json_line(event))
+                await writer.drain()
+
+        return emit
+
+
+async def serve(
+    service: EvaluationService,
+    host: Optional[str] = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    socket_path: Optional[Union[str, os.PathLike]] = None,
+    ready: Optional[Callable[[ServiceServer], None]] = None,
+) -> None:
+    """Run a server until cancelled (the ``repro serve`` main coroutine).
+
+    ``ready`` is called once the listeners are bound (the CLI prints the
+    endpoints there; tests grab the ephemeral port).
+    """
+    server = ServiceServer(
+        service, host=host, port=port, socket_path=socket_path
+    )
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:  # clean shutdown path
+        pass
+    finally:
+        await server.stop()

@@ -65,6 +65,25 @@ def _payload_digest(payload: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory (persists a completed rename).
+
+    Failure is swallowed: not every filesystem supports opening a directory
+    for fsync (and the rename itself already happened), so this only ever
+    *adds* durability, never turns a successful write into an error.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without directory fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_write(directory: Path, prefix: str, text: str, target: Path) -> None:
     """Write ``text`` to a unique temp file and rename it over ``target``.
 
@@ -72,11 +91,18 @@ def _atomic_write(directory: Path, prefix: str, text: str, target: Path) -> None
     temp name, and :func:`os.replace` is atomic on POSIX, so readers only
     ever observe complete documents and racing writers settle on a
     last-writer-wins full document instead of interleaved bytes.
+
+    The temp file is flushed and fsynced *before* the rename, and the
+    directory is fsynced (best-effort) after it: the atomicity claim must
+    hold across power loss, not just process crash — a rename that lands
+    before its data would leave a complete-looking file of garbage bytes.
     """
     handle, tmp_name = tempfile.mkstemp(prefix=f"{prefix}.", suffix=".tmp", dir=directory)
     try:
         with os.fdopen(handle, "w", encoding="utf-8") as stream:
             stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
         os.replace(tmp_name, target)
     except BaseException:
         try:
@@ -84,6 +110,7 @@ def _atomic_write(directory: Path, prefix: str, text: str, target: Path) -> None
         except OSError:  # pragma: no cover - already renamed or gone
             pass
         raise
+    _fsync_directory(directory)
 
 
 @dataclass(frozen=True)
@@ -239,9 +266,11 @@ class ArtifactStore:
             record = self._read_object(path.stem, count_corrupt=False)
             if record is None:
                 continue
-            entries[path.stem] = self._entry_from_record(
-                record, path.stat().st_size
-            )
+            try:
+                size = path.stat().st_size
+            except OSError:  # racing eviction/unlink: the object is gone
+                continue
+            entries[path.stem] = self._entry_from_record(record, size)
         return {"version": STORE_VERSION, "sequence": 0, "entries": entries}
 
     def _write_index(self, index: Dict[str, Any]) -> None:
@@ -482,14 +511,26 @@ class ArtifactStore:
     def load_rom_basis(self, basis_key: str) -> Optional[str]:
         """Serialised payload of the basis with content key ``basis_key``,
         or ``None`` on miss/corruption (deterministic JSON, ready for
-        :func:`repro.thermal.install_payload` or a kernel warm start)."""
-        record = self._read_object(self._rom_basis_key(basis_key))
-        if record is None or record["payload"].get("key") != basis_key:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        self._pending_touches.append(record["key"])
-        return json.dumps(record["payload"], sort_keys=True)
+        :func:`repro.thermal.install_payload` or a kernel warm start).
+
+        Telemetry parity with :meth:`load`: basis lookups emit the same
+        ``store.load`` span and ``store.hits``/``store.misses`` counters,
+        so ``repro stats`` counts warm-start traffic like artifact traffic.
+        """
+        with telemetry.span(
+            "store.load", scenario=f"rom-basis:{basis_key[:12]}"
+        ) as load_span:
+            record = self._read_object(self._rom_basis_key(basis_key))
+            if record is None or record["payload"].get("key") != basis_key:
+                self.stats.misses += 1
+                telemetry.count("store.misses")
+                load_span.set(hit=False)
+                return None
+            self.stats.hits += 1
+            telemetry.count("store.hits")
+            load_span.set(hit=True)
+            self._pending_touches.append(record["key"])
+            return json.dumps(record["payload"], sort_keys=True)
 
     def rom_basis_payloads(self) -> List[str]:
         """Serialised payloads of every stored reduced basis (key order) —
@@ -592,11 +633,18 @@ class ArtifactStore:
                 record = self._read_object(key, count_corrupt=False)
                 if record is None:
                     continue
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    # Racing eviction/unlink between iter_object_paths and
+                    # stat (another process sharing the store): the entry is
+                    # simply gone, not an error.
+                    continue
                 entry = {
                     "scenario": record["scenario"],
                     "spec_hash": record["spec_hash"],
                     "paths": list(record["paths"]),
-                    "size_bytes": path.stat().st_size,
+                    "size_bytes": size,
                     "last_used": 0,
                 }
             result.append(
@@ -613,10 +661,19 @@ class ArtifactStore:
         return result
 
     def total_size_bytes(self) -> int:
-        """Summed object sizes currently on disk."""
-        return sum(
-            path.stat().st_size for path in self.backend.iter_object_paths()
-        )
+        """Summed object sizes currently on disk.
+
+        An object unlinked between the directory listing and its ``stat``
+        (a racing eviction in another process) contributes nothing instead
+        of raising — the listing is advisory by design.
+        """
+        total = 0
+        for path in self.backend.iter_object_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     def __len__(self) -> int:
         return sum(1 for _ in self.backend.iter_object_paths())

@@ -17,8 +17,9 @@ disabled (the default): :func:`span` returns a shared no-op unless
 captures one unit of work (one kernel invocation, one campaign) into a
 plain-JSON payload with a wall-clock anchor; :mod:`repro.telemetry.chrome`
 renders merged payloads as Chrome trace-event JSON and terminal profile
-trees.  :func:`snapshot` is the health-endpoint document for the future
-``repro serve``.
+trees.  :func:`snapshot` is the live document ``repro serve`` exposes on
+its ``/stats`` endpoint, and :func:`absorb_payload` is how the service
+folds per-request worker captures into it.
 """
 
 from .chrome import (
@@ -39,6 +40,7 @@ from .metrics import (
 from .trace import (
     SpanCollector,
     SpanRecord,
+    absorb_payload,
     collect,
     count,
     disable,
@@ -63,6 +65,7 @@ __all__ = [
     "MetricsRegistry",
     "SpanCollector",
     "SpanRecord",
+    "absorb_payload",
     "aggregate_spans",
     "bucket_index",
     "bucket_upper_s",

@@ -379,6 +379,23 @@ def payload_spans(payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
     return normalised
 
 
+def absorb_payload(payload: Mapping[str, Any]) -> None:
+    """Fold one serialised :class:`SpanCollector` payload into the
+    process-global buffers (spans into the bounded buffer, metrics merged
+    commutatively into the global registry).
+
+    The evaluation service runs every kernel call under its own collector
+    (the capture ships back with the :class:`~repro.campaigns.executors.
+    ExecutionResult`); absorbing the payload makes the live
+    :func:`snapshot` — the ``/stats`` endpoint — reflect per-spec spans and
+    solver metrics, not just the coordinator's own store/service counters.
+    """
+    records = [SpanRecord.from_dict(data) for data in payload.get("spans", [])]
+    with _global_lock:
+        _global_spans.extend(records)
+    _global_registry.merge(payload.get("metrics", {}))
+
+
 def global_registry() -> MetricsRegistry:
     """The process-global metrics registry (health endpoint substrate)."""
     return _global_registry
@@ -400,7 +417,7 @@ def reset() -> None:
 def snapshot() -> Dict[str, Any]:
     """Health-endpoint payload: switch state, uptime, metrics, span stats.
 
-    This is the document the future ``repro serve`` health endpoint returns:
+    This is the document the ``repro serve`` ``/stats`` endpoint returns:
     everything the process-global registry and span buffer know, aggregated
     and JSON-ready, in deterministic (sorted) order.
     """

@@ -9,11 +9,13 @@ proven per backend, not just on the seed layout.
 """
 
 import json
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.errors import ConfigurationError
 from repro.campaigns import (
     ArtifactStore,
@@ -115,6 +117,41 @@ class TestRoundTrip:
         )
         store.clear()
         assert len(store) == 0
+
+
+class TestDurability:
+    def test_atomic_write_fsyncs_file_before_publishing(
+        self, store, monkeypatch
+    ):
+        """Satellite fix: object bytes are fsynced to disk *before* the
+        rename publishes them (then the directory entry, best-effort), so a
+        power loss can leave a missing object but never a published
+        truncated one."""
+        from repro.campaigns import store as store_module
+
+        events = []
+        real_fsync, real_replace = store_module.os.fsync, store_module.os.replace
+
+        def recording_fsync(fd):
+            events.append("fsync")
+            return real_fsync(fd)
+
+        def recording_replace(src, dst):
+            events.append("replace")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(store_module.os, "fsync", recording_fsync)
+        monkeypatch.setattr(store_module.os, "replace", recording_replace)
+        spec = make_spec()
+        store.store(spec, make_artifact(spec), ALL_PATHS)
+        assert "replace" in events
+        # Every publish (object and index alike) is preceded by a file
+        # fsync and followed by a directory fsync.
+        for position, event in enumerate(events):
+            if event == "replace":
+                assert events[position - 1] == "fsync"
+                assert position + 1 < len(events)
+                assert events[position + 1] == "fsync"
 
 
 class TestIntegrityFaults:
@@ -331,6 +368,58 @@ class TestConcurrency:
             outcomes = list(pool.map(churn, range(32)))
         assert all(outcomes)
 
+    def test_listings_survive_objects_vanishing_mid_scan(
+        self, store, monkeypatch
+    ):
+        """Satellite fix: an object unlinked between the directory listing
+        and its ``stat`` (a racing eviction in another process) is skipped
+        by ``total_size_bytes``/``entries``/``__len__``, not raised."""
+        for index in range(3):
+            spec = make_spec(index)
+            store.store(spec, make_artifact(spec), ALL_PATHS)
+        real_iter = store.backend.iter_object_paths
+        real_size = store.total_size_bytes()
+
+        def racing_iter():
+            paths = list(real_iter())
+            # The listing saw a fourth object, but the evictor unlinked it
+            # before this reader could stat it.
+            ghost = paths[0].with_name("0" * 16 + paths[0].suffix)
+            return iter(paths + [ghost])
+
+        monkeypatch.setattr(store.backend, "iter_object_paths", racing_iter)
+        assert store.total_size_bytes() == real_size
+        assert len(store.entries()) == 3
+
+    def test_concurrent_evictor_never_breaks_listings(self, tmp_path, backend):
+        """Live race: one thread unlinks every object while another keeps
+        listing — the reader must finish clean, never with an OSError."""
+        root = tmp_path / "store"
+        writer = ArtifactStore(root, backend=backend)
+        for index in range(24):
+            spec = make_spec(index)
+            writer.store(spec, make_artifact(spec), ALL_PATHS)
+        reader = ArtifactStore(root, backend=backend)
+        paths = list(writer.backend.iter_object_paths())
+
+        def evict():
+            for path in paths:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing test cleanup
+                    pass
+
+        evictor = threading.Thread(target=evict)
+        evictor.start()
+        try:
+            while evictor.is_alive():
+                reader.total_size_bytes()
+                reader.entries()
+                len(reader)
+        finally:
+            evictor.join()
+        assert reader.total_size_bytes() == 0
+
 
 class TestBackends:
     """Layout-specific behaviour: sharding, auto-detection, resolution."""
@@ -445,6 +534,25 @@ class TestRomBasisRecords:
         kinds = {entry.paths for entry in store.entries()}
         assert ("rom_basis",) in kinds
         assert any(entry.key == artifact_key for entry in store.entries())
+
+    def test_load_telemetry_parity_with_artifact_load(self, store):
+        """Satellite fix: ``load_rom_basis`` emits ``store.hits``/
+        ``store.misses`` counters and a ``store.load`` span exactly like
+        artifact ``load`` does — warm-start traffic was invisible in
+        ``/stats`` before."""
+        payload = self.make_payload("e" * 16, seed=5)
+        store.store_rom_basis(payload)
+        with telemetry.enabled_scope():
+            with telemetry.collect() as collector:
+                assert store.load_rom_basis("e" * 16) == payload
+                assert store.load_rom_basis("f" * 16) is None
+        assert collector.registry.counter_value("store.hits") == 1
+        assert collector.registry.counter_value("store.misses") == 1
+        spans = [r for r in collector.spans if r.name == "store.load"]
+        assert sorted(r.attrs["hit"] for r in spans) == [False, True]
+        assert all(
+            r.attrs["scenario"].startswith("rom-basis:") for r in spans
+        )
 
     def test_corrupt_basis_record_is_a_miss(self, store):
         store.store_rom_basis(self.make_payload("d" * 16, seed=4))

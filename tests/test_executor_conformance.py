@@ -11,6 +11,7 @@ specs) and asserts campaigns still complete with correct artifacts and full
 per-spec failure provenance in the report.
 """
 
+import asyncio
 import hashlib
 import json
 import os
@@ -35,6 +36,7 @@ from repro.campaigns import (
     ScenarioMatrix,
     SerialExecutor,
     SpecExecutionError,
+    WorkItem,
     make_executor,
 )
 from repro.scenarios import (
@@ -377,6 +379,88 @@ class TestKernel:
             CampaignRunner(MATRIX, executor="bogus")
         with pytest.raises(ConfigurationError, match="on_error"):
             CampaignRunner(MATRIX, on_error="ignore")
+
+
+def _work_items(count=1):
+    """The first ``count`` fault-matrix points as raw work items."""
+    items = []
+    for index, point in enumerate(FAULT_MATRIX.points()[:count]):
+        items.append(
+            WorkItem(
+                index=index,
+                name=point.spec.name,
+                spec_hash=point.spec.content_hash(),
+                design_hash=point.spec.design_hash(),
+                spec_dict=point.spec.to_dict(),
+            )
+        )
+    return items
+
+
+class TestAsyncExecutorLoopContext:
+    """Satellite fix: AsyncExecutor from inside a running event loop.
+
+    The generator-based ``execute`` used to die mid-iteration with asyncio's
+    raw ``RuntimeError: asyncio.run() cannot be called from a running event
+    loop``.  The contract now: ``execute_async`` is awaitable on the host
+    loop (what ``repro serve`` does), and the sync ``execute`` fails *at
+    call time* with a :class:`ConfigurationError` naming the fix when a
+    loop is already running.
+    """
+
+    def test_execute_async_awaitable_inside_running_loop(self):
+        kernel = EvaluationKernel(("steady",))
+
+        async def main():
+            executor = AsyncExecutor(concurrency=2)
+            return await executor.execute_async(kernel, _work_items(2))
+
+        results = asyncio.run(main())
+        assert [result.ok for result in results] == [True, True]
+        assert [result.item.index for result in results] == [0, 1]
+
+    def test_sync_execute_in_running_loop_raises_configuration_error(self):
+        kernel = EvaluationKernel(("steady",))
+        executor = AsyncExecutor(concurrency=1)
+
+        async def main():
+            with pytest.raises(ConfigurationError, match="execute_async"):
+                executor.execute(kernel, _work_items())
+
+        asyncio.run(main())
+
+    def test_execute_async_matches_sync_execute(self):
+        kernel = EvaluationKernel(("steady",))
+        items = _work_items(2)
+        sync_results = list(AsyncExecutor(concurrency=2).execute(kernel, items))
+        async_results = asyncio.run(
+            AsyncExecutor(concurrency=2).execute_async(kernel, items)
+        )
+        assert [r.artifact for r in sync_results] == [
+            r.artifact for r in async_results
+        ]
+
+    def test_failures_come_back_as_results_not_exceptions(self):
+        """execute_async reports a failing spec in its ExecutionResult —
+        the service depends on the loop surviving poison specs."""
+
+        class PoisonKernel(EvaluationKernel):
+            def run(self, spec_dict):
+                raise RuntimeError("poison spec, fails on every attempt")
+
+        async def main():
+            executor = AsyncExecutor(concurrency=2)
+            return await executor.execute_async(
+                PoisonKernel(("steady",)), _work_items()
+            )
+
+        (result,) = asyncio.run(main())
+        assert not result.ok
+        assert result.error == {
+            "attempt": 1,
+            "type": "RuntimeError",
+            "message": "poison spec, fails on every attempt",
+        }
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,575 @@
+"""``repro serve``: coalescing, store residency, streaming, failure isolation.
+
+The service contract this module pins:
+
+* concurrent requests for the same spec hash cost ONE kernel invocation
+  (the ``executor.dispatches`` counter is the witness) and every coalesced
+  client receives the byte-identical response document;
+* a warm spec is answered from the resident store without dispatching, and
+  fast (the end-to-end HTTP round trip, not just the lookup);
+* a failing spec produces a structured failure-provenance document — and
+  the server loop survives to serve the next request;
+* progress streams as line-delimited JSON events over plain HTTP/1.1, on
+  TCP and unix sockets alike, and protocol errors map to 4xx/5xx JSON
+  bodies instead of dead connections.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.campaigns import (
+    ArtifactStore,
+    AsyncExecutor,
+    EvaluationKernel,
+    EvaluationService,
+    MatrixAxis,
+    ScenarioMatrix,
+    SerialExecutor,
+    ServiceServer,
+)
+from repro.errors import ConfigurationError, ReproError
+from repro.scenarios import ScenarioSpec
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """Every test starts and ends with the tracer off and empty."""
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def spec_dict(name="svc_spec", power=10.0):
+    """A cheap steady-only-friendly spec document (the POST body)."""
+    return (
+        ScenarioSpec(name=name)
+        .with_overrides({"workload.total_power_w": power})
+        .to_dict()
+    )
+
+
+def make_service(tmp_path=None, **kwargs):
+    kwargs.setdefault("paths", ("steady",))
+    kwargs.setdefault("concurrency", 2)
+    if tmp_path is not None:
+        kwargs.setdefault("store", ArtifactStore(tmp_path / "store"))
+    return EvaluationService(**kwargs)
+
+
+class PoisonKernel(EvaluationKernel):
+    """Kernel failing every listed spec name (in-process, thread-safe)."""
+
+    def run(self, spec_dict):
+        if spec_dict["name"].startswith("poison"):
+            raise RuntimeError("poison spec, fails on every attempt")
+        return super().run(spec_dict)
+
+
+class TestEvaluationService:
+    def test_compute_then_store_round_trip(self, tmp_path):
+        service = make_service(tmp_path)
+
+        async def main():
+            first = await service.evaluate(spec_dict())
+            second = await service.evaluate(spec_dict())
+            return first, second
+
+        first, second = asyncio.run(main())
+        assert (first["status"], first["source"]) == ("ok", "computed")
+        assert (second["status"], second["source"]) == ("ok", "store")
+        # The response document is the store address plus the artifact.
+        assert first["key"] == second["key"]
+        assert first["artifact"] == second["artifact"]
+        assert first["artifact"]["results"]["steady"]
+        assert service.counters == {
+            "service.requests": 2,
+            "service.computed": 1,
+            "service.store_served": 1,
+        }
+
+    def test_concurrent_same_spec_requests_cost_one_dispatch(self, tmp_path):
+        """The tentpole pin: N concurrent clients, one solve.
+
+        ``executor.dispatches`` counts kernel dispatches on the service
+        loop; two gathered requests for the same spec hash must coalesce to
+        exactly one, and both clients must receive the byte-identical
+        document.
+        """
+        telemetry.enable()
+        service = make_service(tmp_path)
+
+        async def main():
+            return await asyncio.gather(
+                service.evaluate(spec_dict()),
+                service.evaluate(spec_dict()),
+            )
+
+        first, second = asyncio.run(main())
+        dispatches = telemetry.global_registry().counter_value(
+            "executor.dispatches"
+        )
+        assert dispatches == 1
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+        assert service.counters["service.coalesced"] == 1
+        assert service.counters["service.computed"] == 1
+
+    def test_distinct_specs_do_not_coalesce(self, tmp_path):
+        telemetry.enable()
+        service = make_service(tmp_path)
+
+        async def main():
+            return await asyncio.gather(
+                service.evaluate(spec_dict(power=10.0)),
+                service.evaluate(spec_dict(power=12.0)),
+            )
+
+        first, second = asyncio.run(main())
+        assert first["key"] != second["key"]
+        assert (
+            telemetry.global_registry().counter_value("executor.dispatches")
+            == 2
+        )
+        assert "service.coalesced" not in service.counters
+
+    def test_coalescing_works_without_a_store(self):
+        telemetry.enable()
+        service = make_service(store=None)
+
+        async def main():
+            return await asyncio.gather(
+                service.evaluate(spec_dict()),
+                service.evaluate(spec_dict()),
+            )
+
+        first, second = asyncio.run(main())
+        assert first == second
+        assert first["source"] == "computed"
+        assert (
+            telemetry.global_registry().counter_value("executor.dispatches")
+            == 1
+        )
+
+    def test_failing_spec_returns_structured_provenance(self, tmp_path):
+        """A poison spec yields a failure document — and the service keeps
+        serving afterwards (the loop survives)."""
+        service = make_service(
+            tmp_path, kernel=PoisonKernel(("steady",))
+        )
+
+        async def main():
+            failed = await service.evaluate(spec_dict(name="poison_spec"))
+            healthy = await service.evaluate(spec_dict(name="healthy_spec"))
+            return failed, healthy
+
+        failed, healthy = asyncio.run(main())
+        assert failed["status"] == "failed"
+        assert "artifact" not in failed
+        failure = failed["failure"]
+        assert failure["resolved"] is False
+        assert failure["attempts"] == 1
+        assert failure["design_hash"]
+        assert failure["incidents"][-1]["type"] == "RuntimeError"
+        assert "poison" in failure["incidents"][-1]["message"]
+        assert healthy["status"] == "ok"
+        assert service.counters["service.failures"] == 1
+
+    def test_failure_documents_are_not_stored(self, tmp_path):
+        """A failed spec must not poison the store: retrying after the bug
+        is fixed recomputes instead of serving the failure."""
+        store = ArtifactStore(tmp_path / "store")
+        poisoned = make_service(
+            store=store, kernel=PoisonKernel(("steady",))
+        )
+        asyncio.run(poisoned.evaluate(spec_dict(name="poison_spec")))
+        assert len(store) == 0
+        healthy = make_service(store=store)
+        document = asyncio.run(healthy.evaluate(spec_dict(name="poison_spec")))
+        assert (document["status"], document["source"]) == ("ok", "computed")
+
+    def test_request_key_matches_store_address(self, tmp_path):
+        service = make_service(tmp_path)
+        spec = ScenarioSpec.from_dict(spec_dict())
+        assert service.request_key(spec) == service.store.key_for(
+            spec, service.paths, "lu"
+        )
+
+    def test_events_in_order(self, tmp_path):
+        service = make_service(tmp_path)
+        events = []
+
+        async def sink(event):
+            events.append(event["event"])
+
+        async def main():
+            await service.evaluate(spec_dict(), on_event=sink)
+            await service.evaluate(spec_dict(), on_event=sink)
+
+        asyncio.run(main())
+        assert events == ["accepted", "computing", "accepted", "store_hit"]
+
+    def test_health_and_stats_documents(self, tmp_path):
+        telemetry.enable()
+        service = make_service(tmp_path)
+        asyncio.run(service.evaluate(spec_dict()))
+        health = service.health_document()
+        assert health["status"] == "ok"
+        assert health["requests"] == 1
+        assert health["inflight"] == 0
+        assert health["store_attached"] is True
+        assert health["telemetry_enabled"] is True
+        stats = service.stats_document()
+        assert stats["service"]["counters"]["service.computed"] == 1
+        assert stats["store"]["writes"] == 1
+        assert stats["store"]["objects"] == 1
+        # The kernel's per-request span payload was absorbed into the live
+        # snapshot: per-spec spans are visible in /stats.
+        assert any(
+            name.startswith("spec:") for name in stats.get("spans", {})
+        )
+        assert stats["metrics"]["counters"]["executor.dispatches"] == 1
+
+    def test_run_campaign_rides_the_coalescing_path(self, tmp_path):
+        matrix = ScenarioMatrix(
+            name="svc_tiny",
+            description="two-point service campaign",
+            base=ScenarioSpec(name="svc_base"),
+            axes=(
+                MatrixAxis(
+                    name="p",
+                    path="workload.total_power_w",
+                    values=(9.0, 11.0),
+                ),
+            ),
+        )
+        service = make_service(tmp_path, matrices={"svc_tiny": matrix})
+        events = []
+
+        async def sink(event):
+            events.append(event)
+
+        cold = asyncio.run(service.run_campaign("svc_tiny", on_event=sink))
+        assert (cold["ok"], cold["computed"]) == (2, 2)
+        warm = asyncio.run(service.run_campaign("svc_tiny"))
+        assert (warm["ok"], warm["store_served"]) == (2, 2)
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "campaign"
+        assert kinds.count("scenario") == 2
+        assert kinds[-1] == "summary"
+        with pytest.raises(ConfigurationError, match="unknown campaign"):
+            asyncio.run(service.run_campaign("nope"))
+
+    def test_constructor_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError, match="concurrency"):
+            EvaluationService(concurrency=0)
+        with pytest.raises(ConfigurationError, match="execute_async"):
+            EvaluationService(executor=SerialExecutor())
+        with pytest.raises(ConfigurationError, match="host/port"):
+            ServiceServer(EvaluationService(), host=None, socket_path=None)
+
+
+# HTTP transport -------------------------------------------------------------
+
+
+async def start_server(service, **kwargs):
+    kwargs.setdefault("host", "127.0.0.1")
+    kwargs.setdefault("port", 0)
+    server = ServiceServer(service, **kwargs)
+    await server.start()
+    return server
+
+
+async def http_request(server, method, path, body=None, socket_path=None):
+    """One ``Connection: close`` request; returns (status, [json lines])."""
+    if socket_path is not None:
+        reader, writer = await asyncio.open_unix_connection(socket_path)
+    else:
+        host, port = server.address
+        reader, writer = await asyncio.open_connection(host, port)
+    payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+        f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    header, _, content = raw.partition(b"\r\n\r\n")
+    status = int(header.split(b" ")[1])
+    lines = [
+        json.loads(line)
+        for line in content.decode("utf-8").splitlines()
+        if line.strip()
+    ]
+    return status, lines
+
+
+class TestServiceServer:
+    def test_evaluate_cold_then_warm_over_http(self, tmp_path):
+        service = make_service(tmp_path)
+
+        async def main():
+            server = await start_server(service)
+            try:
+                status, (cold,) = await http_request(
+                    server, "POST", "/evaluate", spec_dict()
+                )
+                assert status == 200
+                started = time.perf_counter()
+                status, (warm,) = await http_request(
+                    server, "POST", "/evaluate", spec_dict()
+                )
+                elapsed = time.perf_counter() - started
+                assert status == 200
+                return cold, warm, elapsed
+            finally:
+                await server.stop()
+
+        cold, warm, elapsed = asyncio.run(main())
+        assert (cold["status"], cold["source"]) == ("ok", "computed")
+        assert (warm["status"], warm["source"]) == ("ok", "store")
+        assert cold["artifact"] == warm["artifact"]
+        # The acceptance pin: a warm re-request is store-served fast — the
+        # full HTTP round trip, not just the lookup.
+        assert elapsed < 0.05, f"warm request took {elapsed * 1e3:.1f} ms"
+
+    def test_streaming_evaluate_emits_ndjson_events(self, tmp_path):
+        service = make_service(tmp_path)
+
+        async def main():
+            server = await start_server(service)
+            try:
+                return await http_request(
+                    server, "POST", "/evaluate?stream=1", spec_dict()
+                )
+            finally:
+                await server.stop()
+
+        status, events = asyncio.run(main())
+        assert status == 200
+        assert [event["event"] for event in events] == [
+            "accepted",
+            "computing",
+            "result",
+        ]
+        assert events[-1]["status"] == "ok"
+        assert events[-1]["artifact"]["results"]["steady"]
+
+    def test_campaign_endpoint_streams_summary(self, tmp_path):
+        matrix = ScenarioMatrix(
+            name="svc_tiny",
+            description="two-point service campaign",
+            base=ScenarioSpec(name="svc_base"),
+            axes=(
+                MatrixAxis(
+                    name="p",
+                    path="workload.total_power_w",
+                    values=(9.0, 11.0),
+                ),
+            ),
+        )
+        service = make_service(tmp_path, matrices={"svc_tiny": matrix})
+
+        async def main():
+            server = await start_server(service)
+            try:
+                good = await http_request(
+                    server, "POST", "/campaign/svc_tiny", {}
+                )
+                bad = await http_request(server, "POST", "/campaign/nope", {})
+                return good, bad
+            finally:
+                await server.stop()
+
+        (status, events), (bad_status, bad_events) = asyncio.run(main())
+        assert status == 200
+        assert events[0]["event"] == "campaign"
+        assert events[-1]["event"] == "summary"
+        assert events[-1]["ok"] == 2
+        # Unknown campaigns stream a structured error event (the ndjson
+        # response has already started when the name resolves).
+        assert bad_status == 200
+        assert bad_events[-1]["event"] == "error"
+        assert "unknown campaign" in bad_events[-1]["error"]
+
+    def test_health_stats_scenarios_endpoints(self, tmp_path):
+        telemetry.enable()
+        service = make_service(tmp_path)
+
+        async def main():
+            server = await start_server(service)
+            try:
+                await http_request(server, "POST", "/evaluate", spec_dict())
+                health = await http_request(server, "GET", "/health")
+                stats = await http_request(server, "GET", "/stats")
+                names = await http_request(server, "GET", "/scenarios")
+                return health, stats, names
+            finally:
+                await server.stop()
+
+        health, stats, names = asyncio.run(main())
+        assert health[0] == 200 and health[1][0]["status"] == "ok"
+        assert health[1][0]["requests"] == 1
+        assert stats[0] == 200
+        assert stats[1][0]["store"]["hit_rate"] == 0.0
+        assert stats[1][0]["service"]["counters"]["service.computed"] == 1
+        assert names[0] == 200
+        assert "campaign_smoke" in names[1][0]["campaigns"]
+        assert names[1][0]["scenarios"]
+
+    def test_protocol_and_validation_errors_keep_serving(self, tmp_path):
+        """Bad bodies and bad routes answer as JSON errors; the server
+        stays healthy for the next request."""
+        service = make_service(tmp_path)
+
+        async def main():
+            server = await start_server(service)
+            host, port = server.address
+            try:
+                bad_route = await http_request(server, "GET", "/nope")
+                bad_method = await http_request(server, "PUT", "/health")
+                bad_spec = await http_request(
+                    server, "POST", "/evaluate", {"name": ""}
+                )
+                # Raw non-JSON body.
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(
+                    b"POST /evaluate HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: 9\r\nConnection: close\r\n\r\nnot json!"
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+                not_json = int(raw.split(b" ")[1])
+                health = await http_request(server, "GET", "/health")
+                return bad_route, bad_method, bad_spec, not_json, health
+            finally:
+                await server.stop()
+
+        bad_route, bad_method, bad_spec, not_json, health = asyncio.run(main())
+        assert bad_route[0] == 404
+        assert bad_method[0] == 404
+        assert bad_spec[0] == 400
+        assert "scenario.name" in bad_spec[1][0]["error"]
+        assert not_json == 400
+        assert health[0] == 200 and health[1][0]["status"] == "ok"
+
+    def test_keep_alive_serves_sequential_requests(self, tmp_path):
+        service = make_service(tmp_path)
+
+        async def main():
+            server = await start_server(service)
+            host, port = server.address
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                statuses = []
+                for _ in range(2):
+                    writer.write(b"GET /health HTTP/1.1\r\nHost: t\r\n\r\n")
+                    await writer.drain()
+                    status_line = await reader.readline()
+                    statuses.append(int(status_line.split(b" ")[1]))
+                    length = None
+                    while True:
+                        line = await reader.readline()
+                        if line in (b"\r\n", b"\n"):
+                            break
+                        if line.lower().startswith(b"content-length:"):
+                            length = int(line.split(b":")[1])
+                    await reader.readexactly(length)
+                writer.close()
+                await writer.wait_closed()
+                return statuses
+            finally:
+                await server.stop()
+
+        assert asyncio.run(main()) == [200, 200]
+
+    def test_unix_socket_transport(self, tmp_path):
+        service = make_service(tmp_path)
+        socket_path = tmp_path / "serve.sock"
+
+        async def main():
+            server = await start_server(
+                service, host=None, socket_path=socket_path
+            )
+            try:
+                assert server.endpoints == [f"unix:{socket_path}"]
+                return await http_request(
+                    server,
+                    "POST",
+                    "/evaluate",
+                    spec_dict(),
+                    socket_path=str(socket_path),
+                )
+            finally:
+                await server.stop()
+
+        status, (document,) = asyncio.run(main())
+        assert status == 200
+        assert document["status"] == "ok"
+        assert not socket_path.exists()  # stop() removes the socket file
+
+    def test_concurrent_http_clients_coalesce_to_one_dispatch(self, tmp_path):
+        """The tentpole pin, end to end over the wire: two concurrent HTTP
+        clients posting the same spec cost one kernel dispatch and read
+        byte-identical bodies."""
+        telemetry.enable()
+        service = make_service(tmp_path)
+
+        async def main():
+            server = await start_server(service)
+            try:
+                return await asyncio.gather(
+                    http_request(server, "POST", "/evaluate", spec_dict()),
+                    http_request(server, "POST", "/evaluate", spec_dict()),
+                )
+            finally:
+                await server.stop()
+
+        (status_a, lines_a), (status_b, lines_b) = asyncio.run(main())
+        assert status_a == status_b == 200
+        assert json.dumps(lines_a, sort_keys=True) == json.dumps(
+            lines_b, sort_keys=True
+        )
+        # Whether the slower client coalesced onto the in-flight solve or
+        # (having arrived after it finished) was served from the store,
+        # exactly one kernel dispatch ever happens.
+        dispatches = telemetry.global_registry().counter_value(
+            "executor.dispatches"
+        )
+        assert dispatches == 1
+        assert service.counters["service.requests"] == 2
+
+    def test_failing_spec_over_http_does_not_kill_the_loop(self, tmp_path):
+        service = make_service(
+            tmp_path, kernel=PoisonKernel(("steady",))
+        )
+
+        async def main():
+            server = await start_server(service)
+            try:
+                failed = await http_request(
+                    server, "POST", "/evaluate", spec_dict(name="poison_http")
+                )
+                healthy = await http_request(
+                    server, "POST", "/evaluate", spec_dict(name="healthy_http")
+                )
+                return failed, healthy
+            finally:
+                await server.stop()
+
+        (failed_status, (failed,)), (ok_status, (ok,)) = asyncio.run(main())
+        assert failed_status == 200
+        assert failed["status"] == "failed"
+        assert failed["failure"]["incidents"][-1]["type"] == "RuntimeError"
+        assert ok_status == 200 and ok["status"] == "ok"
